@@ -1,0 +1,170 @@
+package repro
+
+// Benchmarks for the components beyond the paper's figures: the extra
+// similarity-flooding baseline, correspondence-selection strategies, the
+// Markov-weighting ablation, incremental warm-started rematching, and batch
+// matching.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/ems"
+	"repro/internal/baselines/flood"
+	"repro/internal/baselines/ged"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/depgraph"
+	"repro/internal/matching"
+)
+
+// BenchmarkSimilarityFlooding times the extra baseline on a 20-event pair.
+func BenchmarkSimilarityFlooding(b *testing.B) {
+	p := benchPairLogs(b, 20)
+	g1, _ := depgraph.Build(p.Log1)
+	g2, _ := depgraph.Build(p.Log2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flood.Compute(g1, g2, flood.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionStrategies compares the three correspondence-selection
+// strategies on a realistic similarity matrix.
+func BenchmarkSelectionStrategies(b *testing.B) {
+	p := benchPairLogs(b, 30)
+	g1, _ := depgraph.Build(p.Log1)
+	g2, _ := depgraph.Build(p.Log2)
+	ga1, _ := g1.AddArtificial()
+	ga2, _ := g2.AddArtificial()
+	r, err := core.Compute(ga1, ga2, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []matching.Strategy{matching.MaxTotal, matching.Greedy, matching.Stable} {
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := matching.SelectWith(s, r.Names1, r.Names2, r.Sim, 0.25, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWeighting compares Definition 1 dependency weighting
+// against Markov transition weighting end to end.
+func BenchmarkAblationWeighting(b *testing.B) {
+	p := benchPairLogs(b, 20)
+	b.Run("dependency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ems.Match(p.Log1, p.Log2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("markov", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ems.Match(p.Log1, p.Log2, ems.WithMarkovWeighting()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGEDNodeSim compares the paper-faithful frequency-only
+// GED substitution signal against the degree-augmented variant.
+func BenchmarkAblationGEDNodeSim(b *testing.B) {
+	p := benchPairLogs(b, 20)
+	g1, _ := depgraph.Build(p.Log1)
+	g2, _ := depgraph.Build(p.Log2)
+	run := func(b *testing.B, fw, dw float64) {
+		cfg := ged.DefaultConfig()
+		cfg.FreqWeight, cfg.DegreeWeight = fw, dw
+		for i := 0; i < b.N; i++ {
+			if _, err := ged.Match(g1, g2, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("freq-only", func(b *testing.B) { run(b, 1, 0) })
+	b.Run("freq+degree", func(b *testing.B) { run(b, 0.5, 0.5) })
+}
+
+// BenchmarkIncrementalRematch compares a warm-started rematch after a small
+// log update against a cold start on the same logs.
+func BenchmarkIncrementalRematch(b *testing.B) {
+	p := benchPairLogs(b, 20)
+	extra := p.Log2.Traces[:10]
+	b.Run("warm", func(b *testing.B) {
+		m, err := ems.NewMatcher(p.Log1, p.Log2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Rematch(); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Append(2, extra...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Rematch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		updated := p.Log2.Clone()
+		for _, t := range extra {
+			updated.Append(t)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := ems.Match(p.Log1, updated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMatchAll times batch matching across worker counts.
+func BenchmarkMatchAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var pairs []ems.PairInput
+	for i := 0; i < 8; i++ {
+		p := benchPairLogsSeeded(b, rng.Int63(), 16)
+		pairs = append(pairs, ems.PairInput{Name: p.Name, Log1: p.Log1, Log2: p.Log2})
+	}
+	for _, workers := range []int{1, 4} {
+		name := "workers=1"
+		if workers == 4 {
+			name = "workers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs := ems.MatchAll(pairs, workers, false)
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func benchPairLogsSeeded(b *testing.B, seed int64, events int) *dataset.Pair {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := dataset.GeneratePair(rng, "bench", dataset.Options{
+		Events: events, Traces: 100, OpaqueFraction: 1, ExtraFront: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

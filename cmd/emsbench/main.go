@@ -1,0 +1,117 @@
+// Command emsbench regenerates every figure of the evaluation section of
+// "Matching Heterogeneous Event Data" (SIGMOD 2014) on deterministic
+// synthetic testbeds and prints the result tables.
+//
+// Usage:
+//
+//	emsbench            # quick scale, all figures
+//	emsbench -full      # paper-sized datasets (minutes)
+//	emsbench -fig 8     # one figure only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		full       = flag.Bool("full", false, "paper-sized datasets (slower)")
+		fig        = flag.Int("fig", 0, "run a single figure (3-14); 0 = all")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
+		robustness = flag.Bool("robustness", false, "run the noise-robustness extension experiment")
+	)
+	flag.Parse()
+	if *ablations || *robustness {
+		if err := runExtras(*full, *ablations, *robustness); err != nil {
+			fmt.Fprintln(os.Stderr, "emsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*full, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "emsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExtras(full, ablations, robustness bool) error {
+	s := experiments.QuickScale()
+	if full {
+		s = experiments.FullScale()
+	}
+	var tables []*experiments.Table
+	if ablations {
+		ts, err := experiments.Ablations(s)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, ts...)
+	}
+	if robustness {
+		ts, err := experiments.Robustness(s)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, ts...)
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	return nil
+}
+
+func run(full bool, fig int) error {
+	s := experiments.QuickScale()
+	sizes := []int{10, 20, 30}
+	f9events, f9ms := 30, []int{1, 2, 3}
+	if full {
+		s = experiments.FullScale()
+		sizes = []int{10, 20, 30, 50, 70, 100}
+		f9events, f9ms = 60, []int{2, 4, 6, 8, 10}
+	}
+	var tables []*experiments.Table
+	var err error
+	switch fig {
+	case 0:
+		// Stream tables as figures complete; the aggregate return is
+		// discarded since everything was already printed.
+		_, err = experiments.All(s, full, func(t *experiments.Table) {
+			fmt.Println(t)
+		})
+		return err
+	case 3:
+		tables, err = experiments.Fig3(s)
+	case 4:
+		tables, err = experiments.Fig4(s)
+	case 5:
+		tables, err = experiments.Fig5(s)
+	case 6:
+		tables, err = experiments.Fig6(s)
+	case 7:
+		tables, err = experiments.Fig7(s)
+	case 8:
+		tables, err = experiments.Fig8(s, sizes)
+	case 9:
+		tables, err = experiments.Fig9(s, f9events, f9ms)
+	case 10:
+		tables, err = experiments.Fig10(s)
+	case 11:
+		tables, err = experiments.Fig11(s)
+	case 12:
+		tables, err = experiments.Fig12(s)
+	case 13:
+		tables, err = experiments.Fig13(s)
+	case 14:
+		tables, err = experiments.Fig14(s)
+	default:
+		return fmt.Errorf("unknown figure %d (want 3-14)", fig)
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	return err
+}

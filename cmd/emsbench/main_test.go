@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigures(t *testing.T) {
+	// Only the cheap figures; the full sweep is exercised by the
+	// experiments package tests.
+	for _, fig := range []int{3, 5, 7} {
+		if err := run(false, fig); err != nil {
+			t.Errorf("fig %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run(false, 2); err == nil {
+		t.Errorf("figure 2 accepted")
+	}
+	if err := run(false, 15); err == nil {
+		t.Errorf("figure 15 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 12, 60, 1, "DS-FB", 0, false, 1.0, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{"log1.csv", "log2.csv", "truth.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+	truth, _ := os.ReadFile(filepath.Join(dir, "truth.txt"))
+	if !strings.Contains(string(truth), "->") {
+		t.Errorf("truth.txt has no correspondences: %q", truth)
+	}
+}
+
+func TestRunTrimStyle(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 12, 60, 2, "DS-B", 2, true, 0.5, 0); err != nil {
+		t.Fatalf("run trim: %v", err)
+	}
+}
+
+func TestRunAllTestbeds(t *testing.T) {
+	for _, tb := range []string{"DS-F", "DS-B", "DS-FB", "none"} {
+		if err := run(t.TempDir(), 10, 50, 3, tb, 1, false, 1.0, 0); err != nil {
+			t.Errorf("testbed %s: %v", tb, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownTestbed(t *testing.T) {
+	if err := run(t.TempDir(), 10, 50, 1, "bogus", 0, false, 1, 0); err == nil {
+		t.Errorf("unknown testbed accepted")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := runBatch(dir, 3, 10, 50, 7, "DS-B", 1, false, 1.0, 0); err != nil {
+		t.Fatalf("runBatch: %v", err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "manifest.txt"))
+	if err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	if !strings.Contains(string(manifest), "pair-02 seed=9") {
+		t.Errorf("manifest content wrong:\n%s", manifest)
+	}
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, "pair-0"+string(rune('0'+i)), "log1.csv")
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("pair %d log missing: %v", i, err)
+		}
+	}
+}

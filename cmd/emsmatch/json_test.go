@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/ems"
+)
+
+func TestRunWritesJSON(t *testing.T) {
+	p1, p2 := writePairFiles(t)
+	out := filepath.Join(t.TempDir(), "result.json")
+	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, false, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("json output missing: %v", err)
+	}
+	defer f.Close()
+	res, err := ems.ReadResultJSON(f)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if len(res.Mapping) == 0 {
+		t.Errorf("reloaded result has no correspondences")
+	}
+}

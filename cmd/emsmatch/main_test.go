@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/ems"
+	"repro/internal/paperexample"
+)
+
+func writePairFiles(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "log1.csv")
+	p2 := filepath.Join(dir, "log2.csv")
+	for path, l := range map[string]*ems.Log{p1: paperexample.Log1(), p2: paperexample.Log2()} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ems.WriteCSV(f, l); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return p1, p2
+}
+
+func TestRunPlainMatch(t *testing.T) {
+	p1, p2 := writePairFiles(t)
+	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, false, 0.005, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCompositeWithMatrix(t *testing.T) {
+	p1, p2 := writePairFiles(t)
+	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, true, ""); err != nil {
+		t.Fatalf("run composite: %v", err)
+	}
+}
+
+func TestRunLabelsAndEstimate(t *testing.T) {
+	p1, p2 := writePairFiles(t)
+	if err := run(p1, p2, "csv", 1.0, true, 3, 0.05, 0.1, false, 0.005, false, ""); err != nil {
+		t.Fatalf("run labels: %v", err)
+	}
+}
+
+func TestRunXMLFormat(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "log1.xml")
+	p2 := filepath.Join(dir, "log2.xml")
+	for path, l := range map[string]*ems.Log{p1: paperexample.Log1(), p2: paperexample.Log2()} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ems.WriteXML(f, l); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if err := run(p1, p2, "xml", 1.0, false, -1, 0, 0.1, false, 0.005, false, ""); err != nil {
+		t.Fatalf("run xml: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p1, p2 := writePairFiles(t)
+	if err := run("nonexistent.csv", p2, "csv", 1, false, -1, 0, 0.1, false, 0.005, false, ""); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	if err := run(p1, p2, "bogus", 1, false, -1, 0, 0.1, false, 0.005, false, ""); err == nil {
+		t.Errorf("unknown format accepted")
+	}
+	if err := run(p1, p2, "csv", 7, false, -1, 0, 0.1, false, 0.005, false, ""); err == nil {
+		t.Errorf("invalid alpha accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command emsstats inspects an event log: it prints summary statistics,
+// the dependency graph's node and edge frequencies, the longest distances
+// l(v) that drive early-convergence pruning, and the SEQ-pattern composite
+// candidates — everything the matcher derives from a log before comparing
+// it to another. It can also export the dependency graph as Graphviz DOT.
+//
+// Usage:
+//
+//	emsstats [flags] LOG
+//	emsstats -dot graph.dot -artificial orders.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/ems"
+	"repro/internal/composite"
+	"repro/internal/depgraph"
+	"repro/internal/eventlog"
+)
+
+func main() {
+	var (
+		format     = flag.String("format", "csv", "log file format: csv, xml or xes")
+		artificial = flag.Bool("artificial", false, "add the artificial event v^X before reporting")
+		minFreq    = flag.Float64("min-freq", 0, "minimum edge frequency filter")
+		dotPath    = flag.String("dot", "", "write the dependency graph as Graphviz DOT to this file")
+		candidates = flag.Bool("candidates", false, "list SEQ-pattern composite candidates")
+		confidence = flag.Float64("confidence", 0.9, "candidate link confidence")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emsstats [flags] LOG")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *format, *artificial, *minFreq, *dotPath, *candidates, *confidence); err != nil {
+		fmt.Fprintln(os.Stderr, "emsstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, path, format string, artificial bool, minFreq float64,
+	dotPath string, listCandidates bool, confidence float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var l *ems.Log
+	switch format {
+	case "csv":
+		l, err = ems.ReadCSV(f, path)
+	case "xml":
+		l, err = ems.ReadXML(f)
+	case "xes":
+		l, err = ems.ReadXES(f)
+	default:
+		return fmt.Errorf("unknown format %q (want csv, xml or xes)", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, eventlog.Summary(l))
+
+	g, err := depgraph.Build(l)
+	if err != nil {
+		return err
+	}
+	if artificial {
+		if g, err = g.AddArtificial(); err != nil {
+			return err
+		}
+	}
+	if minFreq > 0 {
+		g = g.FilterMinFrequency(minFreq)
+	}
+	fmt.Fprintf(w, "dependency graph: %d vertices, %d edges, avg degree %.2f\n",
+		g.N(), g.EdgeCount(), g.AvgDegree())
+
+	fmt.Fprintln(w, "node frequencies:")
+	for i := g.RealStart(); i < g.N(); i++ {
+		fmt.Fprintf(w, "  %-30s %.3f\n", g.Names[i], g.NodeFreq[i])
+	}
+
+	fmt.Fprintln(w, "edges (u -> v: frequency):")
+	type edge struct {
+		u, v int
+		f    float64
+	}
+	var edges []edge
+	for u := range g.EdgeFreq {
+		for v, fr := range g.EdgeFreq[u] {
+			edges = append(edges, edge{u, v, fr})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	for _, e := range edges {
+		fmt.Fprintf(w, "  %s -> %s: %.3f\n", displayName(g, e.u), displayName(g, e.v), e.f)
+	}
+
+	if artificial {
+		dist, err := g.LongestFromArtificial()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "longest distances l(v) from vX (convergence rounds):")
+		for i := g.RealStart(); i < g.N(); i++ {
+			if dist[i] == depgraph.Infinite {
+				fmt.Fprintf(w, "  %-30s inf (on/behind a cycle)\n", g.Names[i])
+			} else {
+				fmt.Fprintf(w, "  %-30s %d\n", g.Names[i], dist[i])
+			}
+		}
+	}
+
+	if listCandidates {
+		cands := composite.Discover(l, composite.DiscoverOptions{Confidence: confidence, MaxLen: 4})
+		fmt.Fprintf(w, "composite candidates (confidence >= %.2f): %d\n", confidence, len(cands))
+		for _, c := range cands {
+			fmt.Fprintf(w, "  {%s} support %.2f\n", strings.Join(c.Events, ", "), c.Support)
+		}
+	}
+
+	if dotPath != "" {
+		df, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		defer df.Close()
+		if err := g.WriteDOT(df, l.Name); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote DOT graph to %s\n", dotPath)
+	}
+	return nil
+}
+
+func displayName(g *depgraph.Graph, i int) string {
+	if g.HasArtificial && i == 0 {
+		return "vX"
+	}
+	return g.Names[i]
+}

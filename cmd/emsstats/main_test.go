@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/ems"
+	"repro/internal/paperexample"
+)
+
+func writeLog(t *testing.T, format string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "log."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l := paperexample.Log1()
+	switch format {
+	case "csv":
+		err = ems.WriteCSV(f, l)
+	case "xml":
+		err = ems.WriteXML(f, l)
+	case "xes":
+		err = ems.WriteXES(f, l)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, fn func(*os.File) error) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeLog(t, "csv")
+	out := capture(t, func(f *os.File) error {
+		return run(f, path, "csv", false, 0, "", false, 0.9)
+	})
+	for _, want := range []string{"5 traces", "dependency graph", "A -> C: 0.400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunArtificialAndCandidates(t *testing.T) {
+	path := writeLog(t, "csv")
+	out := capture(t, func(f *os.File) error {
+		return run(f, path, "csv", true, 0, "", true, 0.9)
+	})
+	for _, want := range []string{"longest distances", "composite candidates", "{C, D}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"csv", "xml", "xes"} {
+		path := writeLog(t, format)
+		out := capture(t, func(f *os.File) error {
+			return run(f, path, format, false, 0, "", false, 0.9)
+		})
+		if !strings.Contains(out, "6 distinct events") {
+			t.Errorf("%s: summary missing:\n%s", format, out)
+		}
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	path := writeLog(t, "csv")
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	capture(t, func(f *os.File) error {
+		return run(f, path, "csv", true, 0, dot, false, 0.9)
+	})
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatalf("DOT file: %v", err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Errorf("DOT content wrong: %q", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(os.Stdout, "missing.csv", "csv", false, 0, "", false, 0.9); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	path := writeLog(t, "csv")
+	if err := run(os.Stdout, path, "bogus", false, 0, "", false, 0.9); err == nil {
+		t.Errorf("unknown format accepted")
+	}
+}

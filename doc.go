@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Matching
+// Heterogeneous Event Data" (Zhu, Song, Lian, Wang, Zou — SIGMOD 2014).
+//
+// The public API lives in repro/ems; the command-line tools in cmd/emsmatch
+// (match two logs), cmd/emsgen (generate synthetic datasets) and
+// cmd/emsbench (regenerate every figure of the paper's evaluation). The
+// benchmarks in this package time one representative slice of every figure;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package repro

@@ -1,0 +1,24 @@
+package ems
+
+import (
+	"repro/internal/align"
+)
+
+// Aligner aligns traces across the two logs under a computed mapping — the
+// provenance-query application of the paper's introduction: find how an
+// order processed in one system corresponds, step by step, to an order in
+// the other.
+type Aligner = align.Aligner
+
+// AlignmentOp is one step of a trace alignment.
+type AlignmentOp = align.Op
+
+// Alignment relates one log-1 trace to one log-2 trace.
+type Alignment = align.Alignment
+
+// AlignmentHit is one result of a cross-log trace search.
+type AlignmentHit = align.Hit
+
+// NewAligner builds a trace aligner from a mapping (typically
+// Result.Mapping).
+func NewAligner(m Mapping) (*Aligner, error) { return align.New(m) }

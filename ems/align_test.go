@@ -1,0 +1,31 @@
+package ems_test
+
+import (
+	"testing"
+
+	"repro/ems"
+)
+
+func TestAlignerEndToEnd(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.MatchComposite(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := ems.NewAligner(res.Mapping)
+	if err != nil {
+		t.Fatalf("NewAligner: %v", err)
+	}
+	hits := al.Search(l1.Traces[0], l2, 1)
+	if len(hits) != 1 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	if hits[0].Similarity < 0.5 {
+		t.Errorf("best cross-log trace similarity %.2f unexpectedly low:\n%s",
+			hits[0].Similarity, hits[0].Alignment)
+	}
+	// The best hit for a cash trace must be a cash trace.
+	if !l2.Traces[hits[0].Index].Contains("2") {
+		t.Errorf("best hit %v is not a cash trace", l2.Traces[hits[0].Index])
+	}
+}

@@ -1,0 +1,106 @@
+package ems
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// PairInput is one unit of batch matching: two logs that record the same
+// process in different systems.
+type PairInput struct {
+	Name       string
+	Log1, Log2 *Log
+}
+
+// PairOutput is the result of matching one input pair; exactly one of
+// Result and Err is set.
+type PairOutput struct {
+	Name   string
+	Result *Result
+	Err    error
+}
+
+// MatchAll matches many log pairs concurrently with a bounded worker pool
+// — the batch shape of the paper's motivating deployment, where thousands
+// of process variants from 31 subsidiaries must be aligned. Outputs are
+// returned in input order. workers <= 0 uses GOMAXPROCS. The composite flag
+// selects MatchComposite per pair.
+func MatchAll(pairs []PairInput, workers int, compositeMatch bool, opts ...Option) []PairOutput {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	out := make([]PairOutput, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := pairs[i]
+				var res *Result
+				var err error
+				if p.Log1 == nil || p.Log2 == nil {
+					err = fmt.Errorf("ems: pair %q has a nil log", p.Name)
+				} else if compositeMatch {
+					res, err = MatchComposite(p.Log1, p.Log2, opts...)
+				} else {
+					res, err = Match(p.Log1, p.Log2, opts...)
+				}
+				out[i] = PairOutput{Name: p.Name, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range pairs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Neighbor is one entry of a top-k similarity query.
+type Neighbor struct {
+	// Name is the (possibly merged) node name on the other side; use
+	// ExpandComposite for constituents.
+	Name       string
+	Similarity float64
+}
+
+// TopMatches returns the k most similar log-2 events for a log-1 event, in
+// descending similarity order — the interactive "what does this step
+// correspond to over there?" query. Unknown events return nil.
+func (r *Result) TopMatches(event string, k int) []Neighbor {
+	i := -1
+	for idx, n := range r.Names1 {
+		if n == event {
+			i = idx
+			break
+		}
+	}
+	if i < 0 || k <= 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, len(r.Names2))
+	for j, n := range r.Names2 {
+		out = append(out, Neighbor{Name: n, Similarity: r.At(i, j)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Similarity != out[b].Similarity {
+			return out[a].Similarity > out[b].Similarity
+		}
+		return out[a].Name < out[b].Name
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package ems_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/ems"
+)
+
+func TestMatchAll(t *testing.T) {
+	l1, l2 := paperLogs()
+	pairs := []ems.PairInput{
+		{Name: "p0", Log1: l1, Log2: l2},
+		{Name: "p1", Log1: l1, Log2: l1},
+		{Name: "p2", Log1: l2, Log2: l2},
+	}
+	outs := ems.MatchAll(pairs, 2, false)
+	if len(outs) != 3 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if o.Name != pairs[i].Name {
+			t.Errorf("output %d name %q, want %q (order broken)", i, o.Name, pairs[i].Name)
+		}
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Name, o.Err)
+		}
+		if o.Result == nil || len(o.Result.Mapping) == 0 {
+			t.Errorf("%s: empty result", o.Name)
+		}
+	}
+	// Self-matching must recover the identity mapping.
+	for _, c := range outs[1].Result.Mapping {
+		if c.Left[0] != c.Right[0] {
+			t.Errorf("self match wrong: %v", c)
+		}
+	}
+}
+
+func TestMatchAllMatchesSequential(t *testing.T) {
+	l1, l2 := paperLogs()
+	seq, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := ems.MatchAll([]ems.PairInput{{Name: "p", Log1: l1, Log2: l2}}, 4, false)
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	got := outs[0].Result
+	if len(got.Sim) != len(seq.Sim) {
+		t.Fatalf("matrix sizes differ")
+	}
+	for i := range got.Sim {
+		if math.Abs(got.Sim[i]-seq.Sim[i]) > 1e-12 {
+			t.Fatalf("concurrent result differs at %d", i)
+		}
+	}
+}
+
+func TestMatchAllComposite(t *testing.T) {
+	l1, l2 := paperLogs()
+	outs := ems.MatchAll([]ems.PairInput{{Name: "p", Log1: l1, Log2: l2}}, 0, true)
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	if len(outs[0].Result.Composites1) != 1 {
+		t.Errorf("composite batch missed the {C,D} merge: %v", outs[0].Result.Composites1)
+	}
+}
+
+func TestMatchAllNilLogAndEmpty(t *testing.T) {
+	outs := ems.MatchAll([]ems.PairInput{{Name: "bad", Log1: nil, Log2: nil}}, 1, false)
+	if outs[0].Err == nil {
+		t.Errorf("nil logs accepted")
+	}
+	if got := ems.MatchAll(nil, 3, false); len(got) != 0 {
+		t.Errorf("empty batch returned %v", got)
+	}
+}
+
+func TestTopMatches(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopMatches("A", 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d neighbors", len(top))
+	}
+	if top[0].Name != "2" {
+		t.Errorf("best neighbor of A = %q, want 2 (dislocated match)", top[0].Name)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Similarity > top[i-1].Similarity {
+			t.Errorf("neighbors not sorted: %v", top)
+		}
+	}
+	if res.TopMatches("nope", 3) != nil {
+		t.Errorf("unknown event returned neighbors")
+	}
+	if res.TopMatches("A", 0) != nil {
+		t.Errorf("k=0 returned neighbors")
+	}
+	if all := res.TopMatches("A", 100); len(all) != len(res.Names2) {
+		t.Errorf("k beyond size returned %d", len(all))
+	}
+}
+
+func TestMarkovWeightingOption(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2, ems.WithMarkovWeighting())
+	if err != nil {
+		t.Fatalf("Match markov: %v", err)
+	}
+	if len(res.Mapping) == 0 {
+		t.Errorf("markov weighting selected nothing")
+	}
+	plain, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weightings genuinely differ: at least one pair similarity moves.
+	moved := false
+	for i := range res.Sim {
+		if math.Abs(res.Sim[i]-plain.Sim[i]) > 1e-6 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Errorf("markov weighting identical to dependency weighting")
+	}
+}

@@ -1,0 +1,301 @@
+package ems_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/ems"
+	"repro/internal/paperexample"
+)
+
+func paperLogs() (*ems.Log, *ems.Log) {
+	return paperexample.Log1(), paperexample.Log2()
+}
+
+func TestMatchPaperExample(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	// The dislocated pair: A must align to 2, not to 1.
+	a2, ok := res.Similarity("A", "2")
+	if !ok {
+		t.Fatalf("pair (A,2) missing")
+	}
+	a1, _ := res.Similarity("A", "1")
+	if a2 <= a1 {
+		t.Errorf("dislocated matching failed: sim(A,2)=%.3f <= sim(A,1)=%.3f", a2, a1)
+	}
+	// Singleton truth must be covered by the selected mapping.
+	q := ems.Evaluate(res.Mapping, paperexample.SingletonTruth())
+	if q.Recall < 0.99 {
+		t.Errorf("recall = %.3f, mapping %v", q.Recall, res.Mapping)
+	}
+}
+
+func TestMatchCompositePaperExample(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.MatchComposite(l1, l2)
+	if err != nil {
+		t.Fatalf("MatchComposite: %v", err)
+	}
+	if len(res.Composites1) != 1 || !reflect.DeepEqual(res.Composites1[0], []string{"C", "D"}) {
+		t.Fatalf("composites1 = %v, want [[C D]]", res.Composites1)
+	}
+	q := ems.Evaluate(res.Mapping, paperexample.Truth())
+	if q.Recall < 0.99 {
+		t.Errorf("composite recall = %.3f; mapping %v", q.Recall, res.Mapping)
+	}
+}
+
+func TestMatchWithLabels(t *testing.T) {
+	l1 := ems.NewLog("a")
+	l1.Append(ems.Trace{"pay invoice", "ship order"})
+	l2 := ems.NewLog("b")
+	l2.Append(ems.Trace{"pay_invoice", "ship_order"})
+	res, err := ems.Match(l1, l2,
+		ems.WithAlpha(0.5),
+		ems.WithLabelSimilarity(ems.QGramCosine(3)),
+	)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	v, _ := res.Similarity("pay invoice", "pay_invoice")
+	w, _ := res.Similarity("pay invoice", "ship_order")
+	if v <= w {
+		t.Errorf("labels ignored: %.3f <= %.3f", v, w)
+	}
+}
+
+func TestMatchEstimationOption(t *testing.T) {
+	l1, l2 := paperLogs()
+	exact, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ems.Match(l1, l2, ems.WithEstimation(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Evaluations >= exact.Evaluations {
+		t.Errorf("estimation did not reduce evaluations: %d vs %d", est.Evaluations, exact.Evaluations)
+	}
+}
+
+func TestMatchDirectionOption(t *testing.T) {
+	l1, l2 := paperLogs()
+	fwd, err := ems.Match(l1, l2, ems.WithDirection(ems.Forward))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := ems.Match(l1, l2, ems.WithDirection(ems.Backward))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := ems.Match(l1, l2, ems.WithDirection(ems.Both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fwd.Similarity("A", "2")
+	b, _ := bwd.Similarity("A", "2")
+	c, _ := both.Similarity("A", "2")
+	if math.Abs(c-(f+b)/2) > 1e-9 {
+		t.Errorf("both = %.4f, want average of %.4f and %.4f", c, f, b)
+	}
+}
+
+func TestMatchMinFrequencyOption(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2, ems.WithMinFrequency(0.5))
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(res.Names1) == 0 {
+		t.Errorf("no events after filtering")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	l1, l2 := paperLogs()
+	bad := [][]ems.Option{
+		{ems.WithAlpha(-1)},
+		{ems.WithAlpha(2)},
+		{ems.WithDecay(0)},
+		{ems.WithDecay(1)},
+		{ems.WithEstimation(-2)},
+		{ems.WithEpsilon(0)},
+		{ems.WithMaxRounds(0)},
+		{ems.WithMinFrequency(-0.1)},
+		{ems.WithMinFrequency(1)},
+		{ems.WithSelectionThreshold(-0.5)},
+		{ems.WithSelectionThreshold(1.5)},
+		{ems.WithCandidateDiscovery(0, 2, 0)},
+		{ems.WithCandidateDiscovery(0.9, 1, 0)},
+		{ems.WithMaxMergeSteps(-1)},
+	}
+	for i, opts := range bad {
+		if _, err := ems.Match(l1, l2, opts...); err == nil {
+			t.Errorf("case %d: invalid option accepted", i)
+		}
+	}
+}
+
+func TestMatchRejectsEmptyLog(t *testing.T) {
+	l1, _ := paperLogs()
+	if _, err := ems.Match(l1, ems.NewLog("empty")); err == nil {
+		t.Errorf("empty log accepted")
+	}
+}
+
+func TestResultAt(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Names1 {
+		for j := range res.Names2 {
+			v := res.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("At(%d,%d) = %g out of range", i, j, v)
+			}
+		}
+	}
+	if _, ok := res.Similarity("A", "nope"); ok {
+		t.Errorf("unknown name reported ok")
+	}
+}
+
+func TestCSVAndXMLHelpers(t *testing.T) {
+	l1, _ := paperLogs()
+	var csvBuf, xmlBuf bytes.Buffer
+	if err := ems.WriteCSV(&csvBuf, l1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ems.ReadCSV(&csvBuf, "L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l1.Len() {
+		t.Errorf("CSV round trip lost traces: %d vs %d", back.Len(), l1.Len())
+	}
+	if err := ems.WriteXML(&xmlBuf, l1); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ems.ReadXML(&xmlBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Len() != l1.Len() {
+		t.Errorf("XML round trip lost traces")
+	}
+}
+
+func TestExpandComposite(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.MatchComposite(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Names1 {
+		parts := ems.ExpandComposite(n)
+		if len(parts) == 0 {
+			t.Errorf("ExpandComposite(%q) empty", n)
+		}
+		for _, p := range parts {
+			if strings.Contains(p, "\x1d") {
+				t.Errorf("separator left in %q", p)
+			}
+		}
+	}
+}
+
+func TestLevenshteinHelper(t *testing.T) {
+	if v := ems.Levenshtein("abc", "abc"); v != 1 {
+		t.Errorf("Levenshtein identical = %g", v)
+	}
+}
+
+func TestSelectionThresholdOption(t *testing.T) {
+	l1, l2 := paperLogs()
+	strict, err := ems.Match(l1, l2, ems.WithSelectionThreshold(0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Mapping) != 0 {
+		t.Errorf("threshold 0.99 kept %v", strict.Mapping)
+	}
+	loose, err := ems.Match(l1, l2, ems.WithSelectionThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Mapping) == 0 {
+		t.Errorf("threshold 0 selected nothing")
+	}
+}
+
+func TestWithoutPruningSameResult(t *testing.T) {
+	l1, l2 := paperLogs()
+	a, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ems.Match(l1, l2, ems.WithoutPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sim {
+		if math.Abs(a.Sim[i]-b.Sim[i]) > 1e-6 {
+			t.Fatalf("pruning changed results at %d", i)
+		}
+	}
+}
+
+func TestCompositePruningOptions(t *testing.T) {
+	l1, l2 := paperLogs()
+	a, err := ems.MatchComposite(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ems.MatchComposite(l1, l2, ems.WithoutCompositePruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Composites1, b.Composites1) {
+		t.Errorf("pruning changed accepted composites: %v vs %v", a.Composites1, b.Composites1)
+	}
+	c, err := ems.MatchComposite(l1, l2, ems.WithCompositePruning(true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Composites1, c.Composites1) {
+		t.Errorf("Uc-only changed accepted composites")
+	}
+}
+
+func TestWithDeltaBlocksMerges(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.MatchComposite(l1, l2, ems.WithDelta(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Composites1)+len(res.Composites2) != 0 {
+		t.Errorf("delta 0.9 still merged %v %v", res.Composites1, res.Composites2)
+	}
+}
+
+func TestWithMaxMergeSteps(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.MatchComposite(l1, l2, ems.WithMaxMergeSteps(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 means unlimited; the CD merge still happens.
+	if len(res.Composites1) == 0 {
+		t.Errorf("unlimited merge steps produced no composite")
+	}
+}

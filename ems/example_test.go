@@ -1,0 +1,75 @@
+package ems_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ems"
+)
+
+// Two tiny logs of the same ordering process: subsidiary B uses opaque
+// names and records an extra intake step before payment.
+func exampleLogs() (*ems.Log, *ems.Log) {
+	a := ems.NewLog("a")
+	for i := 0; i < 4; i++ {
+		a.Append(ems.Trace{"pay cash", "check stock", "ship"})
+	}
+	for i := 0; i < 6; i++ {
+		a.Append(ems.Trace{"pay card", "check stock", "ship"})
+	}
+	b := ems.NewLog("b")
+	for i := 0; i < 4; i++ {
+		b.Append(ems.Trace{"accept", "x1", "x3", "x4"})
+	}
+	for i := 0; i < 6; i++ {
+		b.Append(ems.Trace{"accept", "x2", "x3", "x4"})
+	}
+	return a, b
+}
+
+func ExampleMatch() {
+	logA, logB := exampleLogs()
+	res, err := ems.Match(logA, logB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Mapping {
+		fmt.Println(c.Left[0], "->", c.Right[0])
+	}
+	// Output:
+	// ship -> x4
+	// check stock -> x3
+	// pay card -> x2
+	// pay cash -> x1
+}
+
+func ExampleMatch_withLabels() {
+	logA := ems.NewLog("a")
+	logA.Append(ems.Trace{"pay invoice", "ship order"})
+	logB := ems.NewLog("b")
+	logB.Append(ems.Trace{"pay_invoice", "ship_order"})
+	res, err := ems.Match(logA, logB,
+		ems.WithAlpha(0.5),
+		ems.WithLabelSimilarity(ems.QGramCosine(3)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Mapping[0].Left[0], "->", res.Mapping[0].Right[0])
+	// Output:
+	// pay invoice -> pay_invoice
+}
+
+func ExampleResult_TopMatches() {
+	logA, logB := exampleLogs()
+	res, err := ems.Match(logA, logB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range res.TopMatches("pay cash", 2) {
+		fmt.Printf("%s %.2f\n", n.Name, n.Similarity)
+	}
+	// Output:
+	// x1 0.64
+	// x2 0.52
+}

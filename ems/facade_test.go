@@ -1,0 +1,79 @@
+package ems_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/ems"
+)
+
+func TestFacadeLabelHelpers(t *testing.T) {
+	if v := ems.JaroWinkler("approve claim", "approve claim"); math.Abs(v-1) > 1e-9 {
+		t.Errorf("JaroWinkler identical = %g", v)
+	}
+	me := ems.MongeElkan(ems.QGramCosine(2))
+	if v := me("check inventory", "inventory check"); math.Abs(v-1) > 1e-9 {
+		t.Errorf("MongeElkan reordered = %g", v)
+	}
+}
+
+func TestFacadeConsensus(t *testing.T) {
+	l1, l2 := paperLogs()
+	a, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ems.Match(l1, l2, ems.WithDirection(ems.Forward))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ems.Consensus([]ems.Mapping{a.Mapping, b.Mapping}, 2)
+	if err != nil {
+		t.Fatalf("Consensus: %v", err)
+	}
+	if len(merged) == 0 {
+		t.Errorf("consensus of two agreeing runs empty")
+	}
+	if _, err := ems.Consensus(nil, 1); err == nil {
+		t.Errorf("quorum above input count accepted")
+	}
+}
+
+func TestFacadeAddNoise(t *testing.T) {
+	l1, _ := paperLogs()
+	rng := rand.New(rand.NewSource(1))
+	noisy, err := ems.AddNoise(rng, l1, 0.2, 0.2, 0.1)
+	if err != nil {
+		t.Fatalf("AddNoise: %v", err)
+	}
+	if noisy.Len() != l1.Len() {
+		t.Errorf("noise changed trace count")
+	}
+	if _, err := ems.AddNoise(rng, l1, 2, 0, 0); err == nil {
+		t.Errorf("invalid probability accepted")
+	}
+}
+
+func TestFacadeRemainingOptions(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2,
+		ems.WithDecay(0.6),
+		ems.WithEpsilon(1e-5),
+		ems.WithMaxRounds(50),
+		ems.WithExact(),
+	)
+	if err != nil {
+		t.Fatalf("Match with tuning options: %v", err)
+	}
+	// Smaller decay compresses similarities but must preserve the
+	// dislocated ranking.
+	a2, _ := res.Similarity("A", "2")
+	a1, _ := res.Similarity("A", "1")
+	if a2 <= a1 {
+		t.Errorf("decay 0.6 broke dislocated ranking: %g vs %g", a2, a1)
+	}
+	if _, err := ems.MatchComposite(l1, l2, ems.WithCandidateDiscovery(1.0, 2, 4)); err != nil {
+		t.Fatalf("MatchComposite with discovery options: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package ems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Matcher supports incremental matching: as new traces stream into either
+// log (the warehouse-ingestion shape of the paper's deployment), Rematch
+// recomputes the similarity warm-started from the previous fixpoint, which
+// typically converges in a fraction of the rounds a cold start needs. The
+// fixpoint is unique (Theorem 1), so results equal a from-scratch Match up
+// to the convergence threshold.
+//
+// Matcher is not safe for concurrent use.
+type Matcher struct {
+	opts       []Option
+	log1, log2 *Log
+	prev       *core.Result
+}
+
+// NewMatcher creates an incremental matcher over the two logs. The options
+// apply to every Rematch call. Composite matching is not supported
+// incrementally; use MatchComposite.
+func NewMatcher(log1, log2 *Log, opts ...Option) (*Matcher, error) {
+	if log1 == nil || log2 == nil {
+		return nil, fmt.Errorf("ems: NewMatcher requires two logs")
+	}
+	if _, err := buildOptions(opts); err != nil {
+		return nil, err
+	}
+	return &Matcher{opts: opts, log1: log1.Clone(), log2: log2.Clone()}, nil
+}
+
+// Append adds traces to one side (1 or 2) of the matcher's logs.
+func (m *Matcher) Append(side int, traces ...Trace) error {
+	var l *Log
+	switch side {
+	case 1:
+		l = m.log1
+	case 2:
+		l = m.log2
+	default:
+		return fmt.Errorf("ems: side must be 1 or 2, got %d", side)
+	}
+	for _, t := range traces {
+		if len(t) == 0 {
+			return fmt.Errorf("ems: cannot append an empty trace")
+		}
+		l.Append(t.Clone())
+	}
+	return nil
+}
+
+// Logs returns copies of the matcher's current logs.
+func (m *Matcher) Logs() (*Log, *Log) { return m.log1.Clone(), m.log2.Clone() }
+
+// Rematch computes the current correspondences. The first call is a cold
+// start; subsequent calls warm-start from the previous fixpoint.
+func (m *Matcher) Rematch() (*Result, error) {
+	o, err := buildOptions(m.opts)
+	if err != nil {
+		return nil, err
+	}
+	g1, err := buildGraph(m.log1, o)
+	if err != nil {
+		return nil, err
+	}
+	g2, err := buildGraph(m.log2, o)
+	if err != nil {
+		return nil, err
+	}
+	var seed *core.Seed
+	if m.prev != nil {
+		seed = &core.Seed{
+			WarmForward:  warmMap(m.prev.Names1, m.prev.Names2, m.prev.Forward),
+			WarmBackward: warmMap(m.prev.Names1, m.prev.Names2, m.prev.Backward),
+		}
+	}
+	comp, err := core.NewComputation(g1, g2, o.sim, seed)
+	if err != nil {
+		return nil, err
+	}
+	comp.Run()
+	cr := comp.Result()
+	m.prev = cr
+	return assemble(cr, nil, nil, o)
+}
+
+// warmMap converts a dense direction matrix into the name-keyed warm-start
+// map the core seed expects.
+func warmMap(names1, names2 []string, mat []float64) map[string]map[string]float64 {
+	if mat == nil {
+		return nil
+	}
+	out := make(map[string]map[string]float64, len(names1))
+	for i, a := range names1 {
+		row := make(map[string]float64, len(names2))
+		for j, b := range names2 {
+			row[b] = mat[i*len(names2)+j]
+		}
+		out[a] = row
+	}
+	return out
+}

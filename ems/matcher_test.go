@@ -1,0 +1,115 @@
+package ems_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/ems"
+)
+
+func TestMatcherIncrementalEqualsColdStart(t *testing.T) {
+	l1, l2 := paperLogs()
+	m, err := ems.NewMatcher(l1, l2)
+	if err != nil {
+		t.Fatalf("NewMatcher: %v", err)
+	}
+	first, err := m.Rematch()
+	if err != nil {
+		t.Fatalf("Rematch: %v", err)
+	}
+	cold, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Sim {
+		if math.Abs(first.Sim[i]-cold.Sim[i]) > 1e-9 {
+			t.Fatalf("first Rematch differs from Match at %d", i)
+		}
+	}
+
+	// Append new traces to side 2 and rematch incrementally.
+	if err := m.Append(2, ems.Trace{"1", "2", "4", "5", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := m.Rematch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against a cold start on the same updated logs.
+	u1, u2 := m.Logs()
+	coldUpd, err := ems.Match(u1, u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm.Sim {
+		if math.Abs(warm.Sim[i]-coldUpd.Sim[i]) > 5e-3 {
+			t.Fatalf("warm rematch differs from cold at %d: %g vs %g",
+				i, warm.Sim[i], coldUpd.Sim[i])
+		}
+	}
+}
+
+func TestMatcherWarmStartCheaper(t *testing.T) {
+	l1, l2 := paperLogs()
+	m, err := ems.NewMatcher(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Rematch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, ems.Trace{"A", "C", "D", "E", "F"}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Rematch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Rounds > first.Rounds {
+		t.Errorf("warm start took more rounds: %d vs %d", second.Rounds, first.Rounds)
+	}
+}
+
+func TestMatcherAppendValidation(t *testing.T) {
+	l1, l2 := paperLogs()
+	m, err := ems.NewMatcher(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(3, ems.Trace{"x"}); err == nil {
+		t.Errorf("side 3 accepted")
+	}
+	if err := m.Append(1, ems.Trace{}); err == nil {
+		t.Errorf("empty trace accepted")
+	}
+}
+
+func TestMatcherIsolatedFromCallerLogs(t *testing.T) {
+	l1, l2 := paperLogs()
+	m, err := ems.NewMatcher(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's log must not affect the matcher.
+	l1.Traces[0][0] = "CORRUPTED"
+	res, err := m.Rematch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Names1 {
+		if n == "CORRUPTED" {
+			t.Fatalf("matcher shares caller's log storage")
+		}
+	}
+}
+
+func TestNewMatcherValidation(t *testing.T) {
+	l1, _ := paperLogs()
+	if _, err := ems.NewMatcher(l1, nil); err == nil {
+		t.Errorf("nil log accepted")
+	}
+	if _, err := ems.NewMatcher(l1, l1, ems.WithAlpha(9)); err == nil {
+		t.Errorf("invalid option accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package ems
+
+import (
+	"fmt"
+
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/matching"
+)
+
+// options gathers the resolved configuration of a match call.
+type options struct {
+	sim                core.Config
+	minFrequency       float64
+	selectionThreshold float64
+	strategy           matching.Strategy
+	markov             bool
+	// composite matching
+	discover      composite.DiscoverOptions
+	delta         float64
+	maxMergeSteps int
+	useUnchanged  bool
+	useBounds     bool
+}
+
+// Option customizes Match and MatchComposite.
+type Option func(*options) error
+
+func buildOptions(opts []Option) (*options, error) {
+	o := &options{
+		sim:                core.DefaultConfig(),
+		selectionThreshold: 0.1,
+		discover:           composite.DefaultDiscoverOptions(),
+		delta:              0.005,
+		useUnchanged:       true,
+		useBounds:          true,
+	}
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.sim.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WithAlpha sets the weight of structural against label similarity
+// (alpha = 1 ignores labels; requires [0, 1]).
+func WithAlpha(alpha float64) Option {
+	return func(o *options) error {
+		if alpha < 0 || alpha > 1 {
+			return fmt.Errorf("ems: alpha must be in [0,1], got %g", alpha)
+		}
+		o.sim.Alpha = alpha
+		return nil
+	}
+}
+
+// WithDecay sets the similarity decay constant c of the edge-agreement
+// factor (requires (0, 1); the paper uses 0.8).
+func WithDecay(c float64) Option {
+	return func(o *options) error {
+		if c <= 0 || c >= 1 {
+			return fmt.Errorf("ems: decay must be in (0,1), got %g", c)
+		}
+		o.sim.C = c
+		return nil
+	}
+}
+
+// WithLabelSimilarity enables blending a typographic similarity into the
+// structural one; combine with WithAlpha < 1 to give it weight.
+func WithLabelSimilarity(sim LabelSimilarity) Option {
+	return func(o *options) error {
+		o.sim.Labels = sim
+		return nil
+	}
+}
+
+// WithEstimation switches to Algorithm 1: the given number of exact
+// iteration rounds followed by the closed-form estimation of Section 3.5.
+// Iterations must be >= 0; larger trades time for accuracy.
+func WithEstimation(iterations int) Option {
+	return func(o *options) error {
+		if iterations < 0 {
+			return fmt.Errorf("ems: estimation iterations must be >= 0, got %d", iterations)
+		}
+		o.sim.EstimateI = iterations
+		return nil
+	}
+}
+
+// WithExact forces exact iteration to convergence (the default).
+func WithExact() Option {
+	return func(o *options) error {
+		o.sim.EstimateI = -1
+		return nil
+	}
+}
+
+// WithoutPruning disables the early-convergence pruning of Proposition 2
+// (results are unchanged; only more work is done). Useful for measuring the
+// pruning benefit.
+func WithoutPruning() Option {
+	return func(o *options) error {
+		o.sim.Prune = false
+		return nil
+	}
+}
+
+// WithDirection selects forward, backward, or averaged (Both, default)
+// similarity propagation.
+func WithDirection(d Direction) Option {
+	return func(o *options) error {
+		o.sim.Direction = d
+		return nil
+	}
+}
+
+// WithEpsilon sets the iteration convergence threshold.
+func WithEpsilon(eps float64) Option {
+	return func(o *options) error {
+		if eps <= 0 {
+			return fmt.Errorf("ems: epsilon must be > 0, got %g", eps)
+		}
+		o.sim.Epsilon = eps
+		return nil
+	}
+}
+
+// WithMaxRounds caps iteration rounds for cyclic graphs.
+func WithMaxRounds(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("ems: max rounds must be >= 1, got %d", n)
+		}
+		o.sim.MaxRounds = n
+		return nil
+	}
+}
+
+// WithMinFrequency filters dependency-graph edges below the threshold
+// before matching (the minimum frequency control of Section 2); it trades
+// accuracy for speed.
+func WithMinFrequency(f float64) Option {
+	return func(o *options) error {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("ems: min frequency must be in [0,1), got %g", f)
+		}
+		o.minFrequency = f
+		return nil
+	}
+}
+
+// WithSelectionThreshold drops selected correspondences whose similarity is
+// below the threshold.
+func WithSelectionThreshold(t float64) Option {
+	return func(o *options) error {
+		if t < 0 || t > 1 {
+			return fmt.Errorf("ems: selection threshold must be in [0,1], got %g", t)
+		}
+		o.selectionThreshold = t
+		return nil
+	}
+}
+
+// WithMarkovWeighting builds dependency graphs with Markov transition
+// probabilities (Ferreira et al.) instead of the paper's trace-normalized
+// frequencies — an ablation of the paper's Definition 1 choice. The paper
+// argues (and the ablation confirms) that conditional probabilities hide
+// edge significance, so this is off by default.
+func WithMarkovWeighting() Option {
+	return func(o *options) error {
+		o.markov = true
+		return nil
+	}
+}
+
+// WithSelectionStrategy chooses how correspondences are selected from the
+// similarity matrix (default: the paper's maximum-total-similarity
+// assignment).
+func WithSelectionStrategy(s SelectionStrategy) Option {
+	return func(o *options) error {
+		switch s {
+		case matching.MaxTotal, matching.Greedy, matching.Stable:
+			o.strategy = s
+			return nil
+		default:
+			return fmt.Errorf("ems: unknown selection strategy %v", s)
+		}
+	}
+}
+
+// WithDelta sets the minimum average-similarity improvement a composite
+// merge must deliver (δ of Algorithm 2).
+func WithDelta(delta float64) Option {
+	return func(o *options) error {
+		o.delta = delta
+		return nil
+	}
+}
+
+// WithCandidateDiscovery controls SEQ-pattern candidate discovery for
+// composite matching: the minimum bidirectional link confidence, the
+// maximum composite length, and an optional cap on the number of candidates
+// (0 means unlimited).
+func WithCandidateDiscovery(confidence float64, maxLen, maxCandidates int) Option {
+	return func(o *options) error {
+		if confidence <= 0 || confidence > 1 {
+			return fmt.Errorf("ems: candidate confidence must be in (0,1], got %g", confidence)
+		}
+		if maxLen < 2 {
+			return fmt.Errorf("ems: candidate max length must be >= 2, got %d", maxLen)
+		}
+		o.discover = composite.DiscoverOptions{Confidence: confidence, MaxLen: maxLen, MaxCandidates: maxCandidates}
+		return nil
+	}
+}
+
+// WithMaxMergeSteps caps accepted composite merges (0 means unlimited).
+func WithMaxMergeSteps(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("ems: max merge steps must be >= 0, got %d", n)
+		}
+		o.maxMergeSteps = n
+		return nil
+	}
+}
+
+// WithoutCompositePruning disables the Uc (unchanged similarities) and Bd
+// (upper bound) prunings of composite matching; results are unchanged, only
+// slower. Useful for measuring the pruning benefit.
+func WithoutCompositePruning() Option {
+	return func(o *options) error {
+		o.useUnchanged = false
+		o.useBounds = false
+		return nil
+	}
+}
+
+// WithCompositePruning selects the two composite prunings individually:
+// unchanged-similarity seeding (Proposition 4) and upper-bound aborts
+// (Section 4.3).
+func WithCompositePruning(unchanged, bounds bool) Option {
+	return func(o *options) error {
+		o.useUnchanged = unchanged
+		o.useBounds = bounds
+		return nil
+	}
+}

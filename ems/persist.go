@@ -1,0 +1,76 @@
+package ems
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/matching"
+)
+
+// resultJSON is the serialized form of a Result. Composite node names keep
+// their joined encoding so a round-tripped result behaves identically.
+type resultJSON struct {
+	Names1      []string             `json:"names1"`
+	Names2      []string             `json:"names2"`
+	Sim         []float64            `json:"sim"`
+	Mapping     []correspondenceJSON `json:"mapping"`
+	Evaluations int                  `json:"evaluations"`
+	Rounds      int                  `json:"rounds"`
+	Composites1 [][]string           `json:"composites1,omitempty"`
+	Composites2 [][]string           `json:"composites2,omitempty"`
+}
+
+type correspondenceJSON struct {
+	Left  []string `json:"left"`
+	Right []string `json:"right"`
+	Score float64  `json:"score"`
+}
+
+// WriteJSON serializes the result, so expensive matchings can be stored in
+// the process warehouse and reloaded without recomputation.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := resultJSON{
+		Names1:      r.Names1,
+		Names2:      r.Names2,
+		Sim:         r.Sim,
+		Evaluations: r.Evaluations,
+		Rounds:      r.Rounds,
+		Composites1: r.Composites1,
+		Composites2: r.Composites2,
+	}
+	for _, c := range r.Mapping {
+		out.Mapping = append(out.Mapping, correspondenceJSON{Left: c.Left, Right: c.Right, Score: c.Score})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("ems: write result: %w", err)
+	}
+	return nil
+}
+
+// ReadResultJSON reloads a result written by WriteJSON.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	var in resultJSON
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ems: read result: %w", err)
+	}
+	if len(in.Sim) != len(in.Names1)*len(in.Names2) {
+		return nil, fmt.Errorf("ems: read result: matrix size %d does not match %dx%d",
+			len(in.Sim), len(in.Names1), len(in.Names2))
+	}
+	r := &Result{
+		Names1:      in.Names1,
+		Names2:      in.Names2,
+		Sim:         in.Sim,
+		Evaluations: in.Evaluations,
+		Rounds:      in.Rounds,
+		Composites1: in.Composites1,
+		Composites2: in.Composites2,
+	}
+	for _, c := range in.Mapping {
+		r.Mapping = append(r.Mapping, matching.NewCorrespondence(c.Left, c.Right, c.Score))
+	}
+	return r, nil
+}

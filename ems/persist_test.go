@@ -1,0 +1,62 @@
+package ems_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/ems"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.MatchComposite(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ems.ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadResultJSON: %v", err)
+	}
+	if !reflect.DeepEqual(back.Names1, res.Names1) || !reflect.DeepEqual(back.Names2, res.Names2) {
+		t.Errorf("names changed in round trip")
+	}
+	for i := range res.Sim {
+		if math.Abs(back.Sim[i]-res.Sim[i]) > 1e-12 {
+			t.Fatalf("similarity changed at %d", i)
+		}
+	}
+	if len(back.Mapping) != len(res.Mapping) {
+		t.Fatalf("mapping size changed: %d vs %d", len(back.Mapping), len(res.Mapping))
+	}
+	for i := range res.Mapping {
+		if back.Mapping[i].Key() != res.Mapping[i].Key() {
+			t.Errorf("correspondence %d changed: %v vs %v", i, back.Mapping[i], res.Mapping[i])
+		}
+	}
+	if !reflect.DeepEqual(back.Composites1, res.Composites1) {
+		t.Errorf("composites changed: %v vs %v", back.Composites1, res.Composites1)
+	}
+	// The reloaded result supports the same queries.
+	v1, ok1 := res.Similarity("A", "2")
+	v2, ok2 := back.Similarity("A", "2")
+	if !ok1 || !ok2 || math.Abs(v1-v2) > 1e-12 {
+		t.Errorf("similarity query differs after reload")
+	}
+}
+
+func TestReadResultJSONErrors(t *testing.T) {
+	if _, err := ems.ReadResultJSON(strings.NewReader("not json")); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	bad := `{"names1":["a"],"names2":["x"],"sim":[1,2]}`
+	if _, err := ems.ReadResultJSON(strings.NewReader(bad)); err == nil {
+		t.Errorf("inconsistent matrix accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package ems_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/ems"
+)
+
+func TestSelectionStrategies(t *testing.T) {
+	l1, l2 := paperLogs()
+	for _, s := range []ems.SelectionStrategy{ems.SelectMaxTotal, ems.SelectGreedy, ems.SelectStable} {
+		res, err := ems.Match(l1, l2, ems.WithSelectionStrategy(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(res.Mapping) == 0 {
+			t.Errorf("%v selected nothing", s)
+		}
+		// All strategies must find the dislocated pair A->2 on this
+		// example: it is the row/column maximum for both events.
+		found := false
+		for _, c := range res.Mapping {
+			if c.Left[0] == "A" && c.Right[0] == "2" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v missed A->2: %v", s, res.Mapping)
+		}
+	}
+}
+
+func TestSelectionStrategyValidation(t *testing.T) {
+	l1, l2 := paperLogs()
+	if _, err := ems.Match(l1, l2, ems.WithSelectionStrategy(ems.SelectionStrategy(9))); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+}
+
+func TestXESRoundTripFacade(t *testing.T) {
+	l1, _ := paperLogs()
+	var buf bytes.Buffer
+	if err := ems.WriteXES(&buf, l1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ems.ReadXES(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l1.Len() {
+		t.Errorf("XES round trip lost traces: %d vs %d", back.Len(), l1.Len())
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: match the events of two small heterogeneous logs.
+//
+// Two subsidiaries record the same ordering process. The second system uses
+// opaque event names and an extra intake step, so neither names nor
+// positions line up — the situation the EMS similarity is built for.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ems"
+)
+
+func main() {
+	// Subsidiary A: orders are paid by cash (40%) or by card (60%), then
+	// stock is checked, then shipping and invoicing finish in either order.
+	logA := ems.NewLog("subsidiary-a")
+	for i := 0; i < 4; i++ {
+		logA.Append(ems.Trace{"pay cash", "check stock", "ship", "invoice"})
+	}
+	for i := 0; i < 6; i++ {
+		logA.Append(ems.Trace{"pay card", "check stock", "invoice", "ship"})
+	}
+
+	// Subsidiary B records the same work with garbled names (a legacy
+	// system with a broken encoding) and an extra "accept" intake step
+	// before payment — the dislocation.
+	logB := ems.NewLog("subsidiary-b")
+	for i := 0; i < 4; i++ {
+		logB.Append(ems.Trace{"accept", "x-cash", "x-stock", "x-ship", "x-inv"})
+	}
+	for i := 0; i < 6; i++ {
+		logB.Append(ems.Trace{"accept", "x-card", "x-stock", "x-inv", "x-ship"})
+	}
+
+	res, err := ems.Match(logA, logB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("selected correspondences:")
+	for _, c := range res.Mapping {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// The dislocated first event: "pay cash" must match the opaque
+	// "x-cash", not the extra "accept" step that only exists in B.
+	cash, _ := res.Similarity("pay cash", "x-cash")
+	acc, _ := res.Similarity("pay cash", "accept")
+	fmt.Printf("\nsim(pay cash, x-cash) = %.3f   <- true correspondence\n", cash)
+	fmt.Printf("sim(pay cash, accept) = %.3f   <- extra step, ranked lower\n", acc)
+}

@@ -1,0 +1,83 @@
+// Streaming: keep correspondences fresh as new traces arrive.
+//
+// The paper's deployment feeds a business process data warehouse that
+// ingests event data continuously. Recomputing every matching from scratch
+// on each batch wastes the previous fixpoint: the EMS similarity is a
+// contraction (Theorem 1 uniqueness), so iteration warm-started from the
+// last result converges in a fraction of the rounds.
+//
+// This example streams batches of traces into one side of a Matcher and
+// compares warm-started rematching against cold starts.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/ems"
+	"repro/internal/dataset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	pair, err := dataset.GeneratePair(rng, "stream", dataset.Options{
+		Events:         18,
+		Traces:         150,
+		OpaqueFraction: 1.0,
+		ExtraFront:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start the matcher with only the first half of log 2; the rest
+	// arrives in batches.
+	half := pair.Log2.Len() / 2
+	initial := ems.NewLog(pair.Log2.Name)
+	initial.Traces = pair.Log2.Traces[:half]
+	m, err := ems.NewMatcher(pair.Log1, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := m.Rematch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial match:  %2d rounds, %6d evaluations, f=%.3f  (%v)\n",
+		res.Rounds, res.Evaluations, ems.Evaluate(res.Mapping, pair.Truth).FMeasure,
+		time.Since(start).Round(time.Microsecond))
+
+	const batch = 15
+	for i := half; i < pair.Log2.Len(); i += batch {
+		end := min(i+batch, pair.Log2.Len())
+		if err := m.Append(2, pair.Log2.Traces[i:end]...); err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		res, err = m.Rematch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := ems.Evaluate(res.Mapping, pair.Truth)
+		fmt.Printf("+%2d traces:     %2d rounds, %6d evaluations, f=%.3f  (%v)\n",
+			end-i, res.Rounds, res.Evaluations, q.FMeasure,
+			time.Since(start).Round(time.Microsecond))
+	}
+
+	// A cold start on the final logs, for comparison.
+	l1, l2 := m.Logs()
+	start = time.Now()
+	cold, err := ems.Match(l1, l2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold start:     %2d rounds, %6d evaluations, f=%.3f  (%v)\n",
+		cold.Rounds, cold.Evaluations, ems.Evaluate(cold.Mapping, pair.Truth).FMeasure,
+		time.Since(start).Round(time.Microsecond))
+}

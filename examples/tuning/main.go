@@ -1,0 +1,64 @@
+// Tuning: explore the accuracy/efficiency trade-offs of the matcher.
+//
+// The paper exposes three speed knobs, each trading accuracy for time:
+//
+//   - the estimation iteration count I (Section 3.5, Figure 5),
+//   - the minimum edge-frequency filter (Section 2, Figure 7),
+//   - early-convergence pruning (Section 3.4, Figure 6 — free accuracy-wise).
+//
+// This example sweeps all three on one synthetic pair and prints how
+// f-measure, similarity evaluations and wall time respond.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/ems"
+	"repro/internal/dataset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	pair, err := dataset.GeneratePair(rng, "tuning", dataset.Options{
+		Events:         24,
+		Traces:         200,
+		OpaqueFraction: 1.0,
+		ExtraFront:     1,
+		ExtraBack:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(name string, opts ...ems.Option) {
+		start := time.Now()
+		res, err := ems.Match(pair.Log1, pair.Log2, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		q := ems.Evaluate(res.Mapping, pair.Truth)
+		fmt.Printf("%-22s  f=%.3f  evaluations=%-7d  time=%v\n",
+			name, q.FMeasure, res.Evaluations, elapsed.Round(time.Microsecond))
+	}
+
+	fmt.Println("estimation iterations (Figure 5):")
+	for _, i := range []int{0, 1, 3, 5, 10} {
+		measure(fmt.Sprintf("  I=%d", i), ems.WithEstimation(i))
+	}
+	measure("  exact (MAX)")
+
+	fmt.Println("\nminimum frequency filter (Figure 7):")
+	for _, th := range []float64{0, 0.05, 0.15, 0.25} {
+		measure(fmt.Sprintf("  min-freq=%.2f", th), ems.WithMinFrequency(th))
+	}
+
+	fmt.Println("\nearly-convergence pruning (Figure 6):")
+	measure("  pruned (default)")
+	measure("  unpruned", ems.WithoutPruning())
+}

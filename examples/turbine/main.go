@@ -1,0 +1,77 @@
+// Turbine order processing: the running example of the paper (Figure 1).
+//
+// Two subsidiaries of a bus manufacturer process turbine orders. Log 2 has
+// three of the paper's challenges at once:
+//
+//   - an opaque event "??????" (garbled encoding; really "Delivery"),
+//   - a dislocated start (an extra "Order Accepted" step before payment),
+//   - a composite event "Inventory Checking & Validation" that corresponds
+//     to the two events "Check Inventory" + "Validate" of log 1.
+//
+// The example shows how composite matching recovers the full ground truth:
+// A->2, B->3, {C,D}->4, E->5, F->6 in the paper's notation.
+//
+// Run with: go run ./examples/turbine
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/ems"
+)
+
+func main() {
+	// Log 1: 40% of orders paid by cash, 60% by credit card; shipping and
+	// the customer email happen concurrently.
+	log1 := ems.NewLog("subsidiary-1")
+	for i := 0; i < 4; i++ {
+		log1.Append(ems.Trace{"Paid by Cash", "Check Inventory", "Validate", "Ship Goods", "Email Customer"})
+	}
+	for i := 0; i < 6; i++ {
+		log1.Append(ems.Trace{"Paid by Credit Card", "Check Inventory", "Validate", "Email Customer", "Ship Goods"})
+	}
+
+	// Log 2: every order starts with an acceptance step (the dislocation);
+	// inventory checking and validation are one combined step; the
+	// delivery event's name is garbled.
+	log2 := ems.NewLog("subsidiary-2")
+	for i := 0; i < 4; i++ {
+		log2.Append(ems.Trace{"Order Accepted", "Paid by Cash", "Inventory Checking & Validation", "??????", "Email"})
+	}
+	for i := 0; i < 6; i++ {
+		log2.Append(ems.Trace{"Order Accepted", "Paid by Credit Card", "Inventory Checking & Validation", "Email", "??????"})
+	}
+
+	// Structure-only matching first (alpha = 1): the garbled name is no
+	// obstacle because only dependency-graph statistics are used.
+	res, err := ems.MatchComposite(log1, log2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("accepted composite events:")
+	for _, g := range res.Composites1 {
+		fmt.Printf("  log 1: {%s}\n", strings.Join(g, " + "))
+	}
+	for _, g := range res.Composites2 {
+		fmt.Printf("  log 2: {%s}\n", strings.Join(g, " + "))
+	}
+
+	fmt.Println("\ncorrespondences:")
+	for _, c := range res.Mapping {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// The paper's headline: the dislocated event "Paid by Cash" must align
+	// with log 2's "Paid by Cash" (mid-trace), not with "Order Accepted"
+	// (trace-initial).
+	cash2, _ := res.Similarity("Paid by Cash", "Paid by Cash")
+	cash1, _ := res.Similarity("Paid by Cash", "Order Accepted")
+	fmt.Printf("\nsim(Paid by Cash, Paid by Cash)  = %.3f\n", cash2)
+	fmt.Printf("sim(Paid by Cash, Order Accepted) = %.3f\n", cash1)
+	if cash2 > cash1 {
+		fmt.Println("dislocated matching solved: payment aligned despite the extra acceptance step")
+	}
+}

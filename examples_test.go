@@ -1,0 +1,37 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end; each must exit
+// zero and print something. Skipped in -short mode (they need the Go
+// toolchain and a few seconds each).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples need the go toolchain; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("examples directory: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing", name)
+			}
+		})
+	}
+}

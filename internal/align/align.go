@@ -1,0 +1,208 @@
+// Package align aligns traces across heterogeneous event logs under an
+// event mapping — the downstream application the paper's introduction
+// motivates: once correspondences are established, provenance queries like
+// "find the order in subsidiary B that was processed like this one in
+// subsidiary A" become trace alignment problems.
+//
+// Alignment is computed by dynamic programming over the two traces, where
+// two events align at zero cost when the mapping relates them (composite
+// groups align one event of a side against the whole group on the other),
+// and insertions/deletions/mismatches cost one.
+package align
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eventlog"
+	"repro/internal/matching"
+)
+
+// Aligner answers trace-alignment queries under a fixed event mapping.
+type Aligner struct {
+	// left maps a log-1 event name to its correspondence id; right
+	// likewise for log-2 events. Events sharing an id correspond.
+	left, right map[string]int
+}
+
+// New builds an aligner from a mapping. Events appearing in several
+// correspondences are rejected (mappings from Select/Consensus are
+// conflict-free by construction).
+func New(m matching.Mapping) (*Aligner, error) {
+	a := &Aligner{left: make(map[string]int), right: make(map[string]int)}
+	for id, c := range m {
+		for _, e := range c.Left {
+			if _, dup := a.left[e]; dup {
+				return nil, fmt.Errorf("align: event %q appears in multiple correspondences", e)
+			}
+			a.left[e] = id
+		}
+		for _, e := range c.Right {
+			if _, dup := a.right[e]; dup {
+				return nil, fmt.Errorf("align: event %q appears in multiple correspondences", e)
+			}
+			a.right[e] = id
+		}
+	}
+	return a, nil
+}
+
+// Op is one step of an alignment.
+type Op struct {
+	// Kind is "match", "mismatch", "del" (log-1 event unmatched) or "ins"
+	// (log-2 event unmatched).
+	Kind string
+	// Left and Right are the aligned events ("" for gaps).
+	Left, Right string
+}
+
+// Alignment is the result of aligning two traces.
+type Alignment struct {
+	Ops []Op
+	// Cost is the edit cost: matches are free, everything else costs 1.
+	Cost int
+	// Similarity is 1 - Cost/max(len1, len2), in [0, 1].
+	Similarity float64
+}
+
+// corresponds reports whether events e1 (log 1) and e2 (log 2) are related
+// by the mapping.
+func (a *Aligner) corresponds(e1, e2 string) bool {
+	id1, ok1 := a.left[e1]
+	id2, ok2 := a.right[e2]
+	return ok1 && ok2 && id1 == id2
+}
+
+// Align computes a minimum-cost alignment of a log-1 trace against a log-2
+// trace.
+func (a *Aligner) Align(t1, t2 eventlog.Trace) Alignment {
+	n, m := len(t1), len(t2)
+	// dp[i][j]: min cost aligning t1[:i] against t2[:j]; among equal-cost
+	// alignments mt[i][j] tracks the maximum number of matches, so the
+	// reported alignment is the most informative optimal one.
+	dp := make([][]int, n+1)
+	mt := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+		mt[i] = make([]int, m+1)
+		dp[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		dp[0][j] = j
+	}
+	better := func(c1, m1, c2, m2 int) bool {
+		return c1 < c2 || (c1 == c2 && m1 > m2)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			match := a.corresponds(t1[i-1], t2[j-1])
+			bestC, bestM := dp[i-1][j-1], mt[i-1][j-1]
+			if match {
+				bestM++
+			} else {
+				bestC++
+			}
+			if c, mm := dp[i-1][j]+1, mt[i-1][j]; better(c, mm, bestC, bestM) {
+				bestC, bestM = c, mm
+			}
+			if c, mm := dp[i][j-1]+1, mt[i][j-1]; better(c, mm, bestC, bestM) {
+				bestC, bestM = c, mm
+			}
+			dp[i][j] = bestC
+			mt[i][j] = bestM
+		}
+	}
+	// Backtrack along the transitions that realize (dp, mt).
+	var ops []Op
+	i, j := n, m
+	for i > 0 || j > 0 {
+		if i > 0 && j > 0 {
+			match := a.corresponds(t1[i-1], t2[j-1])
+			subC, subM := dp[i-1][j-1], mt[i-1][j-1]
+			kind := "mismatch"
+			if match {
+				subM++
+				kind = "match"
+			} else {
+				subC++
+			}
+			if subC == dp[i][j] && subM == mt[i][j] {
+				ops = append(ops, Op{Kind: kind, Left: t1[i-1], Right: t2[j-1]})
+				i, j = i-1, j-1
+				continue
+			}
+		}
+		if i > 0 && (j == 0 || (dp[i-1][j]+1 == dp[i][j] && mt[i-1][j] == mt[i][j])) {
+			ops = append(ops, Op{Kind: "del", Left: t1[i-1]})
+			i--
+			continue
+		}
+		ops = append(ops, Op{Kind: "ins", Right: t2[j-1]})
+		j--
+	}
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	out := Alignment{Ops: ops, Cost: dp[n][m]}
+	if mx := max(n, m); mx > 0 {
+		out.Similarity = 1 - float64(out.Cost)/float64(mx)
+	} else {
+		out.Similarity = 1
+	}
+	return out
+}
+
+// Hit is one result of a cross-log trace search.
+type Hit struct {
+	// Index is the position of the trace in the searched log.
+	Index int
+	Alignment
+}
+
+// Search finds the k log-2 traces best aligned with the query log-1 trace,
+// in descending similarity order.
+func (a *Aligner) Search(query eventlog.Trace, l2 *eventlog.Log, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, l2.Len())
+	for i, t := range l2.Traces {
+		hits = append(hits, Hit{Index: i, Alignment: a.Align(query, t)})
+	}
+	sort.Slice(hits, func(x, y int) bool {
+		if hits[x].Similarity != hits[y].Similarity {
+			return hits[x].Similarity > hits[y].Similarity
+		}
+		return hits[x].Index < hits[y].Index
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// String renders the alignment as two gap-padded rows.
+func (al Alignment) String() string {
+	var top, bottom []string
+	for _, op := range al.Ops {
+		l, r := op.Left, op.Right
+		if l == "" {
+			l = "-"
+		}
+		if r == "" {
+			r = "-"
+		}
+		w := max(len(l), len(r))
+		top = append(top, pad(l, w))
+		bottom = append(bottom, pad(r, w))
+	}
+	return strings.Join(top, " | ") + "\n" + strings.Join(bottom, " | ")
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

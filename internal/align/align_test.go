@@ -1,0 +1,145 @@
+package align
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eventlog"
+	"repro/internal/matching"
+	"repro/internal/paperexample"
+)
+
+func paperAligner(t *testing.T) *Aligner {
+	t.Helper()
+	a, err := New(paperexample.Truth())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestAlignPerfectCorrespondence(t *testing.T) {
+	a := paperAligner(t)
+	// Trace A C D E F vs 2 4 5 6 (after dropping the extra event 1): C and
+	// D both map to 4, so one of them aligns and the other is a deletion.
+	al := a.Align(
+		eventlog.Trace{"A", "C", "D", "E", "F"},
+		eventlog.Trace{"2", "4", "5", "6"},
+	)
+	if al.Cost != 1 {
+		t.Errorf("cost = %d, want 1 (the composite partner), ops:\n%s", al.Cost, al)
+	}
+}
+
+func TestAlignDislocatedTrace(t *testing.T) {
+	a := paperAligner(t)
+	al := a.Align(
+		eventlog.Trace{"A", "C", "D", "E", "F"},
+		eventlog.Trace{"1", "2", "4", "5", "6"}, // the full log-2 trace
+	)
+	// Extra event 1 (ins) + composite partner (del) = 2.
+	if al.Cost != 2 {
+		t.Errorf("cost = %d, want 2:\n%s", al.Cost, al)
+	}
+	kinds := map[string]int{}
+	for _, op := range al.Ops {
+		kinds[op.Kind]++
+	}
+	if kinds["ins"] != 1 || kinds["del"] != 1 || kinds["match"] != 4 {
+		t.Errorf("ops = %v, want 4 matches, 1 ins, 1 del", kinds)
+	}
+}
+
+func TestAlignEmptyTraces(t *testing.T) {
+	a := paperAligner(t)
+	al := a.Align(nil, nil)
+	if al.Cost != 0 || al.Similarity != 1 {
+		t.Errorf("empty alignment = %+v", al)
+	}
+	al = a.Align(eventlog.Trace{"A"}, nil)
+	if al.Cost != 1 || len(al.Ops) != 1 || al.Ops[0].Kind != "del" {
+		t.Errorf("one-sided alignment = %+v", al)
+	}
+}
+
+func TestNewRejectsConflicts(t *testing.T) {
+	m := matching.Mapping{
+		matching.NewCorrespondence([]string{"a"}, []string{"x"}, 1),
+		matching.NewCorrespondence([]string{"a"}, []string{"y"}, 1),
+	}
+	if _, err := New(m); err == nil {
+		t.Errorf("conflicting mapping accepted")
+	}
+}
+
+func TestSearchRanksSimilarTraces(t *testing.T) {
+	a := paperAligner(t)
+	query := eventlog.Trace{"A", "C", "D", "E", "F"}
+	hits := a.Search(query, paperexample.Log2(), 3)
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	// The cash traces (1 2 4 5 6) must rank above the card traces.
+	best := paperexample.Log2().Traces[hits[0].Index]
+	if !best.Contains("2") {
+		t.Errorf("best hit %v does not contain the cash step", best)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Similarity > hits[i-1].Similarity {
+			t.Errorf("hits not sorted")
+		}
+	}
+	if a.Search(query, paperexample.Log2(), 0) != nil {
+		t.Errorf("k=0 returned hits")
+	}
+}
+
+func TestAlignmentString(t *testing.T) {
+	a := paperAligner(t)
+	al := a.Align(eventlog.Trace{"A"}, eventlog.Trace{"1", "2"})
+	s := al.String()
+	if !strings.Contains(s, "-") || !strings.Contains(s, "A") {
+		t.Errorf("rendering missing gaps or events:\n%s", s)
+	}
+	if len(strings.Split(s, "\n")) != 2 {
+		t.Errorf("rendering not two rows:\n%s", s)
+	}
+}
+
+// Property: cost is symmetric-ish in structure — it never exceeds
+// len(t1)+len(t2), and similarity stays in [0,1]; identical traces under an
+// identity mapping cost 0.
+func TestAlignProperties(t *testing.T) {
+	idMap := matching.Mapping{}
+	events := []string{"a", "b", "c", "d"}
+	for _, e := range events {
+		idMap = append(idMap, matching.NewCorrespondence([]string{e}, []string{e}, 1))
+	}
+	a, err := New(idMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() eventlog.Trace {
+			n := rng.Intn(8)
+			tr := make(eventlog.Trace, n)
+			for i := range tr {
+				tr[i] = events[rng.Intn(len(events))]
+			}
+			return tr
+		}
+		t1, t2 := mk(), mk()
+		al := a.Align(t1, t2)
+		if al.Cost > len(t1)+len(t2) || al.Similarity < 0 || al.Similarity > 1 {
+			return false
+		}
+		same := a.Align(t1, t1)
+		return same.Cost == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package assignment implements the Hungarian (Munkres/Kuhn) algorithm for
+// the linear assignment problem. The paper uses it as the "maximum total
+// similarity selection method" [Munkres 1957] that turns a pair-wise
+// similarity matrix into 1:1 event correspondences.
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pair is one selected correspondence: row i matched to column j with the
+// given value from the input matrix.
+type Pair struct {
+	I, J  int
+	Value float64
+}
+
+// Maximize solves the assignment problem on the rows-by-cols row-major
+// matrix m, selecting min(rows, cols) pairs with maximum total value. Values
+// must be finite. The returned pairs are sorted by row index.
+func Maximize(m []float64, rows, cols int) ([]Pair, error) {
+	if rows < 0 || cols < 0 || len(m) != rows*cols {
+		return nil, fmt.Errorf("assignment: matrix size %d does not match %dx%d", len(m), rows, cols)
+	}
+	if rows == 0 || cols == 0 {
+		return nil, nil
+	}
+	for _, v := range m {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("assignment: matrix contains non-finite value %v", v)
+		}
+	}
+	// Convert to a minimization problem on a square matrix padded with
+	// zero-cost dummy rows/columns.
+	n := max(rows, cols)
+	maxVal := 0.0
+	for _, v := range m {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	cost := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i < rows && j < cols {
+				cost[i*n+j] = maxVal - m[i*cols+j]
+			}
+		}
+	}
+	colOf := hungarianMin(cost, n)
+	var out []Pair
+	for i := 0; i < rows; i++ {
+		j := colOf[i]
+		if j < cols {
+			out = append(out, Pair{I: i, J: j, Value: m[i*cols+j]})
+		}
+	}
+	return out, nil
+}
+
+// hungarianMin solves the square n x n minimization assignment problem and
+// returns, for each row, its assigned column. It is the O(n^3) shortest
+// augmenting path formulation with dual potentials.
+func hungarianMin(cost []float64, n int) []int {
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row assigned to column j (1-based)
+	way := make([]int, n+1) // predecessor columns on the augmenting path
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[(i0-1)*n+(j-1)] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	colOf := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			colOf[p[j]-1] = j - 1
+		}
+	}
+	return colOf
+}

@@ -1,0 +1,167 @@
+package assignment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaximizeSimple(t *testing.T) {
+	// Clear diagonal optimum.
+	m := []float64{
+		0.9, 0.1, 0.1,
+		0.1, 0.8, 0.2,
+		0.2, 0.1, 0.7,
+	}
+	pairs, err := Maximize(m, 3, 3)
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs, want 3", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.I != p.J {
+			t.Errorf("pair %v off-diagonal", p)
+		}
+	}
+}
+
+func TestMaximizePrefersTotalOverGreedy(t *testing.T) {
+	// Greedy would take (0,0)=0.9 forcing (1,1)=0.1 for total 1.0;
+	// optimal is (0,1)+(1,0) = 0.8+0.8 = 1.6.
+	m := []float64{
+		0.9, 0.8,
+		0.8, 0.1,
+	}
+	pairs, err := Maximize(m, 2, 2)
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	var total float64
+	for _, p := range pairs {
+		total += p.Value
+	}
+	if math.Abs(total-1.6) > 1e-9 {
+		t.Errorf("total = %g, want 1.6 (got %v)", total, pairs)
+	}
+}
+
+func TestMaximizeRectangular(t *testing.T) {
+	// 2 rows, 3 cols: only 2 pairs selected.
+	m := []float64{
+		0.1, 0.9, 0.2,
+		0.3, 0.8, 0.7,
+	}
+	pairs, err := Maximize(m, 2, 3)
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(pairs))
+	}
+	var total float64
+	cols := map[int]bool{}
+	for _, p := range pairs {
+		total += p.Value
+		if cols[p.J] {
+			t.Fatalf("column %d used twice", p.J)
+		}
+		cols[p.J] = true
+	}
+	if math.Abs(total-1.6) > 1e-9 { // (0,1)=0.9 + (1,2)=0.7
+		t.Errorf("total = %g, want 1.6", total)
+	}
+}
+
+func TestMaximizeTallMatrix(t *testing.T) {
+	m := []float64{
+		0.9,
+		0.8,
+		0.7,
+	}
+	pairs, err := Maximize(m, 3, 1)
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1", len(pairs))
+	}
+	if pairs[0].I != 0 || pairs[0].Value != 0.9 {
+		t.Errorf("pair = %v, want row 0 value 0.9", pairs[0])
+	}
+}
+
+func TestMaximizeEmpty(t *testing.T) {
+	pairs, err := Maximize(nil, 0, 0)
+	if err != nil || pairs != nil {
+		t.Errorf("empty = %v, %v; want nil, nil", pairs, err)
+	}
+}
+
+func TestMaximizeErrors(t *testing.T) {
+	if _, err := Maximize([]float64{1, 2}, 1, 1); err == nil {
+		t.Errorf("size mismatch accepted")
+	}
+	if _, err := Maximize([]float64{math.NaN()}, 1, 1); err == nil {
+		t.Errorf("NaN accepted")
+	}
+	if _, err := Maximize([]float64{math.Inf(1)}, 1, 1); err == nil {
+		t.Errorf("Inf accepted")
+	}
+}
+
+// Property: the Hungarian result matches brute force on small random
+// matrices.
+func TestMaximizeOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := make([]float64, n*n)
+		for i := range m {
+			m[i] = math.Round(rng.Float64()*100) / 100
+		}
+		pairs, err := Maximize(m, n, n)
+		if err != nil || len(pairs) != n {
+			return false
+		}
+		var total float64
+		for _, p := range pairs {
+			total += p.Value
+		}
+		best := bruteForce(m, n)
+		return math.Abs(total-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForce(m []float64, n int) float64 {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var s float64
+			for i, j := range perm {
+				s += m[i*n+j]
+			}
+			if s > best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}

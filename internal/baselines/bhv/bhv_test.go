@@ -1,0 +1,127 @@
+package bhv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/eventlog"
+	"repro/internal/label"
+	"repro/internal/paperexample"
+)
+
+func exampleGraphs(t *testing.T) (*depgraph.Graph, *depgraph.Graph) {
+	t.Helper()
+	g1, err := depgraph.Build(paperexample.Log1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := depgraph.Build(paperexample.Log2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g1, g2
+}
+
+func lookup(t *testing.T, r *Result, a, b string) float64 {
+	t.Helper()
+	i, j := -1, -1
+	for k, n := range r.Names1 {
+		if n == a {
+			i = k
+		}
+	}
+	for k, n := range r.Names2 {
+		if n == b {
+			j = k
+		}
+	}
+	if i < 0 || j < 0 {
+		t.Fatalf("pair (%s,%s) not found", a, b)
+	}
+	return r.Sim[i*len(r.Names2)+j]
+}
+
+// TestExample2Dislocation reproduces the BHV failure mode of Example 2:
+// sources A and 1 get similarity 1 while the true dislocated pair (A,2)
+// gets 0 — BHV cannot find dislocated matches.
+func TestExample2Dislocation(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	r, err := Compute(g1, g2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if got := lookup(t, r, "A", "1"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("BHV(A,1) = %g, want 1 (both sources)", got)
+	}
+	if got := lookup(t, r, "A", "2"); got > 1e-9 {
+		t.Errorf("BHV(A,2) = %g, want 0 (one-sided source)", got)
+	}
+}
+
+func TestRejectsArtificialGraphs(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	ga1, _ := g1.AddArtificial()
+	if _, err := Compute(ga1, g2, DefaultConfig()); err == nil {
+		t.Errorf("artificial graph accepted")
+	}
+}
+
+func TestRejectsInvalidConfig(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	cfg := DefaultConfig()
+	cfg.C = 1.5
+	if _, err := Compute(g1, g2, cfg); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+func TestRangeAndConvergence(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	r, err := Compute(g1, g2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for _, v := range r.Sim {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("similarity out of range: %g", v)
+		}
+	}
+	if r.Rounds < 1 {
+		t.Errorf("no iteration happened")
+	}
+}
+
+// TestPropagationRewardsSharedStructure: identical chains score their
+// aligned pairs higher than misaligned ones.
+func TestPropagationRewardsSharedStructure(t *testing.T) {
+	l := eventlog.New("chain")
+	l.Append(eventlog.Trace{"a", "b", "c"})
+	g, err := depgraph.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Compute(g, g, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if lookup(t, r, "b", "b") <= lookup(t, r, "b", "c") {
+		t.Errorf("aligned pair (b,b)=%g not above (b,c)=%g",
+			lookup(t, r, "b", "b"), lookup(t, r, "b", "c"))
+	}
+}
+
+func TestLabelBlending(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.5
+	cfg.Labels = label.QGramCosine(3)
+	r, err := Compute(g1, g2, cfg)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	// With labels, the one-sided-source pair (A,2) gets the label share.
+	if got := lookup(t, r, "A", "2"); got != 0.5*label.QGramCosine(3)("A", "2") {
+		t.Errorf("label share not applied to one-sided source: %g", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Package icop implements a simplified ICoP-style composite matcher after
+// Weidlich, Dijkman and Mendling (CAiSE 2010), which the paper's related
+// work discusses as the label-driven approach to m:n correspondences: group
+// candidates are generated from the logs, group pairs are scored purely by
+// aggregated label similarity, and non-overlapping pairs above a threshold
+// are selected greedily.
+//
+// Because the score is typographic only, the approach is "noneffective on
+// opaque event names" (the paper's words) — which is exactly the gap EMS
+// fills. It is provided as the composite counterpart of the label-based
+// singleton matchers.
+package icop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/composite"
+	"repro/internal/eventlog"
+	"repro/internal/label"
+	"repro/internal/matching"
+)
+
+// Config parameterizes the matcher.
+type Config struct {
+	// Labels scores event-name similarity; required.
+	Labels label.Similarity
+	// Threshold is the minimum group-pair score to select.
+	Threshold float64
+	// MaxGroupLen caps candidate group sizes.
+	MaxGroupLen int
+	// Confidence is the SEQ-pattern link confidence for group candidates.
+	Confidence float64
+}
+
+// DefaultConfig uses the paper's q-gram cosine measure.
+func DefaultConfig() Config {
+	return Config{
+		Labels:      label.QGramCosine(3),
+		Threshold:   0.5,
+		MaxGroupLen: 3,
+		Confidence:  0.9,
+	}
+}
+
+// Match computes an m:n mapping between two logs by scoring candidate
+// groups (singletons plus SEQ runs) with aggregated label similarity.
+func Match(l1, l2 *eventlog.Log, cfg Config) (matching.Mapping, error) {
+	if cfg.Labels == nil {
+		return nil, fmt.Errorf("icop: label similarity is required")
+	}
+	if cfg.MaxGroupLen < 1 {
+		cfg.MaxGroupLen = 1
+	}
+	groups1 := candidateGroups(l1, cfg)
+	groups2 := candidateGroups(l2, cfg)
+	type scored struct {
+		g1, g2 []string
+		score  float64
+	}
+	var cands []scored
+	for _, a := range groups1 {
+		for _, b := range groups2 {
+			if s := groupScore(cfg.Labels, a, b); s >= cfg.Threshold {
+				cands = append(cands, scored{g1: a, g2: b, score: s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		ki := composite.JoinName(cands[i].g1) + "|" + composite.JoinName(cands[i].g2)
+		kj := composite.JoinName(cands[j].g1) + "|" + composite.JoinName(cands[j].g2)
+		return ki < kj
+	})
+	used1 := make(map[string]bool)
+	used2 := make(map[string]bool)
+	var out matching.Mapping
+	for _, c := range cands {
+		if overlaps(c.g1, used1) || overlaps(c.g2, used2) {
+			continue
+		}
+		mark(c.g1, used1)
+		mark(c.g2, used2)
+		out = append(out, matching.NewCorrespondence(c.g1, c.g2, c.score))
+	}
+	return out.Sort(), nil
+}
+
+// candidateGroups returns every singleton event plus every SEQ-pattern run
+// up to the configured length.
+func candidateGroups(l *eventlog.Log, cfg Config) [][]string {
+	var out [][]string
+	for _, e := range l.Alphabet() {
+		out = append(out, []string{e})
+	}
+	if cfg.MaxGroupLen >= 2 {
+		for _, c := range composite.Discover(l, composite.DiscoverOptions{
+			Confidence: cfg.Confidence, MaxLen: cfg.MaxGroupLen,
+		}) {
+			out = append(out, c.Events)
+		}
+	}
+	return out
+}
+
+// groupScore compares two groups with ICoP's "virtual documents"
+// technique: the labels of each group are concatenated and the documents
+// compared with the label similarity, so a composite group matches the
+// combined label of its counterpart better than any single constituent
+// does.
+func groupScore(sim label.Similarity, a, b []string) float64 {
+	return sim(strings.Join(a, " "), strings.Join(b, " "))
+}
+
+func overlaps(g []string, used map[string]bool) bool {
+	for _, e := range g {
+		if used[e] {
+			return true
+		}
+	}
+	return false
+}
+
+func mark(g []string, used map[string]bool) {
+	for _, e := range g {
+		used[e] = true
+	}
+}

@@ -1,0 +1,107 @@
+package icop
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/matching"
+)
+
+func logOf(traces ...eventlog.Trace) *eventlog.Log {
+	l := eventlog.New("t")
+	for _, tr := range traces {
+		l.Append(tr)
+	}
+	return l
+}
+
+func TestMatchesSimilarLabels(t *testing.T) {
+	l1 := logOf(eventlog.Trace{"pay invoice", "ship order"})
+	l2 := logOf(eventlog.Trace{"pay invoice v2", "ship order v2"})
+	m, err := Match(l1, l2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	want := map[string]string{"pay invoice": "pay invoice v2", "ship order": "ship order v2"}
+	if len(m) != 2 {
+		t.Fatalf("got %d correspondences: %v", len(m), m)
+	}
+	for _, c := range m {
+		if want[c.Left[0]] != c.Right[0] {
+			t.Errorf("wrong pair %v", c)
+		}
+	}
+}
+
+func TestFindsCompositeGroups(t *testing.T) {
+	// "check inventory"+"validate order" in log 1 always consecutive; log 2
+	// has the combined step.
+	var tr1 []eventlog.Trace
+	for i := 0; i < 10; i++ {
+		tr1 = append(tr1, eventlog.Trace{"pay", "check inventory", "validate order", "ship"})
+	}
+	l1 := logOf(tr1...)
+	var tr2 []eventlog.Trace
+	for i := 0; i < 10; i++ {
+		tr2 = append(tr2, eventlog.Trace{"pay", "check inventory & validate order", "ship"})
+	}
+	l2 := logOf(tr2...)
+	m, err := Match(l1, l2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range m {
+		if reflect.DeepEqual(c.Left, []string{"check inventory", "validate order"}) &&
+			c.Right[0] == "check inventory & validate order" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("composite group not found: %v", m)
+	}
+}
+
+func TestOpaqueNamesFail(t *testing.T) {
+	l1 := logOf(eventlog.Trace{"pay invoice", "ship order"})
+	l2 := logOf(eventlog.Trace{"#a91b", "#c23d"})
+	m, err := Match(l1, l2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := matching.Mapping{
+		matching.NewCorrespondence([]string{"pay invoice"}, []string{"#a91b"}, 1),
+		matching.NewCorrespondence([]string{"ship order"}, []string{"#c23d"}, 1),
+	}
+	q := matching.Evaluate(m, truth)
+	if q.FMeasure > 0 {
+		t.Errorf("label-only matcher unexpectedly matched opaque names: %v", m)
+	}
+}
+
+func TestNonOverlapping(t *testing.T) {
+	l1 := logOf(eventlog.Trace{"review claim", "review claim form"})
+	l2 := logOf(eventlog.Trace{"review claim"})
+	m, err := Match(l1, l2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, c := range m {
+		for _, e := range c.Right {
+			if seen[e] {
+				t.Fatalf("event %q matched twice: %v", e, m)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestRequiresLabels(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Labels = nil
+	if _, err := Match(logOf(eventlog.Trace{"a"}), logOf(eventlog.Trace{"b"}), cfg); err == nil {
+		t.Errorf("nil labels accepted")
+	}
+}

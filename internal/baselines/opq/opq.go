@@ -1,0 +1,192 @@
+// Package opq implements the opaque-name matching baseline (OPQ) following
+// Kang and Naughton (SIGMOD 2003): schema matching that ignores names
+// entirely and searches for the node mapping minimizing the "normal
+// distance" between the weighted dependency graphs — the Euclidean distance
+// between corresponding edge weights (node frequencies act as self-edge
+// weights).
+//
+// The search enumerates mappings: exhaustively up to ExhaustiveLimit nodes
+// (factorial cost, as the paper notes: OPQ "cannot even finish the matching
+// of events more than 30"), then by 2-swap hill climbing with restarts, and
+// refuses inputs larger than HardLimit to emulate the paper's timeout.
+package opq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/depgraph"
+	"repro/internal/matching"
+)
+
+// ErrTooLarge is returned when the input exceeds Config.HardLimit, mirroring
+// the paper's observation that OPQ is infeasible beyond ~30 events.
+var ErrTooLarge = fmt.Errorf("opq: input exceeds the feasible size limit")
+
+// Config parameterizes the OPQ search.
+type Config struct {
+	// ExhaustiveLimit is the maximum node count for exact factorial
+	// enumeration.
+	ExhaustiveLimit int
+	// HardLimit is the maximum node count attempted at all; larger inputs
+	// return ErrTooLarge.
+	HardLimit int
+	// Restarts is the number of random restarts of the hill climber.
+	Restarts int
+	// Seed makes hill climbing deterministic.
+	Seed int64
+}
+
+// DefaultConfig matches the paper's observed feasibility envelope.
+func DefaultConfig() Config {
+	return Config{ExhaustiveLimit: 8, HardLimit: 30, Restarts: 12, Seed: 1}
+}
+
+// Result carries the best mapping found and its normal distance (lower is
+// better).
+type Result struct {
+	Mapping  matching.Mapping
+	Distance float64
+}
+
+// Match searches for the bijective node mapping between two dependency
+// graphs (without artificial events) minimizing the normal distance. The
+// smaller side is padded with dummy nodes of zero weight; pairs assigned to
+// dummies are dropped from the returned mapping.
+func Match(g1, g2 *depgraph.Graph, cfg Config) (*Result, error) {
+	if cfg.HardLimit > 0 && (g1.N() > cfg.HardLimit || g2.N() > cfg.HardLimit) {
+		return nil, fmt.Errorf("%w: %d and %d nodes vs limit %d", ErrTooLarge, g1.N(), g2.N(), cfg.HardLimit)
+	}
+	n := max(g1.N(), g2.N())
+	if n == 0 {
+		return &Result{}, nil
+	}
+	w1 := weightMatrix(g1, n)
+	w2 := weightMatrix(g2, n)
+	var perm []int
+	var dist float64
+	if n <= cfg.ExhaustiveLimit {
+		perm, dist = exhaustive(w1, w2, n)
+	} else {
+		perm, dist = hillClimb(w1, w2, n, cfg)
+	}
+	var m matching.Mapping
+	for i, j := range perm {
+		if i >= g1.N() || j >= g2.N() {
+			continue // dummy padding
+		}
+		m = append(m, matching.NewCorrespondence(
+			[]string{g1.Names[i]}, []string{g2.Names[j]}, 1-pairCost(w1, w2, n, i, j, perm)))
+	}
+	return &Result{Mapping: m.Sort(), Distance: dist}, nil
+}
+
+// weightMatrix flattens node and edge frequencies into an n x n matrix:
+// diagonal entries are node frequencies, off-diagonal entries edge
+// frequencies (0 when absent). Rows/columns beyond the graph are dummy.
+func weightMatrix(g *depgraph.Graph, n int) []float64 {
+	w := make([]float64, n*n)
+	for i := 0; i < g.N(); i++ {
+		w[i*n+i] = g.NodeFreq[i]
+		for j, f := range g.EdgeFreq[i] {
+			w[i*n+j] = f
+		}
+	}
+	return w
+}
+
+// distance is the normal (Euclidean) distance between w1 and the
+// permutation of w2: sqrt(sum (w1[i][j] - w2[p(i)][p(j)])^2).
+func distance(w1, w2 []float64, n int, perm []int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := w1[i*n+j] - w2[perm[i]*n+perm[j]]
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// pairCost measures how much the pair (i, perm[i]=j) alone contributes to
+// the misalignment; it doubles as a per-pair score for reporting.
+func pairCost(w1, w2 []float64, n, i, j int, perm []int) float64 {
+	var sum float64
+	for k := 0; k < n; k++ {
+		d1 := w1[i*n+k] - w2[j*n+perm[k]]
+		d2 := w1[k*n+i] - w2[perm[k]*n+j]
+		sum += d1*d1 + d2*d2
+	}
+	return math.Min(1, math.Sqrt(sum))
+}
+
+// exhaustive enumerates all n! permutations (Heap's algorithm) and returns
+// the best.
+func exhaustive(w1, w2 []float64, n int) ([]int, float64) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := append([]int(nil), perm...)
+	bestD := distance(w1, w2, n, perm)
+	c := make([]int, n)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if d := distance(w1, w2, n, perm); d < bestD {
+				bestD = d
+				copy(best, perm)
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return best, bestD
+}
+
+// hillClimb performs 2-swap steepest-descent hill climbing with random
+// restarts.
+func hillClimb(w1, w2 []float64, n int, cfg Config) ([]int, float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	restarts := max(1, cfg.Restarts)
+	best := make([]int, n)
+	bestD := math.Inf(1)
+	perm := make([]int, n)
+	for r := 0; r < restarts; r++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		if r > 0 {
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+		d := distance(w1, w2, n, perm)
+		for improved := true; improved; {
+			improved = false
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					perm[i], perm[j] = perm[j], perm[i]
+					if nd := distance(w1, w2, n, perm); nd < d-1e-12 {
+						d = nd
+						improved = true
+					} else {
+						perm[i], perm[j] = perm[j], perm[i]
+					}
+				}
+			}
+		}
+		if d < bestD {
+			bestD = d
+			copy(best, perm)
+		}
+	}
+	return best, bestD
+}

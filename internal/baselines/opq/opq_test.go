@@ -1,0 +1,154 @@
+package opq
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/eventlog"
+)
+
+func chainGraph(t *testing.T, traces ...eventlog.Trace) *depgraph.Graph {
+	t.Helper()
+	l := eventlog.New("g")
+	for _, tr := range traces {
+		l.Append(tr)
+	}
+	g, err := depgraph.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExhaustiveIdentity(t *testing.T) {
+	g := chainGraph(t,
+		eventlog.Trace{"a", "b", "c"},
+		eventlog.Trace{"a", "c"},
+	)
+	r, err := Match(g, g, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if r.Distance > 1e-9 {
+		t.Errorf("identity distance = %g, want 0", r.Distance)
+	}
+	for _, c := range r.Mapping {
+		if c.Left[0] != c.Right[0] {
+			t.Errorf("identity mismatched %v", c)
+		}
+	}
+}
+
+func TestExhaustiveFindsRenamedPermutation(t *testing.T) {
+	g1 := chainGraph(t,
+		eventlog.Trace{"a", "b", "c", "d"},
+		eventlog.Trace{"a", "c", "d"},
+	)
+	g2 := chainGraph(t,
+		eventlog.Trace{"w", "x", "y", "z"},
+		eventlog.Trace{"w", "y", "z"},
+	)
+	r, err := Match(g1, g2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	want := map[string]string{"a": "w", "b": "x", "c": "y", "d": "z"}
+	for _, c := range r.Mapping {
+		if want[c.Left[0]] != c.Right[0] {
+			t.Errorf("wrong pair %v (distance %g)", c, r.Distance)
+		}
+	}
+	if r.Distance > 1e-9 {
+		t.Errorf("isomorphic graphs distance = %g, want 0", r.Distance)
+	}
+}
+
+func TestHardLimit(t *testing.T) {
+	events := make(eventlog.Trace, 31)
+	for i := range events {
+		events[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	g := chainGraph(t, events)
+	_, err := Match(g, g, DefaultConfig())
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestHillClimbPath(t *testing.T) {
+	// 12 nodes: above the exhaustive limit (8), below the hard limit.
+	events := make(eventlog.Trace, 12)
+	for i := range events {
+		events[i] = string(rune('a' + i))
+	}
+	g := chainGraph(t, events)
+	cfg := DefaultConfig()
+	r, err := Match(g, g, cfg)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	// Hill climbing starts at the identity permutation, which is optimal
+	// here; it must find distance 0.
+	if r.Distance > 1e-9 {
+		t.Errorf("hill-climb identity distance = %g, want 0", r.Distance)
+	}
+}
+
+func TestDifferentSizesPadded(t *testing.T) {
+	g1 := chainGraph(t, eventlog.Trace{"a", "b", "c"})
+	g2 := chainGraph(t, eventlog.Trace{"x", "y"})
+	r, err := Match(g1, g2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(r.Mapping) > 2 {
+		t.Errorf("more pairs than smaller side: %v", r.Mapping)
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	r, err := Match(&depgraph.Graph{}, &depgraph.Graph{}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(r.Mapping) != 0 {
+		t.Errorf("empty graphs produced mapping %v", r.Mapping)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	events := make(eventlog.Trace, 10)
+	for i := range events {
+		events[i] = string(rune('a' + i))
+	}
+	g := chainGraph(t, events)
+	r1, err := Match(g, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Match(g, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Distance-r2.Distance) > 1e-12 || len(r1.Mapping) != len(r2.Mapping) {
+		t.Errorf("OPQ not deterministic: %g/%d vs %g/%d",
+			r1.Distance, len(r1.Mapping), r2.Distance, len(r2.Mapping))
+	}
+}
+
+func TestWeightMatrixLayout(t *testing.T) {
+	g := chainGraph(t, eventlog.Trace{"a", "b"})
+	w := weightMatrix(g, 3)
+	ia, ib := g.Index["a"], g.Index["b"]
+	if w[ia*3+ia] != 1 || w[ib*3+ib] != 1 {
+		t.Errorf("diagonal node frequencies wrong: %v", w)
+	}
+	if w[ia*3+ib] != 1 {
+		t.Errorf("edge weight wrong: %v", w)
+	}
+	if w[2*3+2] != 0 {
+		t.Errorf("dummy row not zero: %v", w)
+	}
+}

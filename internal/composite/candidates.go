@@ -1,0 +1,147 @@
+// Package composite implements composite event matching (Section 4 of the
+// paper): discovering candidate composite events as SEQ patterns, the greedy
+// merge heuristic of Algorithm 2 (finding the optimal selection is NP-hard,
+// Theorem 3), the unchanged-similarity pruning of Proposition 4 ("Uc"), and
+// the similarity-upper-bound pruning of Section 4.3 ("Bd").
+package composite
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/eventlog"
+)
+
+// NameSep joins constituent event names into the name of a merged composite
+// node. It is a control character so real event names cannot collide.
+const NameSep = "\x1d"
+
+// JoinName builds the merged node name for a composite event.
+func JoinName(events []string) string { return strings.Join(events, NameSep) }
+
+// SplitName expands a (possibly merged) node name into its constituent
+// event names; plain names yield a singleton.
+func SplitName(name string) []string { return strings.Split(name, NameSep) }
+
+// DisplayName renders a merged name human-readably, e.g. "a+b".
+func DisplayName(name string) string { return strings.ReplaceAll(name, NameSep, "+") }
+
+// Candidate is a proposed composite event: a sequence of events that
+// (almost) always appear consecutively, with the support of its weakest
+// link.
+type Candidate struct {
+	Events  []string
+	Support float64
+}
+
+// Key returns the canonical identity of the candidate.
+func (c Candidate) Key() string { return JoinName(c.Events) }
+
+// Overlaps reports whether the candidate shares any event with the set.
+func (c Candidate) Overlaps(used map[string]bool) bool {
+	for _, e := range c.Events {
+		if used[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// DiscoverOptions controls SEQ-pattern candidate discovery.
+type DiscoverOptions struct {
+	// Confidence is the minimum bidirectional confidence for a link (a,b):
+	// f(a,b)/f(a) and f(a,b)/f(b) must both reach it. 1.0 means strictly
+	// "always appear consecutively".
+	Confidence float64
+	// MaxLen caps the candidate length (>= 2).
+	MaxLen int
+	// MaxCandidates, when > 0, keeps only the strongest candidates.
+	MaxCandidates int
+}
+
+// DefaultDiscoverOptions returns the conventional SEQ-pattern settings.
+func DefaultDiscoverOptions() DiscoverOptions {
+	return DiscoverOptions{Confidence: 0.9, MaxLen: 4}
+}
+
+// Discover finds composite event candidates in a log as SEQ patterns
+// (following the CEP convention the paper cites): chains of events whose
+// consecutive links hold with at least the configured confidence in both
+// directions. All contiguous chains of length 2..MaxLen are returned,
+// strongest support first.
+func Discover(l *eventlog.Log, opts DiscoverOptions) []Candidate {
+	if opts.MaxLen < 2 {
+		opts.MaxLen = 2
+	}
+	st := eventlog.CollectStats(l)
+	// strong[a] lists b such that the link a->b qualifies.
+	strong := make(map[string][]link)
+	for pair, f := range st.EdgeFreq {
+		a, b := pair[0], pair[1]
+		fa, fb := st.NodeFreq[a], st.NodeFreq[b]
+		if fa <= 0 || fb <= 0 {
+			continue
+		}
+		if f/fa >= opts.Confidence && f/fb >= opts.Confidence {
+			strong[a] = append(strong[a], link{to: b, f: f})
+		}
+	}
+	for a := range strong {
+		ls := strong[a]
+		sort.Slice(ls, func(i, j int) bool { return ls[i].to < ls[j].to })
+	}
+	seen := make(map[string]bool)
+	var out []Candidate
+	starts := make([]string, 0, len(strong))
+	for a := range strong {
+		starts = append(starts, a)
+	}
+	sort.Strings(starts)
+	var extend func(chain []string, onPath map[string]bool, support float64)
+	extend = func(chain []string, onPath map[string]bool, support float64) {
+		if len(chain) >= 2 {
+			c := Candidate{Events: append([]string(nil), chain...), Support: support}
+			if k := c.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, c)
+			}
+		}
+		if len(chain) >= opts.MaxLen {
+			return
+		}
+		last := chain[len(chain)-1]
+		for _, lk := range strong[last] {
+			if onPath[lk.to] {
+				continue
+			}
+			onPath[lk.to] = true
+			extend(append(chain, lk.to), onPath, minFloat(support, lk.f))
+			delete(onPath, lk.to)
+		}
+	}
+	for _, a := range starts {
+		extend([]string{a}, map[string]bool{a: true}, 1.0)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	if opts.MaxCandidates > 0 && len(out) > opts.MaxCandidates {
+		out = out[:opts.MaxCandidates]
+	}
+	return out
+}
+
+type link struct {
+	to string
+	f  float64
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,341 @@
+package composite
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/matching"
+	"repro/internal/paperexample"
+)
+
+func TestNameCodec(t *testing.T) {
+	name := JoinName([]string{"c", "d"})
+	if got := SplitName(name); !reflect.DeepEqual(got, []string{"c", "d"}) {
+		t.Errorf("SplitName(JoinName) = %v", got)
+	}
+	if got := SplitName("plain"); !reflect.DeepEqual(got, []string{"plain"}) {
+		t.Errorf("SplitName(plain) = %v", got)
+	}
+	if got := DisplayName(name); got != "c+d" {
+		t.Errorf("DisplayName = %q", got)
+	}
+}
+
+func TestCandidateOverlaps(t *testing.T) {
+	c := Candidate{Events: []string{"a", "b"}}
+	if !c.Overlaps(map[string]bool{"b": true}) {
+		t.Errorf("overlap missed")
+	}
+	if c.Overlaps(map[string]bool{"z": true}) {
+		t.Errorf("false overlap")
+	}
+}
+
+// TestDiscoverPaperExample: in log 1 of the running example C and D always
+// appear consecutively (they form the composite event 4 of log 2); no other
+// run qualifies at confidence 0.9.
+func TestDiscoverPaperExample(t *testing.T) {
+	c1 := Discover(paperexample.Log1(), DefaultDiscoverOptions())
+	if len(c1) != 1 {
+		t.Fatalf("got %d candidates, want 1: %v", len(c1), c1)
+	}
+	if !reflect.DeepEqual(c1[0].Events, []string{"C", "D"}) {
+		t.Errorf("candidate = %v, want [C D]", c1[0].Events)
+	}
+	if math.Abs(c1[0].Support-1.0) > 1e-12 {
+		t.Errorf("support = %g, want 1.0", c1[0].Support)
+	}
+	if c2 := Discover(paperexample.Log2(), DefaultDiscoverOptions()); len(c2) != 0 {
+		t.Errorf("log 2 candidates = %v, want none", c2)
+	}
+}
+
+func TestDiscoverLongChain(t *testing.T) {
+	l := eventlog.New("chain")
+	for i := 0; i < 10; i++ {
+		l.Append(eventlog.Trace{"s", "a", "b", "c", "t"})
+	}
+	cands := Discover(l, DiscoverOptions{Confidence: 1.0, MaxLen: 3})
+	keys := make(map[string]bool)
+	for _, c := range cands {
+		keys[strings.Join(c.Events, "")] = true
+	}
+	// Every contiguous subsequence of the full always-consecutive run
+	// sabct of length 2..3 qualifies.
+	for _, want := range []string{"sa", "ab", "bc", "ct", "sab", "abc", "bct"} {
+		if !keys[want] {
+			t.Errorf("missing candidate %q (got %v)", want, keys)
+		}
+	}
+}
+
+func TestDiscoverConfidenceFilters(t *testing.T) {
+	l := eventlog.New("half")
+	l.Append(eventlog.Trace{"a", "b"})
+	l.Append(eventlog.Trace{"a", "c"})
+	if cands := Discover(l, DiscoverOptions{Confidence: 0.9, MaxLen: 2}); len(cands) != 0 {
+		t.Errorf("low-confidence pair accepted: %v", cands)
+	}
+	if cands := Discover(l, DiscoverOptions{Confidence: 0.4, MaxLen: 2}); len(cands) == 0 {
+		t.Errorf("pair rejected at low confidence threshold")
+	}
+}
+
+func TestDiscoverMaxCandidates(t *testing.T) {
+	l := eventlog.New("chain")
+	for i := 0; i < 4; i++ {
+		l.Append(eventlog.Trace{"a", "b", "c", "d", "e"})
+	}
+	all := Discover(l, DiscoverOptions{Confidence: 1.0, MaxLen: 4})
+	capped := Discover(l, DiscoverOptions{Confidence: 1.0, MaxLen: 4, MaxCandidates: 2})
+	if len(capped) != 2 {
+		t.Fatalf("cap ignored: %d candidates", len(capped))
+	}
+	if len(all) <= 2 {
+		t.Fatalf("test needs more than 2 candidates, got %d", len(all))
+	}
+}
+
+// TestGreedyPaperExample7 reproduces Example 7: starting from average
+// singleton similarity ~0.502, merging {C,D} raises it to ~0.508 and is the
+// only accepted merge.
+func TestGreedyPaperExample7(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	cands1 := []Candidate{
+		{Events: []string{"C", "D"}, Support: 1},
+		{Events: []string{"E", "F"}, Support: 0.4},
+	}
+	res, err := Greedy(l1, l2, cands1, nil, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if len(res.Merged1) != 1 || !reflect.DeepEqual(res.Merged1[0].Events, []string{"C", "D"}) {
+		t.Fatalf("merged = %v, want exactly [C D]", res.Merged1)
+	}
+	if len(res.Merged2) != 0 {
+		t.Errorf("log-2 merges = %v, want none", res.Merged2)
+	}
+	if avg := res.Final.Avg(); math.Abs(avg-0.508) > 0.005 {
+		t.Errorf("final avg = %.4f, want ~0.508 (Example 7)", avg)
+	}
+	// The merged log must contain the composite node.
+	found := false
+	for _, tr := range res.Log1.Traces {
+		for _, e := range tr {
+			if e == JoinName([]string{"C", "D"}) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("merged node missing from log 1")
+	}
+}
+
+// TestGreedyMatchesTruth: after the {C,D} merge, maximum-total-similarity
+// selection on the final matrix recovers the full ground truth of the
+// running example.
+func TestGreedyMatchesTruth(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	res, err := Greedy(l1, l2, Discover(l1, DefaultDiscoverOptions()), Discover(l2, DefaultDiscoverOptions()), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	m, err := matching.Select(res.Final.Names1, res.Final.Names2, res.Final.Sim, 0.3, SplitName)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	q := matching.Evaluate(m, paperexample.Truth())
+	if q.Recall < 0.99 {
+		t.Errorf("recall = %.3f, want 1.0; found %v", q.Recall, m)
+	}
+	if q.Precision < 0.8 {
+		t.Errorf("precision = %.3f; found %v", q.Precision, m)
+	}
+}
+
+// TestPruningPreservesGreedyOutcome: Uc and Bd pruning must not change the
+// accepted merges or the final average similarity.
+func TestPruningPreservesGreedyOutcome(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	cands1 := []Candidate{
+		{Events: []string{"C", "D"}, Support: 1},
+		{Events: []string{"E", "F"}, Support: 0.4},
+	}
+	variants := []struct {
+		name   string
+		uc, bd bool
+	}{
+		{"none", false, false},
+		{"uc", true, false},
+		{"bd", false, true},
+		{"ucbd", true, true},
+	}
+	var baseline *Result
+	for _, v := range variants {
+		cfg := DefaultConfig()
+		cfg.UseUnchanged = v.uc
+		cfg.UseBounds = v.bd
+		res, err := Greedy(l1, l2, cands1, nil, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Merged1, baseline.Merged1) {
+			t.Errorf("%s: merges differ: %v vs %v", v.name, res.Merged1, baseline.Merged1)
+		}
+		if math.Abs(res.Final.Avg()-baseline.Final.Avg()) > 1e-3 {
+			t.Errorf("%s: final avg %.5f vs %.5f", v.name, res.Final.Avg(), baseline.Final.Avg())
+		}
+	}
+}
+
+// TestPruningReducesWork: with both prunings on, strictly fewer formula
+// evaluations are performed than with both off.
+func TestPruningReducesWork(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	cands1 := []Candidate{
+		{Events: []string{"C", "D"}, Support: 1},
+		{Events: []string{"E", "F"}, Support: 0.4},
+		{Events: []string{"B", "C"}, Support: 0.6},
+	}
+	run := func(uc, bd bool) Stats {
+		cfg := DefaultConfig()
+		cfg.UseUnchanged = uc
+		cfg.UseBounds = bd
+		res, err := Greedy(l1, l2, cands1, nil, cfg)
+		if err != nil {
+			t.Fatalf("Greedy(uc=%v,bd=%v): %v", uc, bd, err)
+		}
+		return res.Stats
+	}
+	off := run(false, false)
+	on := run(true, true)
+	if on.Evaluations >= off.Evaluations {
+		t.Errorf("pruning did not reduce evaluations: %d vs %d", on.Evaluations, off.Evaluations)
+	}
+}
+
+// TestGreedyDeltaStopsMerging: a huge delta accepts no merge at all.
+func TestGreedyDeltaStopsMerging(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	cfg := DefaultConfig()
+	cfg.Delta = 0.5
+	res, err := Greedy(l1, l2, Discover(l1, DefaultDiscoverOptions()), nil, cfg)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if len(res.Merged1)+len(res.Merged2) != 0 {
+		t.Errorf("delta=0.5 still merged: %v %v", res.Merged1, res.Merged2)
+	}
+}
+
+// TestGreedyMaxSteps caps accepted merges.
+func TestGreedyMaxSteps(t *testing.T) {
+	l1 := eventlog.New("l1")
+	for i := 0; i < 10; i++ {
+		l1.Append(eventlog.Trace{"a", "b", "c", "d"})
+	}
+	l2 := eventlog.New("l2")
+	for i := 0; i < 10; i++ {
+		l2.Append(eventlog.Trace{"ab", "cd"})
+	}
+	cands := []Candidate{
+		{Events: []string{"a", "b"}, Support: 1},
+		{Events: []string{"c", "d"}, Support: 1},
+	}
+	cfg := DefaultConfig()
+	cfg.MaxSteps = 1
+	cfg.Delta = 0
+	res, err := Greedy(l1, l2, cands, nil, cfg)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if got := len(res.Merged1); got > 1 {
+		t.Errorf("MaxSteps=1 accepted %d merges", got)
+	}
+}
+
+// TestGreedyMergesBothSides: candidates can be merged in log 2 as well.
+func TestGreedyMergesBothSides(t *testing.T) {
+	l1 := eventlog.New("l1")
+	for i := 0; i < 5; i++ {
+		l1.Append(eventlog.Trace{"pay", "checkvalidate", "ship"})
+		l1.Append(eventlog.Trace{"wire", "checkvalidate", "mail"})
+	}
+	l2 := eventlog.New("l2")
+	for i := 0; i < 5; i++ {
+		l2.Append(eventlog.Trace{"p", "chk", "val", "s"})
+		l2.Append(eventlog.Trace{"w", "chk", "val", "m"})
+	}
+	cands2 := Discover(l2, DefaultDiscoverOptions())
+	if len(cands2) == 0 {
+		t.Fatalf("no candidates discovered in log 2")
+	}
+	cfg := DefaultConfig()
+	cfg.Delta = 0.0001
+	res, err := Greedy(l1, l2, nil, cands2, cfg)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	ok := false
+	for _, c := range res.Merged2 {
+		if reflect.DeepEqual(c.Events, []string{"chk", "val"}) {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("expected {chk,val} merge on side 2, got %v", res.Merged2)
+	}
+}
+
+// TestUnchangedSeedCorrectness: with Uc only, final similarities equal the
+// unpruned ones within epsilon on every pair.
+func TestUnchangedSeedCorrectness(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	cands1 := []Candidate{{Events: []string{"E", "F"}, Support: 0.4}}
+	run := func(uc bool) *core.Result {
+		cfg := DefaultConfig()
+		cfg.UseUnchanged = uc
+		cfg.UseBounds = false
+		cfg.Delta = -1 // force accepting the merge so seeding is exercised
+		cfg.MaxSteps = 1
+		res, err := Greedy(l1, l2, cands1, nil, cfg)
+		if err != nil {
+			t.Fatalf("Greedy(uc=%v): %v", uc, err)
+		}
+		return res.Final
+	}
+	plain := run(false)
+	seeded := run(true)
+	if !reflect.DeepEqual(plain.Names1, seeded.Names1) {
+		t.Fatalf("names differ: %v vs %v", plain.Names1, seeded.Names1)
+	}
+	for i := range plain.Sim {
+		if math.Abs(plain.Sim[i]-seeded.Sim[i]) > 5e-3 {
+			t.Errorf("Uc changed similarity at %d: %.5f vs %.5f", i, plain.Sim[i], seeded.Sim[i])
+		}
+	}
+}
+
+func TestGreedyRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sim.C = 2
+	if _, err := Greedy(paperexample.Log1(), paperexample.Log2(), nil, nil, cfg); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Events: []string{"a", "b"}, Support: 0.75}
+	if got := c.String(); got != "a+b (support 0.75)" {
+		t.Errorf("String = %q", got)
+	}
+}

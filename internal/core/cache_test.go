@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAgreementCacheEquivalence: results must be identical with and without
+// the precomputed edge-agreement cache (the cache is a pure optimization).
+func TestAgreementCacheEquivalence(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	cfg := DefaultConfig()
+	cached, err := Compute(g1, g2, cfg)
+	if err != nil {
+		t.Fatalf("Compute cached: %v", err)
+	}
+	old := agreeCacheLimit
+	agreeCacheLimit = 0
+	defer func() { agreeCacheLimit = old }()
+	plain, err := Compute(g1, g2, cfg)
+	if err != nil {
+		t.Fatalf("Compute uncached: %v", err)
+	}
+	for i := range cached.Sim {
+		if math.Abs(cached.Sim[i]-plain.Sim[i]) > 1e-12 {
+			t.Fatalf("cache changed similarity at %d: %g vs %g", i, cached.Sim[i], plain.Sim[i])
+		}
+	}
+	if cached.Evaluations != plain.Evaluations {
+		t.Errorf("cache changed evaluation count: %d vs %d", cached.Evaluations, plain.Evaluations)
+	}
+}
+
+// TestAgreementCacheEquivalenceEstimation: likewise in estimation mode.
+func TestAgreementCacheEquivalenceEstimation(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	cached, err := ExactEstimationTradeoff(g1, g2, DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := agreeCacheLimit
+	agreeCacheLimit = 0
+	defer func() { agreeCacheLimit = old }()
+	plain, err := ExactEstimationTradeoff(g1, g2, DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cached.Sim {
+		if math.Abs(cached.Sim[i]-plain.Sim[i]) > 1e-12 {
+			t.Fatalf("estimation differs at %d with cache disabled", i)
+		}
+	}
+}

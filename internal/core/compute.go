@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/depgraph"
+)
+
+// Result holds the computed pair-wise similarities between the real events
+// of two dependency graphs.
+type Result struct {
+	// Names1 and Names2 list the real events of each graph in matrix order.
+	Names1, Names2 []string
+	// Sim is the row-major |Names1| x |Names2| combined similarity matrix.
+	Sim []float64
+	// Forward and Backward are the per-direction matrices; one of them is
+	// nil unless Direction was Both.
+	Forward, Backward []float64
+	// Evaluations counts how many times formula (1) was evaluated across
+	// both directions (the "number of iterations" metric of Figures 6/12).
+	Evaluations int
+	// Rounds is the maximum number of iteration rounds performed by either
+	// direction.
+	Rounds int
+	// Converged reports whether iteration stopped by convergence rather
+	// than by the MaxRounds cap.
+	Converged bool
+}
+
+// At returns the combined similarity of the i-th event of graph 1 and the
+// j-th event of graph 2.
+func (r *Result) At(i, j int) float64 { return r.Sim[i*len(r.Names2)+j] }
+
+// Avg returns the average similarity over all real event pairs, the
+// objective avg(S) that composite event matching maximizes.
+func (r *Result) Avg() float64 {
+	if len(r.Sim) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.Sim {
+		sum += v
+	}
+	return sum / float64(len(r.Sim))
+}
+
+// Lookup returns the similarity of two events by name; ok is false when
+// either name is unknown.
+func (r *Result) Lookup(a, b string) (v float64, ok bool) {
+	i, j := -1, -1
+	for k, n := range r.Names1 {
+		if n == a {
+			i = k
+			break
+		}
+	}
+	for k, n := range r.Names2 {
+		if n == b {
+			j = k
+			break
+		}
+	}
+	if i < 0 || j < 0 {
+		return 0, false
+	}
+	return r.At(i, j), true
+}
+
+// Compute runs the full similarity computation between two dependency
+// graphs (which must carry the artificial event) and returns the result.
+// It is the one-shot form of Computation.
+func Compute(g1, g2 *depgraph.Graph, cfg Config) (*Result, error) {
+	c, err := NewComputation(g1, g2, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.Run()
+	return c.Result(), nil
+}
+
+// Seed carries previously computed similarities, keyed by event names.
+//
+// The Forward/Backward maps freeze pairs at their seeded value — used for
+// pairs that are provably unchanged after a composite-event merge
+// (Proposition 4); iteration skips them entirely.
+//
+// The WarmForward/WarmBackward maps only provide starting values: the pairs
+// still iterate, but starting near the old fixpoint converges in far fewer
+// rounds. The fixpoint is unique for alpha*c < 1 (the contraction argument
+// of Theorem 1), so warm starts do not change results — they are how
+// incremental rematching after log updates stays cheap. All maps may
+// independently be nil.
+type Seed struct {
+	// Forward[a][b] fixes the forward similarity of events a (graph 1) and
+	// b (graph 2).
+	Forward map[string]map[string]float64
+	// Backward fixes backward similarities likewise.
+	Backward map[string]map[string]float64
+	// WarmForward provides non-frozen starting values for the forward
+	// direction.
+	WarmForward map[string]map[string]float64
+	// WarmBackward likewise for the backward direction.
+	WarmBackward map[string]map[string]float64
+}
+
+// Computation is a stepwise similarity computation. Composite-event matching
+// drives it one round at a time so it can abort candidates whose similarity
+// upper bound cannot beat the incumbent (Section 4.3).
+type Computation struct {
+	cfg      Config
+	fwd, bwd *dirEngine // bwd is nil unless Direction == Both; fwd holds the
+	// single engine for Forward or Backward directions.
+	names1, names2 []string
+	realPairs      int
+}
+
+// NewComputation prepares a similarity computation between two graphs with
+// artificial events. seed may be nil.
+func NewComputation(g1, g2 *depgraph.Graph, cfg Config, seed *Seed) (*Computation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Computation{
+		cfg:       cfg,
+		names1:    g1.Names[g1.RealStart():],
+		names2:    g2.Names[g2.RealStart():],
+		realPairs: g1.RealCount() * g2.RealCount(),
+	}
+	var err error
+	switch cfg.Direction {
+	case Forward:
+		c.fwd, err = newDirEngine(g1, g2, cfg)
+	case Backward:
+		c.fwd, err = newDirEngine(g1.Reverse(), g2.Reverse(), cfg)
+	case Both:
+		c.fwd, err = newDirEngine(g1, g2, cfg)
+		if err == nil {
+			c.bwd, err = newDirEngine(g1.Reverse(), g2.Reverse(), cfg)
+		}
+	default:
+		err = fmt.Errorf("core: invalid direction %v", cfg.Direction)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if seed != nil {
+		if cfg.Direction != Backward {
+			applySeed(c.fwd, g1, g2, seed.Forward, true)
+			applySeed(c.fwd, g1, g2, seed.WarmForward, false)
+		}
+		switch cfg.Direction {
+		case Backward:
+			applySeed(c.fwd, g1, g2, seed.Backward, true)
+			applySeed(c.fwd, g1, g2, seed.WarmBackward, false)
+		case Both:
+			applySeed(c.bwd, g1, g2, seed.Backward, true)
+			applySeed(c.bwd, g1, g2, seed.WarmBackward, false)
+		}
+	}
+	return c, nil
+}
+
+func applySeed(e *dirEngine, g1, g2 *depgraph.Graph, values map[string]map[string]float64, freeze bool) {
+	for a, row := range values {
+		i, ok := g1.Index[a]
+		if !ok || i == 0 {
+			continue
+		}
+		for b, v := range row {
+			j, ok := g2.Index[b]
+			if !ok || j == 0 {
+				continue
+			}
+			if freeze {
+				e.seed(i, j, v)
+			} else if !e.frozen[i*e.n2+j] {
+				e.cur[i*e.n2+j] = v
+				e.warmed = true
+			}
+		}
+	}
+}
+
+// Step performs one iteration round in every direction and reports whether
+// the computation has finished. Calling Step after completion is a no-op
+// that returns true.
+func (c *Computation) Step() (done bool) {
+	if c.finished() {
+		return true
+	}
+	limit := c.cfg.MaxRounds
+	if c.cfg.EstimateI >= 0 && c.cfg.EstimateI < limit {
+		limit = c.cfg.EstimateI
+	}
+	done = true
+	for _, e := range c.engines() {
+		if e.converged || e.round >= limit {
+			continue
+		}
+		delta := e.step()
+		if !e.doneAfter(delta) && e.round < limit {
+			done = false
+		}
+	}
+	return done
+}
+
+// Finish completes the computation: any remaining exact rounds are skipped
+// and, in estimation mode, the closed-form estimate is applied. Use it after
+// deciding not to abort a stepwise computation.
+func (c *Computation) Finish() {
+	if c.cfg.EstimateI >= 0 {
+		for _, e := range c.engines() {
+			if !e.converged {
+				e.estimate()
+			}
+		}
+	}
+}
+
+// Run iterates every direction to completion (including estimation when
+// configured). The two directions are independent fixpoints, so with
+// Direction == Both they run concurrently.
+func (c *Computation) Run() {
+	engines := c.engines()
+	if len(engines) == 1 {
+		engines[0].run()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *dirEngine) {
+			defer wg.Done()
+			e.run()
+		}(e)
+	}
+	wg.Wait()
+}
+
+// AvgUpperBound returns an upper bound on the average similarity over all
+// real event pairs, given the rounds performed so far (Proposition 6 /
+// Corollary 7). With Direction == Both it is the average of the two
+// per-direction bounds, which bounds the average of the two averages.
+func (c *Computation) AvgUpperBound() float64 {
+	if c.realPairs == 0 {
+		return 0
+	}
+	var sum float64
+	engines := c.engines()
+	for _, e := range engines {
+		sum += e.upperBoundSum()
+	}
+	return sum / float64(len(engines)) / float64(c.realPairs)
+}
+
+// Evaluations returns the number of formula-(1) evaluations so far.
+func (c *Computation) Evaluations() int {
+	n := 0
+	for _, e := range c.engines() {
+		n += e.evals
+	}
+	return n
+}
+
+// Result assembles the current similarity matrices. In estimation mode the
+// estimate is applied first if pending.
+func (c *Computation) Result() *Result {
+	c.Finish()
+	r := &Result{
+		Names1:      c.names1,
+		Names2:      c.names2,
+		Evaluations: c.Evaluations(),
+	}
+	for _, e := range c.engines() {
+		if e.round > r.Rounds {
+			r.Rounds = e.round
+		}
+	}
+	r.Converged = true
+	for _, e := range c.engines() {
+		if !e.converged && c.cfg.EstimateI < 0 && e.round >= c.cfg.MaxRounds {
+			r.Converged = false
+		}
+	}
+	switch c.cfg.Direction {
+	case Forward:
+		r.Forward = c.fwd.realMatrix()
+		r.Sim = r.Forward
+	case Backward:
+		r.Backward = c.fwd.realMatrix()
+		r.Sim = r.Backward
+	case Both:
+		r.Forward = c.fwd.realMatrix()
+		r.Backward = c.bwd.realMatrix()
+		r.Sim = make([]float64, len(r.Forward))
+		for i := range r.Sim {
+			r.Sim[i] = (r.Forward[i] + r.Backward[i]) / 2
+		}
+	}
+	return r
+}
+
+func (c *Computation) engines() []*dirEngine {
+	if c.bwd != nil {
+		return []*dirEngine{c.fwd, c.bwd}
+	}
+	return []*dirEngine{c.fwd}
+}
+
+func (c *Computation) finished() bool {
+	limit := c.cfg.MaxRounds
+	if c.cfg.EstimateI >= 0 && c.cfg.EstimateI < limit {
+		limit = c.cfg.EstimateI
+	}
+	for _, e := range c.engines() {
+		if !e.converged && e.round < limit {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactEstimationTradeoff is Algorithm 1 of the paper: I exact iteration
+// rounds followed by the closed-form estimation. It is a convenience wrapper
+// over Compute with EstimateI set.
+func ExactEstimationTradeoff(g1, g2 *depgraph.Graph, cfg Config, iterations int) (*Result, error) {
+	if iterations < 0 {
+		return nil, fmt.Errorf("core: iterations must be >= 0, got %d", iterations)
+	}
+	cfg.EstimateI = iterations
+	return Compute(g1, g2, cfg)
+}

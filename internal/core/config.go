@@ -1,0 +1,126 @@
+// Package core implements the Event Matching Similarity (EMS) of "Matching
+// Heterogeneous Event Data" (SIGMOD 2014): a SimRank-style similarity over
+// event dependency graphs, computed iteratively from the similarity of
+// predecessor events weighted by edge-frequency agreement (Definition 2 and
+// formula (1) of the paper), optionally blended with a label similarity.
+//
+// Beyond the plain fixpoint iteration the package implements everything the
+// paper builds on top of it:
+//
+//   - early-convergence pruning (Proposition 2) driven by the longest
+//     distance l(v) from the artificial event,
+//   - the closed-form geometric estimation of Section 3.5 and the combined
+//     Algorithm 1 (ExactEstimationTradeoff),
+//   - similarity upper bounds (Proposition 6, Corollary 7) used to abort
+//     unpromising composite-event candidates,
+//   - backward similarity (forward similarity on the reversed graphs) and
+//     the forward/backward average the experiments use,
+//   - seeded recomputation that keeps provably unchanged pairs fixed
+//     (Proposition 4), used by composite matching.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/label"
+)
+
+// Direction selects which neighbor sets similarity propagation follows.
+type Direction int
+
+const (
+	// Forward propagates similarity from predecessors (in-neighbors), the
+	// forward similarity of Definition 2.
+	Forward Direction = iota
+	// Backward propagates similarity from successors (out-neighbors).
+	Backward
+	// Both computes forward and backward similarity and averages them;
+	// this is the configuration the paper's experiments use (Section 3.6).
+	Both
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	case Both:
+		return "both"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Config parameterizes the similarity computation. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Alpha is the weight of the structural part against the label part:
+	// S = Alpha*(s12+s21)/2 + (1-Alpha)*S^L. Alpha = 1 ignores labels
+	// (the opaque-name setting). Must be in [0,1].
+	Alpha float64
+	// C is the decay constant c of the edge-agreement factor
+	// C(...) = c * (1 - |f1-f2|/(f1+f2)). Must be in (0,1).
+	C float64
+	// Epsilon is the convergence threshold: iteration stops when no pair
+	// changed by more than Epsilon in a round. Must be > 0.
+	Epsilon float64
+	// MaxRounds caps the number of iteration rounds when cycles make the
+	// early-convergence bound infinite. Must be >= 1.
+	MaxRounds int
+	// Prune enables early-convergence pruning (Proposition 2). It never
+	// changes results, only skips provably converged updates.
+	Prune bool
+	// EstimateI, when >= 0, switches to Algorithm 1: EstimateI exact
+	// rounds followed by the closed-form estimation of Section 3.5.
+	// A negative value means exact computation.
+	EstimateI int
+	// Labels is the label similarity S^L; nil means opaque labels
+	// (similarity 0 everywhere). It is only consulted when Alpha < 1.
+	Labels label.Similarity
+	// Direction selects forward, backward, or averaged similarity.
+	Direction Direction
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments: alpha = 1 (structure only), c = 0.8, both directions, exact
+// computation with pruning enabled.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:     1.0,
+		C:         0.8,
+		Epsilon:   1e-4,
+		MaxRounds: 100,
+		Prune:     true,
+		EstimateI: -1,
+		Direction: Both,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: Alpha must be in [0,1], got %g", c.Alpha)
+	}
+	if c.C <= 0 || c.C >= 1 {
+		return fmt.Errorf("core: C must be in (0,1), got %g", c.C)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("core: Epsilon must be > 0, got %g", c.Epsilon)
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("core: MaxRounds must be >= 1, got %d", c.MaxRounds)
+	}
+	if c.Direction != Forward && c.Direction != Backward && c.Direction != Both {
+		return fmt.Errorf("core: invalid Direction %d", int(c.Direction))
+	}
+	return nil
+}
+
+func (c Config) labels() label.Similarity {
+	if c.Labels == nil || c.Alpha >= 1 {
+		return label.Zero
+	}
+	return c.Labels
+}

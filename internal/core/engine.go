@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/depgraph"
+)
+
+// dirEngine computes the forward similarity of Definition 2 for one
+// direction between two dependency graphs that both carry the artificial
+// event at index 0. Backward similarity is obtained by constructing a
+// dirEngine over the reversed graphs.
+type dirEngine struct {
+	g1, g2 *depgraph.Graph
+	cfg    Config
+
+	n1, n2 int
+	// lab[i*n2+j] is the label similarity of vertex i of g1 and j of g2
+	// (zero rows/columns for the artificial vertices).
+	lab []float64
+	// l1, l2 are the longest distances l(v) from the artificial event.
+	l1, l2 []int
+	// cur and prev are the S^i and S^{i-1} matrices over all vertex pairs.
+	cur, prev []float64
+	// frozen marks pairs that must never be updated: pairs involving an
+	// artificial event, and pairs seeded from a previous result whose value
+	// is provably unchanged (Proposition 4).
+	frozen []bool
+
+	// agree caches the edge-agreement factors C(v1,v1',v2,v2') for every
+	// pair (v1,v2): agree[v1*n2+v2][i*|pre2|+j] is the factor for the i-th
+	// in-neighbor of v1 against the j-th in-neighbor of v2. The factors are
+	// constant across rounds, so caching removes all map lookups and
+	// floating-point recomputation from the hot loop. nil when the graphs
+	// are too large for the cache (see agreeCacheLimit).
+	agree [][]float64
+	// bestBuf is scratch space reused across oneSides calls.
+	bestBuf []float64
+
+	round     int
+	evals     int // number of formula-(1) evaluations performed
+	converged bool
+	estimated bool
+	// lastDelta is the maximum pair increment observed in the latest round.
+	// Lemma 5's induction step shows increments contract by alpha*c per
+	// round, so all future growth is bounded by lastDelta*ac/(1-ac) — a
+	// much tighter upper-bound ingredient than (alpha*c)^round once the
+	// iteration is nearly converged.
+	lastDelta float64
+	warmed    bool // a warm start voids increment-based bounds
+	// bound is min over the graphs of the max finite l(v); Infinite when a
+	// cycle makes both sides unbounded.
+	bound int
+}
+
+// newDirEngine builds the per-direction engine. Both graphs must contain the
+// artificial event.
+func newDirEngine(g1, g2 *depgraph.Graph, cfg Config) (*dirEngine, error) {
+	if !g1.HasArtificial || !g2.HasArtificial {
+		return nil, fmt.Errorf("core: similarity requires graphs with the artificial event (use Graph.AddArtificial)")
+	}
+	l1, err := g1.LongestFromArtificial()
+	if err != nil {
+		return nil, err
+	}
+	l2, err := g2.LongestFromArtificial()
+	if err != nil {
+		return nil, err
+	}
+	e := &dirEngine{
+		g1: g1, g2: g2, cfg: cfg,
+		n1: g1.N(), n2: g2.N(),
+		l1: l1, l2: l2,
+	}
+	e.lab = make([]float64, e.n1*e.n2)
+	sim := cfg.labels()
+	if cfg.Alpha < 1 {
+		for i := 1; i < e.n1; i++ {
+			for j := 1; j < e.n2; j++ {
+				e.lab[i*e.n2+j] = sim(g1.Names[i], g2.Names[j])
+			}
+		}
+	}
+	e.cur = make([]float64, e.n1*e.n2)
+	e.prev = make([]float64, e.n1*e.n2)
+	e.frozen = make([]bool, e.n1*e.n2)
+	// Initialization: S^0(v^X, v^X) = 1; artificial/real pairs stay 0 and
+	// are never updated.
+	e.cur[0] = 1
+	for j := 0; j < e.n2; j++ {
+		e.frozen[j] = true
+	}
+	for i := 0; i < e.n1; i++ {
+		e.frozen[i*e.n2] = true
+	}
+	e.bound = convergenceBound(l1, l2)
+	e.buildAgreementCache()
+	return e, nil
+}
+
+// agreeCacheLimit caps the total number of cached agreement factors
+// (E1 * E2 entries); beyond it the engine computes factors on the fly. It
+// is a variable so tests can force the fallback path.
+var agreeCacheLimit int64 = 1 << 24
+
+// buildAgreementCache precomputes the edge-agreement factors for every real
+// pair unless the graphs are too large.
+func (e *dirEngine) buildAgreementCache() {
+	if int64(e.g1.EdgeCount())*int64(e.g2.EdgeCount()) > agreeCacheLimit {
+		return
+	}
+	e.agree = make([][]float64, e.n1*e.n2)
+	for v1 := 1; v1 < e.n1; v1++ {
+		pre1 := e.g1.Pre[v1]
+		for v2 := 1; v2 < e.n2; v2++ {
+			pre2 := e.g2.Pre[v2]
+			if len(pre1) == 0 || len(pre2) == 0 {
+				continue
+			}
+			row := make([]float64, len(pre1)*len(pre2))
+			for i, p1 := range pre1 {
+				for j, p2 := range pre2 {
+					row[i*len(pre2)+j] = e.edgeAgreement(p1, v1, p2, v2)
+				}
+			}
+			e.agree[v1*e.n2+v2] = row
+		}
+	}
+}
+
+// convergenceBound returns min(max_v1 l(v1), max_v2 l(v2)) over finite
+// values, or Infinite when a side has any infinite l... per Proposition 2 the
+// whole computation is guaranteed to stop after that many rounds.
+func convergenceBound(l1, l2 []int) int {
+	maxOf := func(l []int) int {
+		m := 0
+		for _, v := range l {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return min(maxOf(l1), maxOf(l2))
+}
+
+// seed fixes the similarity of pair (i,j) to v and freezes it so iteration
+// never updates it. Used by composite matching for pairs whose value is
+// provably unchanged (Proposition 4).
+func (e *dirEngine) seed(i, j int, v float64) {
+	e.cur[i*e.n2+j] = v
+	e.frozen[i*e.n2+j] = true
+}
+
+// edgeAgreement returns C(v1,v1',v2,v2') = c * (1 - |f1-f2|/(f1+f2)) for the
+// in-edges (p1,v1) of g1 and (p2,v2) of g2. Both edges must exist.
+func (e *dirEngine) edgeAgreement(p1, v1, p2, v2 int) float64 {
+	f1 := e.g1.EdgeFreq[p1][v1]
+	f2 := e.g2.EdgeFreq[p2][v2]
+	sum := f1 + f2
+	if sum == 0 {
+		return 0
+	}
+	return e.cfg.C * (1 - math.Abs(f1-f2)/sum)
+}
+
+// oneSides computes s(v1,v2) and s(v2,v1) of Definition 2 from the prev
+// matrix in one pass: for each in-neighbor of one event, the best
+// edge-weighted similarity against the in-neighbors of the other, averaged.
+func (e *dirEngine) oneSides(v1, v2 int) (s12, s21 float64) {
+	pre1 := e.g1.Pre[v1]
+	pre2 := e.g2.Pre[v2]
+	if len(pre1) == 0 || len(pre2) == 0 {
+		return 0, 0
+	}
+	if cache := e.agree; cache != nil {
+		row := cache[v1*e.n2+v2]
+		best2 := e.bestBuf
+		if cap(best2) < len(pre2) {
+			best2 = make([]float64, len(pre2))
+		} else {
+			best2 = best2[:len(pre2)]
+			for j := range best2 {
+				best2[j] = 0
+			}
+		}
+		var sum1 float64
+		k := 0
+		for _, p1 := range pre1 {
+			base := p1 * e.n2
+			best := 0.0
+			for j, p2 := range pre2 {
+				if s := e.prev[base+p2]; s != 0 {
+					v := row[k+j] * s
+					if v > best {
+						best = v
+					}
+					if v > best2[j] {
+						best2[j] = v
+					}
+				}
+			}
+			sum1 += best
+			k += len(pre2)
+		}
+		var sum2 float64
+		for _, b := range best2 {
+			sum2 += b
+		}
+		e.bestBuf = best2
+		return sum1 / float64(len(pre1)), sum2 / float64(len(pre2))
+	}
+	// Fallback without the agreement cache.
+	var sum1 float64
+	best2 := make([]float64, len(pre2))
+	for _, p1 := range pre1 {
+		best := 0.0
+		for j, p2 := range pre2 {
+			if s := e.prev[p1*e.n2+p2]; s != 0 {
+				v := e.edgeAgreement(p1, v1, p2, v2) * s
+				if v > best {
+					best = v
+				}
+				if v > best2[j] {
+					best2[j] = v
+				}
+			}
+		}
+		sum1 += best
+	}
+	var sum2 float64
+	for _, b := range best2 {
+		sum2 += b
+	}
+	return sum1 / float64(len(pre1)), sum2 / float64(len(pre2))
+}
+
+// step performs one iteration round (formula (1)) over all non-frozen real
+// pairs and returns the maximum absolute change. When pruning is enabled,
+// pairs already past their convergence bound are skipped.
+func (e *dirEngine) step() float64 {
+	e.round++
+	copy(e.prev, e.cur)
+	var maxDelta float64
+	for v1 := 1; v1 < e.n1; v1++ {
+		row := v1 * e.n2
+		for v2 := 1; v2 < e.n2; v2++ {
+			idx := row + v2
+			if e.frozen[idx] {
+				continue
+			}
+			if e.cfg.Prune && e.round > min(e.l1[v1], e.l2[v2]) {
+				continue
+			}
+			s12, s21 := e.oneSides(v1, v2)
+			v := e.cfg.Alpha*(s12+s21)/2 + (1-e.cfg.Alpha)*e.lab[idx]
+			e.evals++
+			if d := math.Abs(v - e.prev[idx]); d > maxDelta {
+				maxDelta = d
+			}
+			e.cur[idx] = v
+		}
+	}
+	e.lastDelta = maxDelta
+	return maxDelta
+}
+
+// done reports whether iteration may stop: epsilon convergence, the
+// early-convergence bound, or the hard round cap.
+func (e *dirEngine) doneAfter(delta float64) bool {
+	if delta <= e.cfg.Epsilon {
+		e.converged = true
+		return true
+	}
+	if e.cfg.Prune && e.bound != depgraph.Infinite && e.round >= e.bound {
+		e.converged = true
+		return true
+	}
+	return e.round >= e.cfg.MaxRounds
+}
+
+// run iterates to completion, honoring the exact/estimation trade-off when
+// cfg.EstimateI >= 0 (Algorithm 1).
+func (e *dirEngine) run() {
+	limit := e.cfg.MaxRounds
+	if e.cfg.EstimateI >= 0 && e.cfg.EstimateI < limit {
+		limit = e.cfg.EstimateI
+	}
+	for e.round < limit {
+		delta := e.step()
+		if e.doneAfter(delta) {
+			break
+		}
+	}
+	if e.cfg.EstimateI >= 0 && !e.converged {
+		e.estimate()
+	}
+}
+
+// estimate applies the closed-form estimation of Section 3.5 to every pair
+// that has not converged after the exact rounds: with A = |•v1|, B = |•v2|,
+// q = alpha*c*(2AB-A-B)/(2AB) and a = alpha*(A+B)/(2AB)*C_x + (1-alpha)*S^L,
+// the estimate after h rounds is q^(h-I)*S^I + a*(1-q^(h-I))/(1-q), where
+// C_x is the edge-agreement of the artificial in-edges and h is the pair's
+// convergence bound min(l(v1), l(v2)) (the limit a/(1-q) when unbounded).
+//
+// Two refinements tighten the estimate without leaving the paper's
+// framework (the paper leaves the estimation bound as future work):
+// the exact S^I is a lower bound of the limit (Theorem 1 monotonicity), so
+// the estimate is clamped from below; and when two exact iterates are
+// available (I >= 2), the recurrence constant a is fitted per pair from the
+// observed step a = S^I - q*S^(I-1) instead of assuming every edge
+// agreement reaches its maximum c — the fitted recurrence has the same
+// closed form and converges to the exact similarity as I grows.
+func (e *dirEngine) estimate() {
+	if e.estimated {
+		return
+	}
+	e.estimated = true
+	I := e.round
+	for v1 := 1; v1 < e.n1; v1++ {
+		for v2 := 1; v2 < e.n2; v2++ {
+			idx := v1*e.n2 + v2
+			if e.frozen[idx] {
+				continue
+			}
+			h := min(e.l1[v1], e.l2[v2])
+			if h <= I {
+				continue // already exact
+			}
+			a, q := e.estimationCoefficients(v1, v2)
+			if I >= 2 {
+				if fit := e.cur[idx] - q*e.prev[idx]; fit >= 0 {
+					a = fit
+				}
+			}
+			var est float64
+			if h == depgraph.Infinite {
+				est = a / (1 - q)
+			} else {
+				pw := math.Pow(q, float64(h-I))
+				est = pw*e.cur[idx] + a*(1-pw)/(1-q)
+			}
+			// The exact S^I is a lower bound of the true similarity
+			// (Theorem 1 monotonicity), so never estimate below it.
+			if est < e.cur[idx] {
+				est = e.cur[idx]
+			}
+			e.cur[idx] = clamp01(est)
+		}
+	}
+}
+
+// estimationCoefficients returns (a, q) of formula (2) for the pair (v1,v2).
+func (e *dirEngine) estimationCoefficients(v1, v2 int) (a, q float64) {
+	A := float64(len(e.g1.Pre[v1]))
+	B := float64(len(e.g2.Pre[v2]))
+	if A == 0 || B == 0 {
+		// No structural contribution at all: the fixpoint is the label part.
+		return (1 - e.cfg.Alpha) * e.lab[v1*e.n2+v2], 0
+	}
+	q = e.cfg.Alpha * e.cfg.C * (2*A*B - A - B) / (2 * A * B)
+	var cx float64
+	_, ok1 := e.g1.Freq(0, v1)
+	_, ok2 := e.g2.Freq(0, v2)
+	if ok1 && ok2 {
+		cx = e.edgeAgreement(0, v1, 0, v2)
+	}
+	a = e.cfg.Alpha*(A+B)/(2*A*B)*cx + (1-e.cfg.Alpha)*e.lab[v1*e.n2+v2]
+	return a, q
+}
+
+// upperBoundSum returns the sum over all real pairs of the similarity upper
+// bounds after the current round k: S^k + ((ac)^k - (ac)^h)/(1-ac) with
+// h = min(l(v1), l(v2)) (Corollary 7), falling back to the unbounded form of
+// Proposition 6 when h is infinite, each clamped to 1.
+func (e *dirEngine) upperBoundSum() float64 {
+	ac := e.cfg.Alpha * e.cfg.C
+	k := float64(e.round)
+	ack := math.Pow(ac, k)
+	// Increment-contraction cap (Lemma 5 induction): after a round with
+	// maximum increment d, future rounds add at most d*(ac + ac^2 + ...).
+	// Monotone increments require a cold start, so warm-started engines
+	// fall back to the geometric bound alone.
+	deltaCap := math.Inf(1)
+	if e.round >= 1 && !e.warmed {
+		deltaCap = e.lastDelta * ac / (1 - ac)
+	}
+	var sum float64
+	for v1 := 1; v1 < e.n1; v1++ {
+		for v2 := 1; v2 < e.n2; v2++ {
+			idx := v1*e.n2 + v2
+			s := e.cur[idx]
+			if e.frozen[idx] {
+				sum += s
+				continue
+			}
+			h := min(e.l1[v1], e.l2[v2])
+			var slack float64
+			switch {
+			case e.round >= h:
+				slack = 0 // converged (Proposition 2)
+			case h == depgraph.Infinite:
+				slack = ack / (1 - ac)
+			default:
+				slack = (ack - math.Pow(ac, float64(h))) / (1 - ac)
+			}
+			if slack > deltaCap {
+				slack = deltaCap
+			}
+			b := s + slack
+			if b > 1 {
+				b = 1
+			}
+			sum += b
+		}
+	}
+	return sum
+}
+
+// realMatrix extracts the similarity matrix restricted to real events
+// (dropping the artificial row and column).
+func (e *dirEngine) realMatrix() []float64 {
+	r1, r2 := e.n1-1, e.n2-1
+	out := make([]float64, r1*r2)
+	for i := 0; i < r1; i++ {
+		copy(out[i*r2:(i+1)*r2], e.cur[(i+1)*e.n2+1:(i+2)*e.n2])
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

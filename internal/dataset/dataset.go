@@ -1,0 +1,400 @@
+// Package dataset constructs the evaluation datasets of Section 5. The
+// paper's real data (149 event-log pairs from two subsidiaries of a bus
+// manufacturer, with expert ground truth) is proprietary, so this package
+// synthesizes pairs with the same injected challenges: a random process
+// model is played out into two logs; the second log is renamed (opaquely or
+// typographically-similarly), dislocated at the front and/or back of its
+// traces, and optionally has always-consecutive runs merged into composite
+// events. Because every mutation is generated, the ground-truth mapping is
+// known exactly.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/composite"
+	"repro/internal/eventlog"
+	"repro/internal/matching"
+	"repro/internal/procgen"
+)
+
+// Testbed identifies the dislocation placement of a pair group, mirroring
+// the paper's testbeds.
+type Testbed string
+
+const (
+	// DSF has dislocated events at the end of traces (paper: DS-F).
+	DSF Testbed = "DS-F"
+	// DSB has dislocated events at the beginning of traces (paper: DS-B).
+	DSB Testbed = "DS-B"
+	// DSFB has dislocated events at both ends (paper: DS-FB).
+	DSFB Testbed = "DS-FB"
+	// None has no dislocation (used by the scalability experiments).
+	None Testbed = "none"
+)
+
+// Pair is one evaluation unit: two heterogeneous logs of the same process
+// plus the generative ground-truth mapping.
+type Pair struct {
+	Name       string
+	Log1, Log2 *eventlog.Log
+	// Truth maps groups of log-1 event names to groups of log-2 event
+	// names. Composite ground truth has multi-event left groups.
+	Truth matching.Mapping
+	// HasComposites reports whether composite events were injected.
+	HasComposites bool
+}
+
+// Options controls pair generation.
+type Options struct {
+	// Events is the number of distinct activities in the process model.
+	Events int
+	// Traces is the number of traces simulated per log.
+	Traces int
+	// DislocateFront trims this many events from the beginning of every
+	// log-2 trace.
+	DislocateFront int
+	// DislocateBack trims from the end likewise.
+	DislocateBack int
+	// ExtraFront injects this many fresh events (with no counterpart in
+	// log 1) at the beginning of log-2 traces — the dislocation of the
+	// paper's Example 1, where log 2 has an extra Order Accepted step
+	// before the first shared event. Two alternative chains are injected
+	// (chosen per trace) so the extra events have realistic frequencies.
+	ExtraFront int
+	// ExtraBack injects fresh events at the end of traces likewise.
+	ExtraBack int
+	// OpaqueFraction is the fraction of log-2 events whose names are
+	// garbled beyond recognition; the rest get typographically similar
+	// names. 1.0 reproduces the fully opaque setting.
+	OpaqueFraction float64
+	// CompositeMerges injects up to this many composite events into log 2
+	// by merging always-consecutive runs.
+	CompositeMerges int
+	// FrequencySkew, when > 0, plays each log out with independently drawn
+	// XOR branch weights of this skew, so corresponding events have
+	// different occurrence frequencies across the two logs — the
+	// statistical heterogeneity of independently implemented systems.
+	FrequencySkew float64
+}
+
+// DefaultOptions returns a mid-sized pair configuration.
+func DefaultOptions() Options {
+	return Options{Events: 20, Traces: 200, OpaqueFraction: 1.0}
+}
+
+// GeneratePair synthesizes one evaluation pair from the options using the
+// given random source.
+func GeneratePair(rng *rand.Rand, name string, opts Options) (*Pair, error) {
+	if opts.Events < 2 {
+		return nil, fmt.Errorf("dataset: Events must be >= 2, got %d", opts.Events)
+	}
+	if opts.Traces < 1 {
+		return nil, fmt.Errorf("dataset: Traces must be >= 1, got %d", opts.Traces)
+	}
+	spec, err := procgen.Generate(rng, procgen.DefaultOptions(opts.Events))
+	if err != nil {
+		return nil, err
+	}
+	po := procgen.DefaultPlayout()
+	po.Traces = opts.Traces
+	po.XorSkew = opts.FrequencySkew
+	log1, err := spec.Playout(rng, name+"/1", po)
+	if err != nil {
+		return nil, err
+	}
+	// Each playout draws its own XOR branch weights, so with FrequencySkew
+	// the two logs disagree on event frequencies like independently built
+	// systems do.
+	log2, err := spec.Playout(rng, name+"/2", po)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pair{Name: name, Log1: log1}
+
+	// 1) Composite injection: merge always-consecutive runs of log 2.
+	type group struct {
+		members []string
+		merged  string
+	}
+	var groups []group
+	if opts.CompositeMerges > 0 {
+		cands := composite.Discover(log2, composite.DiscoverOptions{Confidence: 1.0, MaxLen: 3})
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		used := make(map[string]bool)
+		for _, c := range cands {
+			if len(groups) >= opts.CompositeMerges || c.Overlaps(used) {
+				continue
+			}
+			merged := fmt.Sprintf("joint step %d", len(groups)+1)
+			log2 = log2.MergeConsecutive(c.Events, merged)
+			groups = append(groups, group{members: append([]string(nil), c.Events...), merged: merged})
+			for _, e := range c.Events {
+				used[e] = true
+			}
+		}
+		p.HasComposites = len(groups) > 0
+	}
+
+	// 2) Renaming: every log-2 event gets a new, unique name.
+	rename := renameAlphabet(rng, log2.Alphabet(), opts.OpaqueFraction)
+	log2 = log2.Rename(rename)
+
+	// 3) Dislocation: trim trace fronts/backs and/or inject extra events
+	// into log 2.
+	log2 = trim(log2, opts.DislocateFront, opts.DislocateBack)
+	log2 = inject(rng, log2, opts.ExtraFront, opts.ExtraBack)
+	p.Log2 = log2
+
+	// 4) Ground truth, restricted to events that survived the mutations.
+	alpha2 := make(map[string]bool)
+	for _, e := range log2.Alphabet() {
+		alpha2[e] = true
+	}
+	alpha1 := make(map[string]bool)
+	for _, e := range log1.Alphabet() {
+		alpha1[e] = true
+	}
+	grouped := make(map[string]bool)
+	for _, g := range groups {
+		right := rename[g.merged]
+		if !alpha2[right] {
+			continue
+		}
+		ok := true
+		for _, m := range g.members {
+			if !alpha1[m] {
+				ok = false
+				break
+			}
+			grouped[m] = true
+		}
+		if ok {
+			p.Truth = append(p.Truth, matching.NewCorrespondence(g.members, []string{right}, 1))
+		}
+	}
+	singles := make([]string, 0, len(alpha1))
+	for e := range alpha1 {
+		singles = append(singles, e)
+	}
+	sort.Strings(singles)
+	for _, e := range singles {
+		if grouped[e] {
+			continue
+		}
+		if r, ok := rename[e]; ok && alpha2[r] {
+			p.Truth = append(p.Truth, matching.NewCorrespondence([]string{e}, []string{r}, 1))
+		}
+	}
+	p.Truth.Sort()
+	return p, nil
+}
+
+// renameAlphabet builds an injective renaming of the alphabet: a fraction of
+// the events is garbled into meaningless identifiers (opaque names); the
+// rest receive typographically similar variants.
+func renameAlphabet(rng *rand.Rand, alphabet []string, opaqueFraction float64) map[string]string {
+	taken := make(map[string]bool)
+	out := make(map[string]string, len(alphabet))
+	for _, e := range alphabet {
+		var n string
+		if rng.Float64() < opaqueFraction {
+			n = garble(rng)
+		} else {
+			n = perturb(rng, e)
+		}
+		for taken[n] {
+			n = fmt.Sprintf("%s~%d", n, rng.Intn(1000))
+		}
+		taken[n] = true
+		out[e] = n
+	}
+	return out
+}
+
+// garble produces an opaque identifier carrying no typographic signal.
+func garble(rng *rand.Rand) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = digits[rng.Intn(len(digits))]
+	}
+	return "#" + string(b)
+}
+
+// perturb produces a name similar to the original, the way independently
+// developed systems label the same activity slightly differently.
+func perturb(rng *rand.Rand, name string) string {
+	switch rng.Intn(4) {
+	case 0:
+		return strings.ToUpper(name[:1]) + name[1:] + " step"
+	case 1:
+		return strings.ReplaceAll(name, " ", "_")
+	case 2:
+		return name + fmt.Sprintf(" v%d", 1+rng.Intn(3))
+	default:
+		if len(name) > 4 {
+			return name[:len(name)-2] // clipped abbreviation
+		}
+		return name + "!"
+	}
+}
+
+// trim removes front events from the beginning and back events from the end
+// of every trace, always keeping at least one event per trace.
+func trim(l *eventlog.Log, front, back int) *eventlog.Log {
+	if front <= 0 && back <= 0 {
+		return l
+	}
+	out := eventlog.New(l.Name)
+	for _, t := range l.Traces {
+		f := min(front, len(t)-1)
+		if f < 0 {
+			f = 0
+		}
+		rest := t[f:]
+		b := min(back, len(rest)-1)
+		if b < 0 {
+			b = 0
+		}
+		out.Append(rest[:len(rest)-b].Clone())
+	}
+	return out
+}
+
+// inject prepends and/or appends chains of fresh events to log-2 traces.
+// Two alternative chains are generated per end; each trace picks one with a
+// 60/40 split, so the injected events carry frequencies below 1 like real
+// alternative process entries.
+func inject(rng *rand.Rand, l *eventlog.Log, front, back int) *eventlog.Log {
+	if front <= 0 && back <= 0 {
+		return l
+	}
+	mkChains := func(tag string, n int) [2][]string {
+		var out [2][]string
+		for v := 0; v < 2; v++ {
+			chain := make([]string, n)
+			for i := range chain {
+				chain[i] = fmt.Sprintf("%s %d.%d", tag, v, i)
+			}
+			out[v] = chain
+		}
+		return out
+	}
+	frontChains := mkChains("intake", front)
+	backChains := mkChains("wrapup", back)
+	pick := func(c [2][]string) []string {
+		if rng.Float64() < 0.6 {
+			return c[0]
+		}
+		return c[1]
+	}
+	out := eventlog.New(l.Name)
+	for _, t := range l.Traces {
+		nt := make(eventlog.Trace, 0, len(t)+front+back)
+		if front > 0 {
+			nt = append(nt, pick(frontChains)...)
+		}
+		nt = append(nt, t...)
+		if back > 0 {
+			nt = append(nt, pick(backChains)...)
+		}
+		out.Append(nt)
+	}
+	return out
+}
+
+// Style selects the dislocation mechanism of a testbed.
+type Style int
+
+const (
+	// StyleMixed alternates inject/trim across the pairs of a group.
+	StyleMixed Style = iota
+	// StyleInject adds extra unshared events at the affected trace ends.
+	StyleInject
+	// StyleTrim removes events from the affected trace ends.
+	StyleTrim
+)
+
+// TestbedOptions configures a group of pairs sharing one testbed.
+type TestbedOptions struct {
+	// Pairs is the number of log pairs to generate.
+	Pairs int
+	// Events is the model size per pair.
+	Events int
+	// Traces per log.
+	Traces int
+	// Dislocation is the dislocation amount per affected end; 0 picks a
+	// small random amount per pair.
+	Dislocation int
+	// Style selects how dislocation is injected. StyleMixed (the default)
+	// alternates per pair between injecting extra unshared events (the
+	// Example 1 pattern — log 2's extra "Order Accepted") and removing
+	// events (as in Figure 9), modeling that real dislocated pairs have
+	// both extra and missing steps. StyleInject and StyleTrim force one
+	// style for every pair.
+	Style Style
+	// OpaqueFraction as in Options.
+	OpaqueFraction float64
+	// CompositeMerges as in Options.
+	CompositeMerges int
+	// FrequencySkew as in Options.
+	FrequencySkew float64
+	// Seed makes the group deterministic.
+	Seed int64
+}
+
+// DefaultTestbedOptions mirrors the scale of the paper's real groups.
+func DefaultTestbedOptions() TestbedOptions {
+	return TestbedOptions{Pairs: 10, Events: 20, Traces: 200, OpaqueFraction: 1.0, Seed: 1}
+}
+
+// MakeTestbed generates a group of pairs for the given testbed kind.
+func MakeTestbed(tb Testbed, opts TestbedOptions) ([]*Pair, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]*Pair, 0, opts.Pairs)
+	for i := 0; i < opts.Pairs; i++ {
+		m := opts.Dislocation
+		if m == 0 {
+			m = 1 + rng.Intn(2)
+		}
+		po := Options{
+			Events:          opts.Events,
+			Traces:          opts.Traces,
+			OpaqueFraction:  opts.OpaqueFraction,
+			CompositeMerges: opts.CompositeMerges,
+			FrequencySkew:   opts.FrequencySkew,
+		}
+		front, back := 0, 0
+		switch tb {
+		case DSF:
+			back = m
+		case DSB:
+			front = m
+		case DSFB:
+			front, back = m, m
+		case None:
+		default:
+			return nil, fmt.Errorf("dataset: unknown testbed %q", tb)
+		}
+		switch {
+		case opts.Style == StyleTrim:
+			po.DislocateFront, po.DislocateBack = front, back
+		case opts.Style == StyleMixed && i%2 == 1:
+			// Mixed trim pairs lose at most one event per affected end;
+			// harsher removal is the explicit Figure 9 protocol.
+			po.DislocateFront, po.DislocateBack = min(front, 1), min(back, 1)
+		default:
+			po.ExtraFront, po.ExtraBack = front, back
+		}
+		p, err := GeneratePair(rng, fmt.Sprintf("%s-%02d", tb, i), po)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/composite"
+	"repro/internal/label"
+)
+
+func TestGeneratePairBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := GeneratePair(rng, "p", DefaultOptions())
+	if err != nil {
+		t.Fatalf("GeneratePair: %v", err)
+	}
+	if err := p.Log1.Validate(); err != nil {
+		t.Errorf("log1 invalid: %v", err)
+	}
+	if err := p.Log2.Validate(); err != nil {
+		t.Errorf("log2 invalid: %v", err)
+	}
+	if len(p.Truth) == 0 {
+		t.Fatalf("no ground truth generated")
+	}
+	// Truth references only existing events.
+	a1 := map[string]bool{}
+	for _, e := range p.Log1.Alphabet() {
+		a1[e] = true
+	}
+	a2 := map[string]bool{}
+	for _, e := range p.Log2.Alphabet() {
+		a2[e] = true
+	}
+	for _, c := range p.Truth {
+		for _, e := range c.Left {
+			if !a1[e] {
+				t.Errorf("truth left event %q not in log1", e)
+			}
+		}
+		for _, e := range c.Right {
+			if !a2[e] {
+				t.Errorf("truth right event %q not in log2", e)
+			}
+		}
+	}
+}
+
+func TestGeneratePairOpaqueNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	opts := DefaultOptions()
+	opts.OpaqueFraction = 1.0
+	p, err := GeneratePair(rng, "p", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := label.QGramCosine(3)
+	for _, c := range p.Truth {
+		if len(c.Left) != 1 {
+			continue
+		}
+		if s := sim(c.Left[0], c.Right[0]); s > 0.5 {
+			t.Errorf("opaque renaming left similar names: %q vs %q (%.2f)", c.Left[0], c.Right[0], s)
+		}
+	}
+}
+
+func TestGeneratePairSimilarNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	opts := DefaultOptions()
+	opts.OpaqueFraction = 0
+	p, err := GeneratePair(rng, "p", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := label.QGramCosine(3)
+	var total float64
+	var n int
+	for _, c := range p.Truth {
+		if len(c.Left) != 1 {
+			continue
+		}
+		total += sim(c.Left[0], c.Right[0])
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no singleton truth pairs")
+	}
+	if avg := total / float64(n); avg < 0.4 {
+		t.Errorf("similar renaming too dissimilar: avg qgram %.2f", avg)
+	}
+}
+
+func TestGeneratePairRenamingInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := GeneratePair(rng, "p", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, c := range p.Truth {
+		key := strings.Join(c.Right, "|")
+		if seen[key] {
+			t.Errorf("two truth rows share right side %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGeneratePairDislocationFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	opts := DefaultOptions()
+	base, err := GeneratePair(rand.New(rand.NewSource(5)), "base", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DislocateFront = 2
+	p, err := GeneratePair(rng, "disl", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same model: the dislocated variant loses trace prefixes.
+	for i := range p.Log2.Traces {
+		if len(p.Log2.Traces[i]) > len(base.Log2.Traces[i]) {
+			t.Fatalf("trace %d grew after trimming", i)
+		}
+	}
+	// At least one trace actually shrank.
+	shrunk := false
+	for i := range p.Log2.Traces {
+		if len(p.Log2.Traces[i]) < len(base.Log2.Traces[i]) {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Errorf("front dislocation removed nothing")
+	}
+}
+
+func TestGeneratePairNeverEmptiesTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	opts := DefaultOptions()
+	opts.Events = 4
+	opts.DislocateFront = 10
+	opts.DislocateBack = 10
+	p, err := GeneratePair(rng, "p", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range p.Log2.Traces {
+		if len(tr) == 0 {
+			t.Fatalf("trace %d empty after extreme trimming", i)
+		}
+	}
+}
+
+func TestGeneratePairComposites(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opts := DefaultOptions()
+	opts.CompositeMerges = 2
+	opts.Traces = 150
+	p, err := GeneratePair(rng, "p", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasComposites {
+		t.Skip("no always-consecutive runs in this model; composite injection skipped")
+	}
+	multi := 0
+	for _, c := range p.Truth {
+		if len(c.Left) > 1 {
+			multi++
+			if len(c.Right) != 1 {
+				t.Errorf("composite truth right side not singleton: %v", c)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Errorf("HasComposites set but no multi-event truth rows")
+	}
+}
+
+func TestGeneratePairValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GeneratePair(rng, "p", Options{Events: 1, Traces: 10}); err == nil {
+		t.Errorf("Events=1 accepted")
+	}
+	if _, err := GeneratePair(rng, "p", Options{Events: 5, Traces: 0}); err == nil {
+		t.Errorf("Traces=0 accepted")
+	}
+}
+
+func TestMakeTestbedKinds(t *testing.T) {
+	for _, tb := range []Testbed{DSF, DSB, DSFB, None} {
+		opts := DefaultTestbedOptions()
+		opts.Pairs = 3
+		opts.Events = 12
+		opts.Traces = 60
+		pairs, err := MakeTestbed(tb, opts)
+		if err != nil {
+			t.Fatalf("MakeTestbed(%s): %v", tb, err)
+		}
+		if len(pairs) != 3 {
+			t.Fatalf("%s: %d pairs, want 3", tb, len(pairs))
+		}
+		for _, p := range pairs {
+			if len(p.Truth) == 0 {
+				t.Errorf("%s %s: empty truth", tb, p.Name)
+			}
+		}
+	}
+	if _, err := MakeTestbed(Testbed("bogus"), DefaultTestbedOptions()); err == nil {
+		t.Errorf("unknown testbed accepted")
+	}
+}
+
+func TestMakeTestbedDeterministic(t *testing.T) {
+	opts := DefaultTestbedOptions()
+	opts.Pairs = 2
+	opts.Events = 10
+	opts.Traces = 50
+	p1, err := MakeTestbed(DSB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := MakeTestbed(DSB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i].Log2.Traces[0].String() != p2[i].Log2.Traces[0].String() {
+			t.Fatalf("same seed produced different pairs")
+		}
+	}
+}
+
+func TestTruthHasNoCompositeNameSep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	opts := DefaultOptions()
+	opts.CompositeMerges = 2
+	p, err := GeneratePair(rng, "p", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Truth {
+		for _, e := range append(append([]string{}, c.Left...), c.Right...) {
+			if strings.Contains(e, composite.NameSep) {
+				t.Errorf("truth event %q contains the composite name separator", e)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromFrequencies constructs a dependency graph directly from frequency
+// tables instead of a log — useful when statistics come from an external
+// system or when reconstructing a published example. Node frequencies must
+// be in (0, 1]; edge frequencies in (0, 1] and only between known nodes.
+func FromFrequencies(nodeFreq map[string]float64, edgeFreq map[[2]string]float64) (*Graph, error) {
+	if len(nodeFreq) == 0 {
+		return nil, fmt.Errorf("depgraph: no nodes")
+	}
+	names := make([]string, 0, len(nodeFreq))
+	for n, f := range nodeFreq {
+		if n == ArtificialName {
+			return nil, fmt.Errorf("depgraph: node uses the reserved artificial name %q", ArtificialName)
+		}
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("depgraph: node %q frequency %g outside (0,1]", n, f)
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	g := newGraph(names)
+	for n, f := range nodeFreq {
+		g.NodeFreq[g.Index[n]] = f
+	}
+	for pair, f := range edgeFreq {
+		u, ok := g.Index[pair[0]]
+		if !ok {
+			return nil, fmt.Errorf("depgraph: edge references unknown node %q", pair[0])
+		}
+		v, ok := g.Index[pair[1]]
+		if !ok {
+			return nil, fmt.Errorf("depgraph: edge references unknown node %q", pair[1])
+		}
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("depgraph: edge %v frequency %g outside (0,1]", pair, f)
+		}
+		g.EdgeFreq[u][v] = f
+	}
+	g.rebuildAdjacency()
+	return g, nil
+}

@@ -1,0 +1,362 @@
+// Package depgraph implements the event dependency graph of Definition 1 in
+// "Matching Heterogeneous Event Data" (SIGMOD 2014): a labeled directed graph
+// whose vertices are events and whose node/edge labels are normalized
+// occurrence frequencies, extended with the artificial event v^X that turns
+// every event into a virtual trace start and end (the device that enables
+// dislocated matching). The package also provides the minimum-frequency edge
+// filter, graph reversal (for backward similarity), composite-event merging,
+// and the longest-distance function l(v) used by early-convergence pruning.
+package depgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/eventlog"
+)
+
+// ArtificialName is the reserved label of the artificial event v^X. Real
+// event logs must not contain it.
+const ArtificialName = "⊥vX⊥"
+
+// Infinite is the l(v) value of vertices whose longest distance from the
+// artificial event is unbounded because a cycle lies on some path to them.
+const Infinite = math.MaxInt32
+
+// Graph is an event dependency graph. Vertices are indexed 0..N-1; when the
+// artificial event is present it always has index 0 so that real events
+// occupy 1..N-1. Adjacency and frequencies are stored in index space for
+// fast iteration during similarity computation.
+type Graph struct {
+	// Names maps vertex index to event name. Names[0] == ArtificialName iff
+	// HasArtificial.
+	Names []string
+	// Index maps event name to vertex index (inverse of Names).
+	Index map[string]int
+	// Pre[v] lists the in-neighbors (pre-set •v) of v, sorted ascending.
+	Pre [][]int
+	// Post[v] lists the out-neighbors (post-set v•) of v, sorted ascending.
+	Post [][]int
+	// NodeFreq[v] is the fraction of traces containing v (1.0 for v^X).
+	NodeFreq []float64
+	// EdgeFreq[u][v] is the normalized frequency of edge (u,v); absent keys
+	// mean no edge.
+	EdgeFreq []map[int]float64
+	// HasArtificial records whether vertex 0 is the artificial event v^X.
+	HasArtificial bool
+}
+
+// Build constructs the dependency graph of a log per Definition 1, without
+// the artificial event. Vertices are the distinct events of the log in
+// sorted name order; an edge (u,v) exists iff u and v occur consecutively in
+// at least one trace, weighted by the fraction of traces where they do.
+func Build(l *eventlog.Log) (*Graph, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	st := eventlog.CollectStats(l)
+	names := make([]string, 0, len(st.NodeFreq))
+	for e := range st.NodeFreq {
+		if e == ArtificialName {
+			return nil, fmt.Errorf("depgraph: log %q contains the reserved artificial event name %q", l.Name, ArtificialName)
+		}
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	g := newGraph(names)
+	for i, n := range names {
+		g.NodeFreq[i] = st.NodeFreq[n]
+	}
+	for pair, f := range st.EdgeFreq {
+		u, v := g.Index[pair[0]], g.Index[pair[1]]
+		g.EdgeFreq[u][v] = f
+	}
+	g.rebuildAdjacency()
+	return g, nil
+}
+
+func newGraph(names []string) *Graph {
+	n := len(names)
+	g := &Graph{
+		Names:    append([]string(nil), names...),
+		Index:    make(map[string]int, n),
+		Pre:      make([][]int, n),
+		Post:     make([][]int, n),
+		NodeFreq: make([]float64, n),
+		EdgeFreq: make([]map[int]float64, n),
+	}
+	for i, name := range names {
+		g.Index[name] = i
+		g.EdgeFreq[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// rebuildAdjacency recomputes Pre and Post from EdgeFreq.
+func (g *Graph) rebuildAdjacency() {
+	for i := range g.Pre {
+		g.Pre[i] = g.Pre[i][:0]
+		g.Post[i] = g.Post[i][:0]
+	}
+	for u := range g.EdgeFreq {
+		for v := range g.EdgeFreq[u] {
+			g.Post[u] = append(g.Post[u], v)
+			g.Pre[v] = append(g.Pre[v], u)
+		}
+	}
+	for i := range g.Pre {
+		sort.Ints(g.Pre[i])
+		sort.Ints(g.Post[i])
+	}
+}
+
+// N returns the number of vertices including the artificial event if present.
+func (g *Graph) N() int { return len(g.Names) }
+
+// RealCount returns the number of real (non-artificial) events.
+func (g *Graph) RealCount() int {
+	if g.HasArtificial {
+		return g.N() - 1
+	}
+	return g.N()
+}
+
+// RealStart returns the first index holding a real event: 1 when the
+// artificial event occupies index 0, else 0.
+func (g *Graph) RealStart() int {
+	if g.HasArtificial {
+		return 1
+	}
+	return 0
+}
+
+// Freq returns the frequency of edge (u,v) and whether the edge exists.
+func (g *Graph) Freq(u, v int) (float64, bool) {
+	f, ok := g.EdgeFreq[u][v]
+	return f, ok
+}
+
+// EdgeCount returns the number of directed edges in the graph.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, m := range g.EdgeFreq {
+		n += len(m)
+	}
+	return n
+}
+
+// AvgDegree returns the average out-degree of the graph (edges / vertices);
+// 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return float64(g.EdgeCount()) / float64(g.N())
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := newGraph(g.Names)
+	c.HasArtificial = g.HasArtificial
+	copy(c.NodeFreq, g.NodeFreq)
+	for u, m := range g.EdgeFreq {
+		for v, f := range m {
+			c.EdgeFreq[u][v] = f
+		}
+	}
+	c.rebuildAdjacency()
+	return c
+}
+
+// AddArtificial returns a copy of the graph extended with the artificial
+// event v^X at index 0: edges (v^X,v) and (v,v^X) with frequency f(v) are
+// added for every real event v, so that every event can act as a virtual
+// trace start and end. Calling it on a graph that already has the artificial
+// event is an error.
+func (g *Graph) AddArtificial() (*Graph, error) {
+	if g.HasArtificial {
+		return nil, fmt.Errorf("depgraph: graph already has the artificial event")
+	}
+	names := make([]string, 0, g.N()+1)
+	names = append(names, ArtificialName)
+	names = append(names, g.Names...)
+	c := newGraph(names)
+	c.HasArtificial = true
+	c.NodeFreq[0] = 1.0
+	for i, f := range g.NodeFreq {
+		c.NodeFreq[i+1] = f
+	}
+	for u, m := range g.EdgeFreq {
+		for v, f := range m {
+			c.EdgeFreq[u+1][v+1] = f
+		}
+	}
+	for v := 1; v < c.N(); v++ {
+		c.EdgeFreq[0][v] = c.NodeFreq[v]
+		c.EdgeFreq[v][0] = c.NodeFreq[v]
+	}
+	c.rebuildAdjacency()
+	return c, nil
+}
+
+// FilterMinFrequency returns a copy of the graph with every edge whose
+// frequency is strictly below the threshold removed (the minimum frequency
+// control of Section 2). Artificial edges are filtered like real ones.
+// Node frequencies are untouched. A threshold <= 0 returns an unfiltered
+// copy.
+func (g *Graph) FilterMinFrequency(threshold float64) *Graph {
+	c := g.Clone()
+	if threshold <= 0 {
+		return c
+	}
+	for u := range c.EdgeFreq {
+		for v, f := range c.EdgeFreq[u] {
+			if f < threshold {
+				delete(c.EdgeFreq[u], v)
+			}
+		}
+	}
+	c.rebuildAdjacency()
+	return c
+}
+
+// Reverse returns the graph with every edge direction flipped; frequencies
+// are preserved. Forward similarity on the reversed graph equals backward
+// similarity on the original.
+func (g *Graph) Reverse() *Graph {
+	c := newGraph(g.Names)
+	c.HasArtificial = g.HasArtificial
+	copy(c.NodeFreq, g.NodeFreq)
+	for u, m := range g.EdgeFreq {
+		for v, f := range m {
+			c.EdgeFreq[v][u] = f
+		}
+	}
+	c.rebuildAdjacency()
+	return c
+}
+
+// LongestFromArtificial computes l(v) for every vertex: the length of the
+// longest path from v^X to v that does not revisit v^X. Vertices reachable
+// through a (real-edge) cycle get Infinite. The artificial vertex itself has
+// l = 0. The graph must have the artificial event.
+//
+// The computation works on the subgraph of real edges plus the outgoing
+// artificial edges (incoming artificial edges cannot lie on a v^X→v path
+// that does not revisit v^X): vertices on or downstream of a cycle get
+// Infinite; the rest form a DAG processed in topological order.
+func (g *Graph) LongestFromArtificial() ([]int, error) {
+	if !g.HasArtificial {
+		return nil, fmt.Errorf("depgraph: LongestFromArtificial requires the artificial event")
+	}
+	n := g.N()
+	// Kahn's algorithm over the subgraph excluding edges into v^X.
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Post[u] {
+			if v == 0 {
+				continue
+			}
+			indeg[v]++
+		}
+	}
+	order := make([]int, 0, n)
+	queue := []int{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Post[u] {
+			if v == 0 {
+				continue
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	acyclic := make([]bool, n)
+	for _, v := range order {
+		acyclic[v] = true
+	}
+	l := make([]int, n)
+	for v := range l {
+		l[v] = Infinite
+	}
+	l[0] = 0
+	for _, u := range order {
+		if l[u] == Infinite {
+			continue
+		}
+		for _, v := range g.Post[u] {
+			if v == 0 || !acyclic[v] {
+				continue
+			}
+			if d := l[u] + 1; l[v] == Infinite || d > l[v] {
+				l[v] = d
+			}
+		}
+	}
+	// Vertices not in the topological order are on or downstream of a cycle
+	// and keep Infinite; acyclic vertices unreachable from v^X keep Infinite
+	// as well (their similarity never leaves 0, so never updating them is
+	// sound).
+	return l, nil
+}
+
+// Ancestors returns, for the given vertex set, the union of all vertices
+// from which any member is reachable via real edges (edges through v^X are
+// skipped), excluding v^X itself. It is used by the unchanged-similarity
+// pruning of Proposition 4.
+func (g *Graph) Ancestors(of map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	var stack []int
+	for v := range of {
+		stack = append(stack, v)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Pre[v] {
+			if g.HasArtificial && u == 0 {
+				continue
+			}
+			if !out[u] {
+				out[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return out
+}
+
+// Descendants is the dual of Ancestors: vertices reachable from the set via
+// real edges.
+func (g *Graph) Descendants(of map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	var stack []int
+	for v := range of {
+		stack = append(stack, v)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Post[v] {
+			if g.HasArtificial && u == 0 {
+				continue
+			}
+			if !out[u] {
+				out[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+package depgraph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eventlog"
+	"repro/internal/paperexample"
+)
+
+func buildLog1(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(paperexample.Log1())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func buildLog2(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(paperexample.Log2())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func edge(t *testing.T, g *Graph, a, b string) float64 {
+	t.Helper()
+	f, ok := g.Freq(g.Index[a], g.Index[b])
+	if !ok {
+		t.Fatalf("edge (%s,%s) missing", a, b)
+	}
+	return f
+}
+
+// TestFigure1Frequencies validates the reconstructed example against the
+// frequencies printed in Figures 1(c) and 1(d) of the paper.
+func TestFigure1Frequencies(t *testing.T) {
+	g1 := buildLog1(t)
+	if got := g1.NodeFreq[g1.Index["A"]]; math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("f(A) = %g, want 0.4", got)
+	}
+	if got := g1.NodeFreq[g1.Index["C"]]; math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("f(C) = %g, want 1.0", got)
+	}
+	if got := edge(t, g1, "A", "C"); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("f(A,C) = %g, want 0.4", got)
+	}
+	if got := edge(t, g1, "B", "C"); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("f(B,C) = %g, want 0.6", got)
+	}
+	if got := edge(t, g1, "C", "D"); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("f(C,D) = %g, want 1.0", got)
+	}
+	g2 := buildLog2(t)
+	if got := g2.NodeFreq[g2.Index["1"]]; math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("f(1) = %g, want 1.0", got)
+	}
+	if got := g2.NodeFreq[g2.Index["2"]]; math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("f(2) = %g, want 0.4", got)
+	}
+	if got := edge(t, g2, "1", "2"); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("f(1,2) = %g, want 0.4", got)
+	}
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	g := buildLog1(t)
+	c := g.Index["C"]
+	var preNames []string
+	for _, p := range g.Pre[c] {
+		preNames = append(preNames, g.Names[p])
+	}
+	if !reflect.DeepEqual(preNames, []string{"A", "B"}) {
+		t.Errorf("pre(C) = %v, want [A B]", preNames)
+	}
+	var postNames []string
+	for _, p := range g.Post[c] {
+		postNames = append(postNames, g.Names[p])
+	}
+	if !reflect.DeepEqual(postNames, []string{"D"}) {
+		t.Errorf("post(C) = %v, want [D]", postNames)
+	}
+}
+
+func TestBuildRejectsReservedName(t *testing.T) {
+	l := eventlog.New("bad")
+	l.Append(eventlog.Trace{ArtificialName, "a"})
+	if _, err := Build(l); err == nil {
+		t.Errorf("reserved artificial name accepted")
+	}
+}
+
+func TestBuildRejectsEmptyLog(t *testing.T) {
+	if _, err := Build(eventlog.New("empty")); err == nil {
+		t.Errorf("empty log accepted")
+	}
+}
+
+func TestAddArtificial(t *testing.T) {
+	g := buildLog1(t)
+	ga, err := g.AddArtificial()
+	if err != nil {
+		t.Fatalf("AddArtificial: %v", err)
+	}
+	if !ga.HasArtificial || ga.Names[0] != ArtificialName {
+		t.Fatalf("artificial event not at index 0")
+	}
+	if ga.N() != g.N()+1 {
+		t.Fatalf("N = %d, want %d", ga.N(), g.N()+1)
+	}
+	// Every real event gains edges to and from v^X with frequency f(v).
+	for v := 1; v < ga.N(); v++ {
+		name := ga.Names[v]
+		want := g.NodeFreq[g.Index[name]]
+		if f, ok := ga.Freq(0, v); !ok || math.Abs(f-want) > 1e-12 {
+			t.Errorf("f(vX,%s) = %g,%v, want %g", name, f, ok, want)
+		}
+		if f, ok := ga.Freq(v, 0); !ok || math.Abs(f-want) > 1e-12 {
+			t.Errorf("f(%s,vX) = %g,%v, want %g", name, f, ok, want)
+		}
+	}
+	// Real edges are preserved.
+	if f, ok := ga.Freq(ga.Index["A"], ga.Index["C"]); !ok || math.Abs(f-0.4) > 1e-12 {
+		t.Errorf("f(A,C) after artificial = %g,%v, want 0.4", f, ok)
+	}
+	if _, err := ga.AddArtificial(); err == nil {
+		t.Errorf("double AddArtificial accepted")
+	}
+}
+
+func TestRealCountAndStart(t *testing.T) {
+	g := buildLog1(t)
+	if g.RealCount() != 6 || g.RealStart() != 0 {
+		t.Errorf("plain graph: RealCount=%d RealStart=%d, want 6,0", g.RealCount(), g.RealStart())
+	}
+	ga, _ := g.AddArtificial()
+	if ga.RealCount() != 6 || ga.RealStart() != 1 {
+		t.Errorf("artificial graph: RealCount=%d RealStart=%d, want 6,1", ga.RealCount(), ga.RealStart())
+	}
+}
+
+func TestFilterMinFrequency(t *testing.T) {
+	g := buildLog1(t)
+	f := g.FilterMinFrequency(0.5)
+	if _, ok := f.Freq(f.Index["A"], f.Index["C"]); ok {
+		t.Errorf("edge (A,C) with frequency 0.4 survived threshold 0.5")
+	}
+	if _, ok := f.Freq(f.Index["B"], f.Index["C"]); !ok {
+		t.Errorf("edge (B,C) with frequency 0.6 removed by threshold 0.5")
+	}
+	// Original untouched.
+	if _, ok := g.Freq(g.Index["A"], g.Index["C"]); !ok {
+		t.Errorf("FilterMinFrequency mutated the receiver")
+	}
+	// Zero threshold is identity.
+	f0 := g.FilterMinFrequency(0)
+	if f0.EdgeCount() != g.EdgeCount() {
+		t.Errorf("threshold 0 removed edges: %d vs %d", f0.EdgeCount(), g.EdgeCount())
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := buildLog1(t)
+	r := g.Reverse()
+	if f, ok := r.Freq(r.Index["C"], r.Index["A"]); !ok || math.Abs(f-0.4) > 1e-12 {
+		t.Errorf("reversed edge (C,A) = %g,%v, want 0.4", f, ok)
+	}
+	if _, ok := r.Freq(r.Index["A"], r.Index["C"]); ok {
+		t.Errorf("original edge direction survived reversal")
+	}
+	rr := r.Reverse()
+	if !reflect.DeepEqual(rr.EdgeFreq, g.EdgeFreq) {
+		t.Errorf("double reversal differs from original")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := buildLog1(t)
+	c := g.Clone()
+	delete(c.EdgeFreq[c.Index["A"]], c.Index["C"])
+	if _, ok := g.Freq(g.Index["A"], g.Index["C"]); !ok {
+		t.Errorf("Clone shares edge maps")
+	}
+}
+
+// TestLongestFromArtificial checks l(v) on the acyclic example graph:
+// Example 5 of the paper states l(A) = 1 and that C converges at round 2
+// and D at round 3, i.e. l(C) = 2 and l(D) = 3.
+func TestLongestFromArtificial(t *testing.T) {
+	g, _ := buildLog1(t).AddArtificial()
+	l, err := g.LongestFromArtificial()
+	if err != nil {
+		t.Fatalf("LongestFromArtificial: %v", err)
+	}
+	want := map[string]int{"A": 1, "B": 1, "C": 2, "D": 3, "E": 4, "F": 4}
+	// E and F are concurrent: E->F and F->E both exist, forming a cycle, so
+	// both are Infinite in the reconstructed log.
+	wantEF := Infinite
+	for name, w := range want {
+		got := l[g.Index[name]]
+		if name == "E" || name == "F" {
+			if got != wantEF {
+				t.Errorf("l(%s) = %d, want Infinite (E/F cycle)", name, got)
+			}
+			continue
+		}
+		if got != w {
+			t.Errorf("l(%s) = %d, want %d", name, got, w)
+		}
+	}
+	if l[0] != 0 {
+		t.Errorf("l(vX) = %d, want 0", l[0])
+	}
+}
+
+func TestLongestFromArtificialRequiresArtificial(t *testing.T) {
+	if _, err := buildLog1(t).LongestFromArtificial(); err == nil {
+		t.Errorf("plain graph accepted")
+	}
+}
+
+func TestLongestFromArtificialPureChain(t *testing.T) {
+	l := eventlog.New("chain")
+	l.Append(eventlog.Trace{"a", "b", "c", "d"})
+	g, err := Build(l)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ga, _ := g.AddArtificial()
+	dist, err := ga.LongestFromArtificial()
+	if err != nil {
+		t.Fatalf("LongestFromArtificial: %v", err)
+	}
+	want := map[string]int{"a": 1, "b": 2, "c": 3, "d": 4}
+	for name, w := range want {
+		if got := dist[ga.Index[name]]; got != w {
+			t.Errorf("l(%s) = %d, want %d", name, got, w)
+		}
+	}
+}
+
+func TestLongestFromArtificialLoop(t *testing.T) {
+	l := eventlog.New("loop")
+	l.Append(eventlog.Trace{"a", "b", "a", "c"})
+	g, _ := Build(l)
+	ga, _ := g.AddArtificial()
+	dist, err := ga.LongestFromArtificial()
+	if err != nil {
+		t.Fatalf("LongestFromArtificial: %v", err)
+	}
+	// a<->b is a cycle; c is downstream of it. All three are Infinite.
+	for _, name := range []string{"a", "b", "c"} {
+		if got := dist[ga.Index[name]]; got != Infinite {
+			t.Errorf("l(%s) = %d, want Infinite", name, got)
+		}
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g, _ := buildLog1(t).AddArtificial()
+	d := g.Index["D"]
+	anc := g.Ancestors(map[int]bool{d: true})
+	var names []string
+	for v := range anc {
+		names = append(names, g.Names[v])
+	}
+	got := make(map[string]bool)
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, want := range []string{"A", "B", "C"} {
+		if !got[want] {
+			t.Errorf("Ancestors(D) missing %s (got %v)", want, names)
+		}
+	}
+	if got[ArtificialName] {
+		t.Errorf("Ancestors(D) contains the artificial event")
+	}
+	desc := g.Descendants(map[int]bool{g.Index["C"]: true})
+	for _, want := range []string{"D", "E", "F"} {
+		if !desc[g.Index[want]] {
+			t.Errorf("Descendants(C) missing %s", want)
+		}
+	}
+	if desc[g.Index["A"]] {
+		t.Errorf("Descendants(C) contains A")
+	}
+}
+
+func TestFromFrequencies(t *testing.T) {
+	g, err := FromFrequencies(
+		map[string]float64{"a": 1, "b": 0.5},
+		map[[2]string]float64{{"a", "b"}: 0.5},
+	)
+	if err != nil {
+		t.Fatalf("FromFrequencies: %v", err)
+	}
+	if f, ok := g.Freq(g.Index["a"], g.Index["b"]); !ok || f != 0.5 {
+		t.Errorf("edge (a,b) = %g,%v, want 0.5", f, ok)
+	}
+	if len(g.Pre[g.Index["b"]]) != 1 {
+		t.Errorf("pre(b) size = %d, want 1", len(g.Pre[g.Index["b"]]))
+	}
+}
+
+func TestFromFrequenciesErrors(t *testing.T) {
+	if _, err := FromFrequencies(nil, nil); err == nil {
+		t.Errorf("empty node set accepted")
+	}
+	if _, err := FromFrequencies(map[string]float64{"a": 2}, nil); err == nil {
+		t.Errorf("out-of-range node frequency accepted")
+	}
+	if _, err := FromFrequencies(map[string]float64{"a": 1}, map[[2]string]float64{{"a", "z"}: 0.5}); err == nil {
+		t.Errorf("edge to unknown node accepted")
+	}
+	if _, err := FromFrequencies(map[string]float64{"a": 1}, map[[2]string]float64{{"a", "a"}: 7}); err == nil {
+		t.Errorf("out-of-range edge frequency accepted")
+	}
+	if _, err := FromFrequencies(map[string]float64{ArtificialName: 1}, nil); err == nil {
+		t.Errorf("reserved name accepted")
+	}
+}
+
+// Property: for random logs, AddArtificial always yields pre/post sets that
+// contain v^X for every real event, and l(v) >= 1 for all real events.
+func TestArtificialInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLog(rng)
+		g, err := Build(l)
+		if err != nil {
+			return false
+		}
+		ga, err := g.AddArtificial()
+		if err != nil {
+			return false
+		}
+		for v := 1; v < ga.N(); v++ {
+			if len(ga.Pre[v]) == 0 || ga.Pre[v][0] != 0 {
+				return false
+			}
+			if len(ga.Post[v]) == 0 || ga.Post[v][0] != 0 {
+				return false
+			}
+		}
+		dist, err := ga.LongestFromArtificial()
+		if err != nil {
+			return false
+		}
+		for v := 1; v < ga.N(); v++ {
+			if dist[v] < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filtering can only remove edges, never add, and the result of
+// filtering with a higher threshold is a subgraph of a lower one.
+func TestFilterMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Build(randomLog(rng))
+		if err != nil {
+			return false
+		}
+		lo := g.FilterMinFrequency(0.2)
+		hi := g.FilterMinFrequency(0.6)
+		if lo.EdgeCount() > g.EdgeCount() || hi.EdgeCount() > lo.EdgeCount() {
+			return false
+		}
+		for u := range hi.EdgeFreq {
+			for v := range hi.EdgeFreq[u] {
+				if _, ok := lo.Freq(u, v); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := buildLog1(t)
+	if got := g.AvgDegree(); math.Abs(got-float64(g.EdgeCount())/6) > 1e-12 {
+		t.Errorf("AvgDegree = %g", got)
+	}
+}
+
+func randomLog(rng *rand.Rand) *eventlog.Log {
+	events := []string{"a", "b", "c", "d", "e", "f"}
+	l := eventlog.New("rand")
+	n := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		ln := 1 + rng.Intn(6)
+		tr := make(eventlog.Trace, ln)
+		for j := range tr {
+			tr[j] = events[rng.Intn(len(events))]
+		}
+		l.Append(tr)
+	}
+	return l
+}

@@ -1,0 +1,38 @@
+package depgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the dependency graph in Graphviz DOT format, mirroring
+// the visual conventions of the paper's Figure 2: solid edges with
+// normalized frequencies as labels, and the artificial event and its edges
+// dashed.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for i, n := range g.Names {
+		if g.HasArtificial && i == 0 {
+			fmt.Fprintf(&b, "  n%d [label=\"vX\", style=dashed];\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, n)
+	}
+	for u := range g.EdgeFreq {
+		for v, f := range g.EdgeFreq[u] {
+			style := ""
+			if g.HasArtificial && (u == 0 || v == 0) {
+				style = ", style=dashed"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.2f\"%s];\n", u, v, f, style)
+		}
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("depgraph: write dot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package depgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := buildLog1(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "L1"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph \"L1\"", "label=\"A\"", "label=\"0.40\"", "->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "style=dashed") {
+		t.Errorf("plain graph has dashed artificial styling")
+	}
+}
+
+func TestWriteDOTArtificial(t *testing.T) {
+	g, _ := buildLog1(t).AddArtificial()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "L1"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `label="vX", style=dashed`) {
+		t.Errorf("artificial node not dashed:\n%s", s)
+	}
+	if !strings.Contains(s, "style=dashed];") {
+		t.Errorf("artificial edges not dashed")
+	}
+}

@@ -1,0 +1,112 @@
+package depgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/paperexample"
+)
+
+func TestBuildMarkovTransitionProbabilities(t *testing.T) {
+	l := eventlog.New("m")
+	l.Append(eventlog.Trace{"a", "b"})
+	l.Append(eventlog.Trace{"a", "c"})
+	l.Append(eventlog.Trace{"a", "b"})
+	g, err := BuildMarkov(l)
+	if err != nil {
+		t.Fatalf("BuildMarkov: %v", err)
+	}
+	// a is followed by b in 2 of 3 occurrences, by c in 1 of 3.
+	if f, ok := g.Freq(g.Index["a"], g.Index["b"]); !ok || math.Abs(f-2.0/3) > 1e-12 {
+		t.Errorf("P(b|a) = %g,%v, want 2/3", f, ok)
+	}
+	if f, ok := g.Freq(g.Index["a"], g.Index["c"]); !ok || math.Abs(f-1.0/3) > 1e-12 {
+		t.Errorf("P(c|a) = %g,%v, want 1/3", f, ok)
+	}
+}
+
+func TestBuildMarkovOutgoingSumsToOne(t *testing.T) {
+	g, err := BuildMarkov(paperexample.Log1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range g.EdgeFreq {
+		if len(g.EdgeFreq[u]) == 0 {
+			continue
+		}
+		var sum float64
+		for _, f := range g.EdgeFreq[u] {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("outgoing probabilities of %s sum to %g", g.Names[u], sum)
+		}
+	}
+}
+
+func TestBuildMarkovNodeOccupancy(t *testing.T) {
+	l := eventlog.New("m")
+	l.Append(eventlog.Trace{"a", "a", "b"})
+	g, err := BuildMarkov(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := g.NodeFreq[g.Index["a"]]; math.Abs(f-2.0/3) > 1e-12 {
+		t.Errorf("occupancy(a) = %g, want 2/3", f)
+	}
+}
+
+// TestMarkovLosesSignificance demonstrates the paper's argument for the
+// Definition 1 weighting: a transition occurring in a single trace can
+// still get conditional probability 1.0 under Markov weighting, while the
+// dependency-graph frequency reflects how rare it is.
+func TestMarkovLosesSignificance(t *testing.T) {
+	l := eventlog.New("m")
+	for i := 0; i < 9; i++ {
+		l.Append(eventlog.Trace{"a", "b"})
+	}
+	l.Append(eventlog.Trace{"x", "y"}) // rare path, single trace
+	mk, err := BuildMarkov(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkF, _ := mk.Freq(mk.Index["x"], mk.Index["y"])
+	dgF, _ := dg.Freq(dg.Index["x"], dg.Index["y"])
+	if mkF != 1.0 {
+		t.Errorf("Markov P(y|x) = %g, want 1.0", mkF)
+	}
+	if math.Abs(dgF-0.1) > 1e-12 {
+		t.Errorf("dependency f(x,y) = %g, want 0.1", dgF)
+	}
+}
+
+func TestBuildMarkovErrors(t *testing.T) {
+	if _, err := BuildMarkov(eventlog.New("empty")); err == nil {
+		t.Errorf("empty log accepted")
+	}
+	l := eventlog.New("bad")
+	l.Append(eventlog.Trace{ArtificialName})
+	if _, err := BuildMarkov(l); err == nil {
+		t.Errorf("reserved name accepted")
+	}
+}
+
+func TestBuildMarkovWorksWithSimilarity(t *testing.T) {
+	// Markov graphs slot into the same pipeline: artificial event, l(v).
+	g, err := BuildMarkov(paperexample.Log1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := g.AddArtificial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ga.LongestFromArtificial(); err != nil {
+		t.Fatal(err)
+	}
+}

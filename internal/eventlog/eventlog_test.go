@@ -1,0 +1,265 @@
+package eventlog
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLog() *Log {
+	l := New("sample")
+	l.Append(Trace{"a", "b", "c"})
+	l.Append(Trace{"a", "c", "b"})
+	l.Append(Trace{"b", "c"})
+	l.Append(Trace{"a", "b", "c"})
+	return l
+}
+
+func TestTraceContains(t *testing.T) {
+	tr := Trace{"a", "b", "c"}
+	if !tr.Contains("b") {
+		t.Errorf("Contains(b) = false, want true")
+	}
+	if tr.Contains("z") {
+		t.Errorf("Contains(z) = true, want false")
+	}
+}
+
+func TestTraceHasConsecutive(t *testing.T) {
+	tr := Trace{"a", "b", "a", "c"}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a", "b", true},
+		{"b", "a", true},
+		{"a", "c", true},
+		{"c", "a", false},
+		{"b", "c", false},
+		{"a", "a", false},
+	}
+	for _, c := range cases {
+		if got := tr.HasConsecutive(c.a, c.b); got != c.want {
+			t.Errorf("HasConsecutive(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTraceCloneIndependent(t *testing.T) {
+	tr := Trace{"a", "b"}
+	c := tr.Clone()
+	c[0] = "z"
+	if tr[0] != "a" {
+		t.Errorf("Clone shares backing array: original mutated to %q", tr[0])
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	if got, want := (Trace{"a", "b"}).String(), "<a, b>"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLogCloneDeep(t *testing.T) {
+	l := sampleLog()
+	c := l.Clone()
+	c.Traces[0][0] = "zzz"
+	if l.Traces[0][0] != "a" {
+		t.Errorf("Clone is shallow: original trace mutated")
+	}
+}
+
+func TestAlphabetSorted(t *testing.T) {
+	got := sampleLog().Alphabet()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Alphabet() = %v, want %v", got, want)
+	}
+}
+
+func TestRename(t *testing.T) {
+	l := sampleLog().Rename(map[string]string{"a": "x"})
+	for _, tr := range l.Traces {
+		for _, e := range tr {
+			if e == "a" {
+				t.Fatalf("Rename left an 'a' in %v", tr)
+			}
+		}
+	}
+	want := []string{"b", "c", "x"}
+	if got := l.Alphabet(); !reflect.DeepEqual(got, want) {
+		t.Errorf("renamed alphabet = %v, want %v", got, want)
+	}
+}
+
+func TestCollectStatsNodeFreq(t *testing.T) {
+	st := CollectStats(sampleLog())
+	if st.TraceCount != 4 {
+		t.Fatalf("TraceCount = %d, want 4", st.TraceCount)
+	}
+	cases := map[string]float64{"a": 0.75, "b": 1.0, "c": 1.0}
+	for e, want := range cases {
+		if got := st.NodeFreq[e]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("NodeFreq[%s] = %g, want %g", e, got, want)
+		}
+	}
+}
+
+func TestCollectStatsEdgeFreq(t *testing.T) {
+	st := CollectStats(sampleLog())
+	cases := map[[2]string]float64{
+		{"a", "b"}: 0.5,
+		{"b", "c"}: 0.75,
+		{"a", "c"}: 0.25,
+		{"c", "b"}: 0.25,
+	}
+	for p, want := range cases {
+		if got := st.EdgeFreq[p]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("EdgeFreq[%v] = %g, want %g", p, got, want)
+		}
+	}
+	if _, ok := st.EdgeFreq[[2]string{"c", "a"}]; ok {
+		t.Errorf("EdgeFreq contains non-existent pair (c,a)")
+	}
+}
+
+func TestCollectStatsCountsPairOncePerTrace(t *testing.T) {
+	l := New("rep")
+	l.Append(Trace{"a", "b", "a", "b"}) // a,b consecutive twice in one trace
+	l.Append(Trace{"c"})
+	st := CollectStats(l)
+	if got := st.EdgeFreq[[2]string{"a", "b"}]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("EdgeFreq[a,b] = %g, want 0.5 (once per trace)", got)
+	}
+}
+
+func TestCollectStatsEmptyLog(t *testing.T) {
+	st := CollectStats(New("empty"))
+	if st.TraceCount != 0 || len(st.NodeFreq) != 0 || len(st.EdgeFreq) != 0 {
+		t.Errorf("empty log stats not empty: %+v", st)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleLog().Validate(); err != nil {
+		t.Errorf("valid log rejected: %v", err)
+	}
+	if err := New("x").Validate(); err == nil {
+		t.Errorf("empty log accepted")
+	}
+	l := New("x")
+	l.Append(Trace{})
+	if err := l.Validate(); err == nil {
+		t.Errorf("empty trace accepted")
+	}
+	l2 := New("x")
+	l2.Append(Trace{"a", ""})
+	if err := l2.Validate(); err == nil {
+		t.Errorf("empty event name accepted")
+	}
+}
+
+func TestMergeConsecutive(t *testing.T) {
+	l := New("m")
+	l.Append(Trace{"a", "b", "c", "a", "b"})
+	l.Append(Trace{"b", "a"})
+	m := l.MergeConsecutive([]string{"a", "b"}, "ab")
+	want0 := Trace{"ab", "c", "ab"}
+	if !reflect.DeepEqual(m.Traces[0], want0) {
+		t.Errorf("merged trace 0 = %v, want %v", m.Traces[0], want0)
+	}
+	want1 := Trace{"b", "a"}
+	if !reflect.DeepEqual(m.Traces[1], want1) {
+		t.Errorf("merged trace 1 = %v, want %v", m.Traces[1], want1)
+	}
+}
+
+func TestMergeConsecutiveEmptySeq(t *testing.T) {
+	l := sampleLog()
+	m := l.MergeConsecutive(nil, "x")
+	if !reflect.DeepEqual(m.Traces, l.Traces) {
+		t.Errorf("empty-seq merge changed the log")
+	}
+}
+
+func TestMergeConsecutiveTripleOverlap(t *testing.T) {
+	l := New("m")
+	l.Append(Trace{"a", "a", "a"})
+	m := l.MergeConsecutive([]string{"a", "a"}, "aa")
+	want := Trace{"aa", "a"}
+	if !reflect.DeepEqual(m.Traces[0], want) {
+		t.Errorf("merged = %v, want %v (greedy left-to-right)", m.Traces[0], want)
+	}
+}
+
+// Property: all node frequencies are in (0,1] and every edge frequency is
+// <= min of its endpoint node frequencies... (a pair can only be consecutive
+// in a trace that contains both events).
+func TestStatsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLog(rng)
+		st := CollectStats(l)
+		for _, fv := range st.NodeFreq {
+			if fv <= 0 || fv > 1 {
+				return false
+			}
+		}
+		for p, fe := range st.EdgeFreq {
+			if fe <= 0 || fe > 1 {
+				return false
+			}
+			if fe > st.NodeFreq[p[0]]+1e-12 || fe > st.NodeFreq[p[1]]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MergeConsecutive preserves the number of traces and never
+// increases trace length.
+func TestMergePreservesShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLog(rng)
+		alpha := l.Alphabet()
+		if len(alpha) < 2 {
+			return true
+		}
+		seq := []string{alpha[0], alpha[1]}
+		m := l.MergeConsecutive(seq, "XY")
+		if m.Len() != l.Len() {
+			return false
+		}
+		for i := range m.Traces {
+			if len(m.Traces[i]) > len(l.Traces[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomLog(rng *rand.Rand) *Log {
+	events := []string{"a", "b", "c", "d", "e"}
+	l := New("rand")
+	n := 1 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		ln := 1 + rng.Intn(8)
+		tr := make(Trace, ln)
+		for j := range tr {
+			tr[j] = events[rng.Intn(len(events))]
+		}
+		l.Append(tr)
+	}
+	return l
+}

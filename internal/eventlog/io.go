@@ -1,0 +1,152 @@
+package eventlog
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCSV writes the log in a two-column CSV format: caseID,event. Rows are
+// grouped by trace; trace i gets case id "case-i". The format round-trips
+// through ReadCSV.
+func WriteCSV(w io.Writer, l *Log) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "event"}); err != nil {
+		return fmt.Errorf("eventlog: write csv header: %w", err)
+	}
+	for i, t := range l.Traces {
+		id := fmt.Sprintf("case-%d", i)
+		for _, e := range t {
+			if err := cw.Write([]string{id, e}); err != nil {
+				return fmt.Errorf("eventlog: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eventlog: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a two-column caseID,event CSV (with header) into a log.
+// Events of the same case are grouped into one trace in row order; traces
+// are emitted in order of first appearance of their case id.
+func ReadCSV(r io.Reader, name string) (*Log, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("eventlog: read csv: empty input")
+	}
+	if !strings.EqualFold(rows[0][0], "case") {
+		return nil, fmt.Errorf("eventlog: read csv: missing case,event header (got %q,%q)", rows[0][0], rows[0][1])
+	}
+	l := New(name)
+	index := make(map[string]int)
+	for _, row := range rows[1:] {
+		id, ev := row[0], row[1]
+		if ev == "" {
+			return nil, fmt.Errorf("eventlog: read csv: empty event name for case %q", id)
+		}
+		i, ok := index[id]
+		if !ok {
+			i = len(l.Traces)
+			index[id] = i
+			l.Traces = append(l.Traces, nil)
+		}
+		l.Traces[i] = append(l.Traces[i], ev)
+	}
+	return l, nil
+}
+
+// xmlLog is the XES-like XML representation of a log. It carries only the
+// control-flow perspective (event names), which is all the matcher needs.
+type xmlLog struct {
+	XMLName xml.Name   `xml:"log"`
+	Name    string     `xml:"name,attr"`
+	Traces  []xmlTrace `xml:"trace"`
+}
+
+type xmlTrace struct {
+	Events []xmlEvent `xml:"event"`
+}
+
+type xmlEvent struct {
+	Name string `xml:"name,attr"`
+}
+
+// WriteXML writes the log in a minimal XES-like XML dialect.
+func WriteXML(w io.Writer, l *Log) error {
+	x := xmlLog{Name: l.Name}
+	for _, t := range l.Traces {
+		xt := xmlTrace{Events: make([]xmlEvent, len(t))}
+		for i, e := range t {
+			xt.Events[i] = xmlEvent{Name: e}
+		}
+		x.Traces = append(x.Traces, xt)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return fmt.Errorf("eventlog: write xml: %w", err)
+	}
+	return nil
+}
+
+// ReadXML parses a log written by WriteXML.
+func ReadXML(r io.Reader) (*Log, error) {
+	var x xmlLog
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("eventlog: read xml: %w", err)
+	}
+	l := New(x.Name)
+	for _, xt := range x.Traces {
+		t := make(Trace, len(xt.Events))
+		for i, xe := range xt.Events {
+			if xe.Name == "" {
+				return nil, fmt.Errorf("eventlog: read xml: trace %d event %d has empty name", len(l.Traces), i)
+			}
+			t[i] = xe.Name
+		}
+		l.Traces = append(l.Traces, t)
+	}
+	return l, nil
+}
+
+// Summary returns a short human-readable description of the log: trace
+// count, distinct event count, and the most frequent events.
+func Summary(l *Log) string {
+	st := CollectStats(l)
+	type ef struct {
+		e Event
+		f float64
+	}
+	top := make([]ef, 0, len(st.NodeFreq))
+	for e, f := range st.NodeFreq {
+		top = append(top, ef{e, f})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].f != top[j].f {
+			return top[i].f > top[j].f
+		}
+		return top[i].e < top[j].e
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "log %q: %d traces, %d distinct events", l.Name, l.Len(), len(st.NodeFreq))
+	n := min(5, len(top))
+	if n > 0 {
+		b.WriteString("; top:")
+		for _, t := range top[:n] {
+			fmt.Fprintf(&b, " %s(%.2f)", t.e, t.f)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package eventlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, l); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, "sample")
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got.Traces, l.Traces) {
+		t.Errorf("round trip mismatch: got %v want %v", got.Traces, l.Traces)
+	}
+}
+
+func TestReadCSVInterleavedCases(t *testing.T) {
+	in := "case,event\nc1,a\nc2,x\nc1,b\nc2,y\n"
+	l, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	want := []Trace{{"a", "b"}, {"x", "y"}}
+	if !reflect.DeepEqual(l.Traces, want) {
+		t.Errorf("traces = %v, want %v", l.Traces, want)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no header", "c1,a\n"},
+		{"empty event", "case,event\nc1,\n"},
+		{"wrong columns", "case,event\nc1,a,b\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "t"); err == nil {
+			t.Errorf("%s: error expected, got nil", c.name)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, l); err != nil {
+		t.Fatalf("WriteXML: %v", err)
+	}
+	got, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatalf("ReadXML: %v", err)
+	}
+	if got.Name != l.Name {
+		t.Errorf("name = %q, want %q", got.Name, l.Name)
+	}
+	if !reflect.DeepEqual(got.Traces, l.Traces) {
+		t.Errorf("round trip mismatch: got %v want %v", got.Traces, l.Traces)
+	}
+}
+
+func TestReadXMLRejectsEmptyName(t *testing.T) {
+	in := `<log name="x"><trace><event name=""/></trace></log>`
+	if _, err := ReadXML(strings.NewReader(in)); err == nil {
+		t.Errorf("error expected for empty event name")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(sampleLog())
+	for _, want := range []string{"4 traces", "3 distinct events", "b(1.00)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package eventlog
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NoiseOptions controls random log corruption, modeling the recording
+// imperfections of real systems: lost events, out-of-order timestamps and
+// accidental duplicates.
+type NoiseOptions struct {
+	// DropProb is the per-event probability of being dropped.
+	DropProb float64
+	// SwapProb is the per-position probability of swapping an event with
+	// its successor (local ordering noise).
+	SwapProb float64
+	// DupProb is the per-event probability of being recorded twice.
+	DupProb float64
+}
+
+// Validate checks the probabilities.
+func (o NoiseOptions) Validate() error {
+	for _, p := range []float64{o.DropProb, o.SwapProb, o.DupProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("eventlog: noise probability %g outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// AddNoise returns a copy of the log with random corruption applied.
+// Traces never become empty: a trace whose events were all dropped keeps
+// one surviving event.
+func AddNoise(rng *rand.Rand, l *Log, opts NoiseOptions) (*Log, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	out := New(l.Name)
+	for _, t := range l.Traces {
+		nt := make(Trace, 0, len(t)+2)
+		for _, e := range t {
+			if rng.Float64() < opts.DropProb {
+				continue
+			}
+			nt = append(nt, e)
+			if rng.Float64() < opts.DupProb {
+				nt = append(nt, e)
+			}
+		}
+		if len(nt) == 0 {
+			nt = append(nt, t[rng.Intn(len(t))])
+		}
+		for i := 0; i+1 < len(nt); i++ {
+			if rng.Float64() < opts.SwapProb {
+				nt[i], nt[i+1] = nt[i+1], nt[i]
+			}
+		}
+		out.Append(nt)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package eventlog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNoiseZeroIsIdentity(t *testing.T) {
+	l := sampleLog()
+	rng := rand.New(rand.NewSource(1))
+	n, err := AddNoise(rng, l, NoiseOptions{})
+	if err != nil {
+		t.Fatalf("AddNoise: %v", err)
+	}
+	if !reflect.DeepEqual(n.Traces, l.Traces) {
+		t.Errorf("zero noise changed the log")
+	}
+}
+
+func TestAddNoiseDrop(t *testing.T) {
+	l := New("d")
+	for i := 0; i < 50; i++ {
+		l.Append(Trace{"a", "b", "c", "d"})
+	}
+	rng := rand.New(rand.NewSource(2))
+	n, err := AddNoise(rng, l, NoiseOptions{DropProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tr := range n.Traces {
+		if len(tr) == 0 {
+			t.Fatalf("empty trace after noise")
+		}
+		total += len(tr)
+	}
+	if total >= 50*4 {
+		t.Errorf("drop noise removed nothing: %d events", total)
+	}
+}
+
+func TestAddNoiseDup(t *testing.T) {
+	l := New("d")
+	for i := 0; i < 50; i++ {
+		l.Append(Trace{"a", "b"})
+	}
+	rng := rand.New(rand.NewSource(3))
+	n, err := AddNoise(rng, l, NoiseOptions{DupProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tr := range n.Traces {
+		total += len(tr)
+	}
+	if total <= 100 {
+		t.Errorf("dup noise added nothing: %d events", total)
+	}
+}
+
+func TestAddNoiseSwapPreservesMultiset(t *testing.T) {
+	l := New("s")
+	l.Append(Trace{"a", "b", "c", "d", "e"})
+	rng := rand.New(rand.NewSource(4))
+	n, err := AddNoise(rng, l, NoiseOptions{SwapProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(tr Trace) map[string]int {
+		m := map[string]int{}
+		for _, e := range tr {
+			m[e]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(n.Traces[0]), count(l.Traces[0])) {
+		t.Errorf("swap noise changed the event multiset: %v", n.Traces[0])
+	}
+}
+
+func TestAddNoiseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := AddNoise(rng, sampleLog(), NoiseOptions{DropProb: 2}); err == nil {
+		t.Errorf("invalid probability accepted")
+	}
+}
+
+// Property: noisy logs always remain valid and keep the trace count.
+func TestAddNoiseValidProperty(t *testing.T) {
+	f := func(seed int64, d, s, p uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLog(rng)
+		opts := NoiseOptions{
+			DropProb: float64(d%100) / 100,
+			SwapProb: float64(s%100) / 100,
+			DupProb:  float64(p%100) / 100,
+		}
+		n, err := AddNoise(rng, l, opts)
+		if err != nil {
+			return false
+		}
+		return n.Len() == l.Len() && n.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package eventlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestXESRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := WriteXES(&buf, l); err != nil {
+		t.Fatalf("WriteXES: %v", err)
+	}
+	got, err := ReadXES(&buf)
+	if err != nil {
+		t.Fatalf("ReadXES: %v", err)
+	}
+	if got.Name != l.Name {
+		t.Errorf("name = %q, want %q", got.Name, l.Name)
+	}
+	if !reflect.DeepEqual(got.Traces, l.Traces) {
+		t.Errorf("traces = %v, want %v", got.Traces, l.Traces)
+	}
+}
+
+func TestReadXESExternalDocument(t *testing.T) {
+	// The shape ProM and friends emit: extra attributes interleaved with
+	// concept:name, xmlns on the root, date/int attributes ignored.
+	in := `<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0" xmlns="http://www.xes-standard.org/">
+  <string key="concept:name" value="orders"/>
+  <trace>
+    <string key="concept:name" value="case-1"/>
+    <event>
+      <string key="org:resource" value="alice"/>
+      <string key="concept:name" value="register order"/>
+    </event>
+    <event>
+      <string key="concept:name" value="ship order"/>
+      <string key="lifecycle:transition" value="complete"/>
+    </event>
+  </trace>
+</log>`
+	l, err := ReadXES(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadXES: %v", err)
+	}
+	if l.Name != "orders" {
+		t.Errorf("log name = %q", l.Name)
+	}
+	want := Trace{"register order", "ship order"}
+	if len(l.Traces) != 1 || !reflect.DeepEqual(l.Traces[0], want) {
+		t.Errorf("traces = %v, want [%v]", l.Traces, want)
+	}
+}
+
+func TestReadXESMissingConceptName(t *testing.T) {
+	in := `<log><trace><event><string key="org:resource" value="bob"/></event></trace></log>`
+	if _, err := ReadXES(strings.NewReader(in)); err == nil {
+		t.Errorf("event without concept:name accepted")
+	}
+}
+
+func TestReadXESSkipsEmptyTraces(t *testing.T) {
+	in := `<log><trace></trace><trace><event><string key="concept:name" value="a"/></event></trace></log>`
+	l, err := ReadXES(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadXES: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Errorf("traces = %d, want 1 (empty trace skipped)", l.Len())
+	}
+}
+
+func TestWriteXESHasHeaderAndCaseNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteXES(&buf, sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<?xml", "concept:name", "case-0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("XES output missing %q", want)
+		}
+	}
+}

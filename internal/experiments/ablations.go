@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/bhv"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/depgraph"
+	"repro/internal/matching"
+)
+
+// Ablations measures the design choices DESIGN.md calls out, each isolated
+// on the DS-FB testbed (the hardest dislocation setting):
+//
+//   - the artificial event v^X (EMS vs the same propagation without it),
+//   - the propagation direction (forward / backward / both),
+//   - the graph weighting (Definition 1 frequencies vs Markov transition
+//     probabilities),
+//   - the correspondence selection strategy (max-total / greedy / stable).
+func Ablations(s Scale) ([]*Table, error) {
+	pairs, err := s.testbed(dataset.DSFB, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Ablations (DS-FB): design choices of the paper",
+		Columns: []string{"variant", "f-measure", "time (ms/pair)"},
+	}
+	add := func(name string, m Method) error {
+		meas, err := RunMethod(m, pairs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t.AddRow(name, cellQuality(meas), cellTime(meas))
+		return nil
+	}
+
+	// Artificial event: EMS (with) vs BHV-style propagation (without).
+	if err := add("artificial event: with (EMS)", EMS(false)); err != nil {
+		return nil, err
+	}
+	noArt := Method{Name: "no-artificial", Match: func(p *dataset.Pair) (matching.Mapping, error) {
+		g1, g2, err := buildGraphs(p, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bhv.Compute(g1, g2, bhv.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+	}}
+	if err := add("artificial event: without", noArt); err != nil {
+		return nil, err
+	}
+
+	// Directions.
+	for _, d := range []core.Direction{core.Forward, core.Backward, core.Both} {
+		dir := d
+		m := Method{Name: "dir-" + d.String(), Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, true, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig()
+			cfg.Direction = dir
+			r, err := core.Compute(g1, g2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+		}}
+		if err := add("direction: "+d.String(), m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Graph weighting.
+	markov := Method{Name: "markov", Match: func(p *dataset.Pair) (matching.Mapping, error) {
+		g1, err := depgraph.BuildMarkov(p.Log1)
+		if err != nil {
+			return nil, err
+		}
+		g2, err := depgraph.BuildMarkov(p.Log2)
+		if err != nil {
+			return nil, err
+		}
+		if g1, err = g1.AddArtificial(); err != nil {
+			return nil, err
+		}
+		if g2, err = g2.AddArtificial(); err != nil {
+			return nil, err
+		}
+		r, err := core.Compute(g1, g2, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+	}}
+	if err := add("weighting: dependency (Def. 1)", EMS(false)); err != nil {
+		return nil, err
+	}
+	if err := add("weighting: markov (Ferreira)", markov); err != nil {
+		return nil, err
+	}
+
+	// An additional local baseline beyond the paper's three: similarity
+	// flooding [Melnik et al.], with and without labels. Like GED/OPQ it
+	// evaluates local agreement and misses dislocated matches.
+	if err := add("extra baseline: SF (opaque)", SF(false)); err != nil {
+		return nil, err
+	}
+	if err := add("extra baseline: SF (labels)", SF(true)); err != nil {
+		return nil, err
+	}
+
+	// Composite extras: the label-driven ICoP-style matcher on the
+	// composite testbed, against EMS with and without labels — the paper's
+	// related-work claim that label-only m:n matching is "noneffective on
+	// opaque event names" made measurable.
+	cpairs, err := s.compositeTestbed()
+	if err != nil {
+		return nil, err
+	}
+	addOn := func(name string, m Method, pairs []*dataset.Pair) error {
+		meas, err := RunMethod(m, pairs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t.AddRow(name, cellQuality(meas), cellTime(meas))
+		return nil
+	}
+	if err := addOn("composite: EMS (opaque)", EMSComposite("EMS", false, -1, true, true, compositeDelta, 8), cpairs); err != nil {
+		return nil, err
+	}
+	if err := addOn("composite: ICoP (labels)", ICoP(), cpairs); err != nil {
+		return nil, err
+	}
+	if err := addOn("composite: EMS (labels)", EMSComposite("EMS", true, -1, true, true, compositeDelta, 8), cpairs); err != nil {
+		return nil, err
+	}
+
+	// Selection strategies.
+	for _, st := range []matching.Strategy{matching.MaxTotal, matching.Greedy, matching.Stable} {
+		strat := st
+		m := Method{Name: "sel-" + st.String(), Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, true, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.Compute(g1, g2, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return matching.SelectWith(strat, r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+		}}
+		if err := add("selection: "+st.String(), m); err != nil {
+			return nil, err
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestAblations checks the headline design-choice results: the artificial
+// event is essential on DS-FB, both-direction aggregation is at least as
+// good as forward alone, and the Definition 1 weighting does not lose to
+// Markov weighting.
+func TestAblations(t *testing.T) {
+	tables, err := Ablations(QuickScale())
+	if err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+	tb := tables[0]
+	with := cell(t, row(t, tb, "artificial event: with (EMS)")[1])
+	without := cell(t, row(t, tb, "artificial event: without")[1])
+	if without >= with {
+		t.Errorf("artificial event did not help: with=%.3f without=%.3f", with, without)
+	}
+	fwd := cell(t, row(t, tb, "direction: forward")[1])
+	both := cell(t, row(t, tb, "direction: both")[1])
+	if both < fwd-0.05 {
+		t.Errorf("both directions notably below forward: %.3f vs %.3f", both, fwd)
+	}
+	dep := cell(t, row(t, tb, "weighting: dependency (Def. 1)")[1])
+	mk := cell(t, row(t, tb, "weighting: markov (Ferreira)")[1])
+	if mk > dep+0.05 {
+		t.Errorf("markov weighting notably beats Definition 1: %.3f vs %.3f", mk, dep)
+	}
+	for _, name := range []string{"selection: max-total", "selection: greedy", "selection: stable"} {
+		row(t, tb, name) // present
+	}
+}

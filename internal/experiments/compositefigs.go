@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/composite"
+	"repro/internal/dataset"
+)
+
+// compositeDelta is the default merge-improvement threshold for the
+// composite figures (Example 7 uses 0.005).
+const compositeDelta = 0.005
+
+// compositeTestbed builds pairs containing injected composite events. The
+// dislocation is injection-style: the composite figures isolate the m:n
+// matching challenge, not trace removal.
+func (s Scale) compositeTestbed() ([]*dataset.Pair, error) {
+	opts := dataset.TestbedOptions{
+		Pairs:           s.Pairs,
+		Events:          s.Events,
+		Traces:          s.Traces,
+		OpaqueFraction:  0.5,
+		CompositeMerges: 2,
+		Style:           dataset.StyleInject,
+		Seed:            s.Seed,
+	}
+	return dataset.MakeTestbed(dataset.DSFB, opts)
+}
+
+// compositeMethods returns the approaches of Figures 10/11.
+func compositeMethods(useLabels bool, maxCandidates int) []Method {
+	return []Method{
+		EMSComposite("EMS", useLabels, -1, true, true, compositeDelta, maxCandidates),
+		EMSComposite("EMS+es", useLabels, 5, true, true, compositeDelta, maxCandidates),
+		GEDComposite(useLabels, 1e-6, maxCandidates),
+		OPQComposite(1e-6, maxCandidates),
+		BHVComposite(useLabels, compositeDelta, maxCandidates),
+	}
+}
+
+// figComposite runs the Figure 10/11 protocol.
+func figComposite(title string, s Scale, useLabels bool) ([]*Table, error) {
+	pairs, err := s.compositeTestbed()
+	if err != nil {
+		return nil, err
+	}
+	acc := &Table{Title: title + ": f-measure", Columns: []string{"method", "f-measure"}}
+	tim := &Table{Title: title + ": time (ms/pair)", Columns: []string{"method", "time"}}
+	for _, m := range compositeMethods(useLabels, 8) {
+		meas, err := RunMethod(m, pairs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		acc.AddRow(m.Name, cellQuality(meas))
+		tim.AddRow(m.Name, cellTime(meas))
+	}
+	return []*Table{acc, tim}, nil
+}
+
+// Fig10 reproduces Figure 10: composite matching on structure only.
+func Fig10(s Scale) ([]*Table, error) {
+	return figComposite("Figure 10: composite matching, structure only", s, false)
+}
+
+// Fig11 reproduces Figure 11: composite matching with typographic
+// similarity.
+func Fig11(s Scale) ([]*Table, error) {
+	return figComposite("Figure 11: composite matching with typographic similarity", s, true)
+}
+
+// Fig12 reproduces Figure 12: the prune power of unchanged similarities
+// (Uc) and similarity upper bounds (Bd) — formula evaluations and time for
+// the four pruning configurations.
+func Fig12(s Scale) ([]*Table, error) {
+	pairs, err := s.compositeTestbed()
+	if err != nil {
+		return nil, err
+	}
+	evals := &Table{
+		Title:   "Figure 12(a): total iterations (formula-1 evaluations)",
+		Columns: []string{"pruning", "evaluations"},
+	}
+	tim := &Table{
+		Title:   "Figure 12(b): time (ms/pair)",
+		Columns: []string{"pruning", "time"},
+	}
+	variants := []struct {
+		name   string
+		uc, bd bool
+	}{
+		{"none", false, false},
+		{"Uc", true, false},
+		{"Bd", false, true},
+		{"Uc+Bd", true, true},
+	}
+	for _, v := range variants {
+		totalEvals := 0
+		var totalTime time.Duration
+		for _, p := range pairs {
+			c1 := composite.Discover(p.Log1, composite.DefaultDiscoverOptions())
+			c2 := composite.Discover(p.Log2, composite.DefaultDiscoverOptions())
+			cfg := composite.DefaultConfig()
+			cfg.Delta = compositeDelta
+			cfg.UseUnchanged = v.uc
+			cfg.UseBounds = v.bd
+			start := time.Now()
+			res, err := composite.Greedy(p.Log1, p.Log2, c1, c2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			totalTime += time.Since(start)
+			totalEvals += res.Stats.Evaluations
+		}
+		ms := float64(totalTime.Microseconds()) / float64(len(pairs)) / 1000
+		evals.AddRow(v.name, fmt.Sprintf("%d", totalEvals))
+		tim.AddRow(v.name, fmtMS(ms))
+	}
+	return []*Table{evals, tim}, nil
+}
+
+// Fig13 reproduces Figure 13: the effect of the merge threshold delta — a
+// moderately large threshold maximizes f-measure while small thresholds
+// accept false composites and cost much more time.
+func Fig13(s Scale) ([]*Table, error) {
+	pairs, err := s.compositeTestbed()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 13: varying threshold delta",
+		Columns: []string{"delta", "f-measure", "time (ms/pair)"},
+	}
+	for _, d := range []float64{0.05, 0.02, 0.01, 0.005, 0.002, 0.0005} {
+		m := EMSComposite("EMS", false, -1, true, true, d, 8)
+		meas, err := RunMethod(m, pairs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.4f", d), fmtF(meas.Quality.FMeasure), fmtMS(meas.MeanMS))
+	}
+	return []*Table{t}, nil
+}
+
+// Fig14 reproduces Figure 14: more composite candidates improve f-measure
+// at sharply growing cost.
+func Fig14(s Scale) ([]*Table, error) {
+	pairs, err := s.compositeTestbed()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 14: varying candidate set size",
+		Columns: []string{"candidates", "f-measure", "time (ms/pair)"},
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		m := EMSComposite("EMS", false, -1, true, true, compositeDelta, n)
+		meas, err := RunMethod(m, pairs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmtF(meas.Quality.FMeasure), fmtMS(meas.MeanMS))
+	}
+	return []*Table{t}, nil
+}
+
+// All runs every figure at the given scale and returns the tables in paper
+// order. Fig8 sizes and Fig9 parameters scale with the preset. When emit is
+// non-nil it is called with each table as soon as its figure completes, so
+// long runs stream results.
+func All(s Scale, full bool, emit func(*Table)) ([]*Table, error) {
+	var out []*Table
+	add := func(ts []*Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if emit != nil {
+			for _, t := range ts {
+				emit(t)
+			}
+		}
+		out = append(out, ts...)
+		return nil
+	}
+	sizes := []int{10, 20, 30}
+	f9events, f9ms := 30, []int{1, 2, 3}
+	if full {
+		sizes = []int{10, 20, 30, 50, 70, 100}
+		f9events, f9ms = 60, []int{2, 4, 6, 8, 10}
+	}
+	steps := []func() error{
+		func() error { t, err := Fig3(s); return add(t, err) },
+		func() error { t, err := Fig4(s); return add(t, err) },
+		func() error { t, err := Fig5(s); return add(t, err) },
+		func() error { t, err := Fig6(s); return add(t, err) },
+		func() error { t, err := Fig7(s); return add(t, err) },
+		func() error { t, err := Fig8(s, sizes); return add(t, err) },
+		func() error { t, err := Fig9(s, f9events, f9ms); return add(t, err) },
+		func() error { t, err := Fig10(s); return add(t, err) },
+		func() error { t, err := Fig11(s); return add(t, err) },
+		func() error { t, err := Fig12(s); return add(t, err) },
+		func() error { t, err := Fig13(s); return add(t, err) },
+		func() error { t, err := Fig14(s); return add(t, err) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,512 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/baselines/bhv"
+	"repro/internal/baselines/flood"
+	"repro/internal/baselines/ged"
+	"repro/internal/baselines/icop"
+	"repro/internal/baselines/opq"
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/depgraph"
+	"repro/internal/label"
+	"repro/internal/matching"
+)
+
+// selectionThreshold filters assignment pairs for similarity-matrix
+// methods; GED and OPQ emit mappings directly.
+const selectionThreshold = 0.25
+
+// labelSim is the typographic similarity used by the "with labels"
+// experiments (Figures 4 and 11): cosine similarity with 3-grams, following
+// the paper's choice.
+var labelSim = label.QGramCosine(3)
+
+// labelAlpha is the structure weight when labels are enabled.
+const labelAlpha = 0.7
+
+// Method is one matching approach evaluated by the harness.
+type Method struct {
+	Name string
+	// Match computes the correspondences for a pair. The error ErrDNF marks
+	// an input the method cannot feasibly process (the paper reports OPQ
+	// timing out beyond 30 events).
+	Match func(p *dataset.Pair) (matching.Mapping, error)
+}
+
+// ErrDNF marks a method that could not finish an input within its
+// feasibility envelope.
+var ErrDNF = errors.New("experiments: method did not finish")
+
+func buildGraphs(p *dataset.Pair, artificial bool, minFreq float64) (*depgraph.Graph, *depgraph.Graph, error) {
+	g1, err := depgraph.Build(p.Log1)
+	if err != nil {
+		return nil, nil, err
+	}
+	g2, err := depgraph.Build(p.Log2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if artificial {
+		if g1, err = g1.AddArtificial(); err != nil {
+			return nil, nil, err
+		}
+		if g2, err = g2.AddArtificial(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if minFreq > 0 {
+		g1 = g1.FilterMinFrequency(minFreq)
+		g2 = g2.FilterMinFrequency(minFreq)
+	}
+	return g1, g2, nil
+}
+
+func emsConfig(useLabels bool, estimateI int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.EstimateI = estimateI
+	if useLabels {
+		cfg.Alpha = labelAlpha
+		cfg.Labels = labelSim
+	}
+	return cfg
+}
+
+// EMS is the paper's exact event matching similarity.
+func EMS(useLabels bool) Method {
+	return emsVariant("EMS", useLabels, -1, 0)
+}
+
+// EMSEstimate is EMS+es: Algorithm 1 with the given number of exact rounds.
+func EMSEstimate(iterations int, useLabels bool) Method {
+	return emsVariant("EMS+es", useLabels, iterations, 0)
+}
+
+// EMSMinFreq is EMS with the minimum-frequency edge filter (Figure 7).
+func EMSMinFreq(threshold float64, useLabels bool) Method {
+	return emsVariant("EMS", useLabels, -1, threshold)
+}
+
+func emsVariant(name string, useLabels bool, estimateI int, minFreq float64) Method {
+	return Method{
+		Name: name,
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, true, minFreq)
+			if err != nil {
+				return nil, err
+			}
+			cfg := emsConfig(useLabels, estimateI)
+			r, err := core.Compute(g1, g2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+		},
+	}
+}
+
+// BHV is the behavioural-similarity baseline.
+func BHV(useLabels bool) Method {
+	return Method{
+		Name: "BHV",
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := bhv.DefaultConfig()
+			if useLabels {
+				cfg.Alpha = labelAlpha
+				cfg.Labels = labelSim
+			}
+			r, err := bhv.Compute(g1, g2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+		},
+	}
+}
+
+// GED is the greedy graph-edit-distance baseline.
+func GED(useLabels bool) Method {
+	return Method{
+		Name: "GED",
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := ged.DefaultConfig()
+			if useLabels {
+				cfg.Labels = labelSim
+			}
+			r, err := ged.Match(g1, g2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Mapping, nil
+		},
+	}
+}
+
+// OPQ is the opaque-name matching baseline. It ignores labels by design and
+// returns ErrDNF beyond its feasibility envelope.
+func OPQ() Method {
+	return Method{
+		Name: "OPQ",
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := opq.Match(g1, g2, opq.DefaultConfig())
+			if errors.Is(err, opq.ErrTooLarge) {
+				return nil, ErrDNF
+			}
+			if err != nil {
+				return nil, err
+			}
+			return r.Mapping, nil
+		},
+	}
+}
+
+// SF is similarity flooding (Melnik et al.), an additional local
+// graph-matching baseline beyond the paper's three.
+func SF(useLabels bool) Method {
+	return Method{
+		Name: "SF",
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := flood.DefaultConfig()
+			if useLabels {
+				cfg.Labels = labelSim
+			}
+			r, err := flood.Compute(g1, g2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+		},
+	}
+}
+
+// ICoP is the simplified label-driven composite matcher after Weidlich et
+// al. — an additional m:n baseline beyond the paper's figures. It needs
+// labels by construction.
+func ICoP() Method {
+	return Method{
+		Name: "ICoP",
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			return icop.Match(p.Log1, p.Log2, icop.DefaultConfig())
+		},
+	}
+}
+
+// EMSComposite runs greedy composite matching with EMS similarity
+// (Algorithm 2), exact or estimated.
+func EMSComposite(name string, useLabels bool, estimateI int, uc, bd bool, delta float64, maxCandidates int) Method {
+	return Method{
+		Name: name,
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			dopts := composite.DefaultDiscoverOptions()
+			dopts.MaxCandidates = maxCandidates
+			c1 := composite.Discover(p.Log1, dopts)
+			c2 := composite.Discover(p.Log2, dopts)
+			cfg := composite.Config{
+				Sim:          emsConfig(useLabels, estimateI),
+				Delta:        delta,
+				UseUnchanged: uc,
+				UseBounds:    bd,
+			}
+			res, err := composite.Greedy(p.Log1, p.Log2, c1, c2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(res.Final.Names1, res.Final.Names2, res.Final.Sim,
+				selectionThreshold, composite.SplitName)
+		},
+	}
+}
+
+// scoredMatcher adapts a matching method to the generic composite greedy:
+// Score is the objective (higher is better) and MatchLogs produces the
+// final mapping on the merged logs.
+type scoredMatcher struct {
+	score func(p *dataset.Pair) (float64, error)
+	match func(p *dataset.Pair) (matching.Mapping, error)
+}
+
+// genericComposite embeds a baseline in the same greedy candidate loop the
+// paper evaluates: every candidate merge is scored by recomputing the
+// baseline's objective from scratch, which is what makes GED and OPQ so
+// expensive in Figures 10/11.
+func genericComposite(name string, sm scoredMatcher, delta float64, maxCandidates int) Method {
+	return Method{
+		Name: name,
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			dopts := composite.DefaultDiscoverOptions()
+			dopts.MaxCandidates = maxCandidates
+			c1 := composite.Discover(p.Log1, dopts)
+			c2 := composite.Discover(p.Log2, dopts)
+			cur := &dataset.Pair{Name: p.Name, Log1: p.Log1, Log2: p.Log2}
+			best, err := sm.score(cur)
+			if err != nil {
+				return nil, err
+			}
+			used1 := map[string]bool{}
+			used2 := map[string]bool{}
+			for {
+				type trial struct {
+					side int
+					c    composite.Candidate
+					p    *dataset.Pair
+					s    float64
+				}
+				var top *trial
+				consider := func(side int, c composite.Candidate) error {
+					np := &dataset.Pair{Name: cur.Name, Log1: cur.Log1, Log2: cur.Log2}
+					if side == 1 {
+						np.Log1 = cur.Log1.MergeConsecutive(c.Events, composite.JoinName(c.Events))
+					} else {
+						np.Log2 = cur.Log2.MergeConsecutive(c.Events, composite.JoinName(c.Events))
+					}
+					s, err := sm.score(np)
+					if err != nil {
+						return err
+					}
+					if s >= best+delta && (top == nil || s > top.s) {
+						top = &trial{side: side, c: c, p: np, s: s}
+					}
+					return nil
+				}
+				for _, c := range c1 {
+					if c.Overlaps(used1) {
+						continue
+					}
+					if err := consider(1, c); err != nil {
+						return nil, err
+					}
+				}
+				for _, c := range c2 {
+					if c.Overlaps(used2) {
+						continue
+					}
+					if err := consider(2, c); err != nil {
+						return nil, err
+					}
+				}
+				if top == nil {
+					break
+				}
+				cur = top.p
+				best = top.s
+				marks := used1
+				if top.side == 2 {
+					marks = used2
+				}
+				for _, e := range top.c.Events {
+					marks[e] = true
+				}
+			}
+			return sm.match(cur)
+		},
+	}
+}
+
+// GEDComposite embeds GED in the generic greedy loop (objective: negated
+// edit distance).
+func GEDComposite(useLabels bool, delta float64, maxCandidates int) Method {
+	cfg := ged.DefaultConfig()
+	if useLabels {
+		cfg.Labels = compositeAwareLabels
+	}
+	sm := scoredMatcher{
+		score: func(p *dataset.Pair) (float64, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return 0, err
+			}
+			r, err := ged.Match(g1, g2, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return -r.Distance, nil
+		},
+		match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ged.Match(g1, g2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return expandMapping(r.Mapping), nil
+		},
+	}
+	return genericComposite("GED", sm, delta, maxCandidates)
+}
+
+// OPQComposite embeds OPQ in the generic greedy loop.
+func OPQComposite(delta float64, maxCandidates int) Method {
+	cfg := opq.DefaultConfig()
+	sm := scoredMatcher{
+		score: func(p *dataset.Pair) (float64, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return 0, err
+			}
+			r, err := opq.Match(g1, g2, cfg)
+			if errors.Is(err, opq.ErrTooLarge) {
+				return 0, ErrDNF
+			}
+			if err != nil {
+				return 0, err
+			}
+			return -r.Distance, nil
+		},
+		match: func(p *dataset.Pair) (matching.Mapping, error) {
+			g1, g2, err := buildGraphs(p, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := opq.Match(g1, g2, cfg)
+			if errors.Is(err, opq.ErrTooLarge) {
+				return nil, ErrDNF
+			}
+			if err != nil {
+				return nil, err
+			}
+			return expandMapping(r.Mapping), nil
+		},
+	}
+	return genericComposite("OPQ", sm, delta, maxCandidates)
+}
+
+// BHVComposite embeds BHV in the generic greedy loop (objective: average
+// similarity).
+func BHVComposite(useLabels bool, delta float64, maxCandidates int) Method {
+	cfg := bhv.DefaultConfig()
+	if useLabels {
+		cfg.Alpha = labelAlpha
+		cfg.Labels = compositeAwareLabels
+	}
+	run := func(p *dataset.Pair) (*bhv.Result, error) {
+		g1, g2, err := buildGraphs(p, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		return bhv.Compute(g1, g2, cfg)
+	}
+	sm := scoredMatcher{
+		score: func(p *dataset.Pair) (float64, error) {
+			r, err := run(p)
+			if err != nil {
+				return 0, err
+			}
+			var sum float64
+			for _, v := range r.Sim {
+				sum += v
+			}
+			if len(r.Sim) == 0 {
+				return 0, nil
+			}
+			return sum / float64(len(r.Sim)), nil
+		},
+		match: func(p *dataset.Pair) (matching.Mapping, error) {
+			r, err := run(p)
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, composite.SplitName)
+		},
+	}
+	return genericComposite("BHV", sm, delta, maxCandidates)
+}
+
+// compositeAwareLabels scores merged composite names by the best pairwise
+// constituent similarity, so label-based baselines are not penalized by the
+// join separator.
+func compositeAwareLabels(a, b string) float64 {
+	best := 0.0
+	for _, x := range composite.SplitName(a) {
+		for _, y := range composite.SplitName(b) {
+			if v := labelSim(x, y); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// expandMapping splits merged composite names in a mapping back into
+// constituent groups.
+func expandMapping(m matching.Mapping) matching.Mapping {
+	out := make(matching.Mapping, 0, len(m))
+	for _, c := range m {
+		var left, right []string
+		for _, e := range c.Left {
+			left = append(left, composite.SplitName(e)...)
+		}
+		for _, e := range c.Right {
+			right = append(right, composite.SplitName(e)...)
+		}
+		out = append(out, matching.NewCorrespondence(left, right, c.Score))
+	}
+	return out.Sort()
+}
+
+// Measurement aggregates one method's performance over a pair group.
+type Measurement struct {
+	Quality matching.Quality
+	// StdDevF is the standard deviation of per-pair f-measures, reported so
+	// readers can judge the stability of the averages.
+	StdDevF float64
+	// MeanMS is the mean wall-clock matching time per pair in milliseconds.
+	MeanMS float64
+	// DNF reports how many pairs the method could not finish; those pairs
+	// are excluded from Quality and MeanMS.
+	DNF int
+}
+
+// RunMethod evaluates a method over a group of pairs.
+func RunMethod(m Method, pairs []*dataset.Pair) (Measurement, error) {
+	var out Measurement
+	var qs []matching.Quality
+	var total time.Duration
+	for _, p := range pairs {
+		start := time.Now()
+		found, err := m.Match(p)
+		elapsed := time.Since(start)
+		if errors.Is(err, ErrDNF) {
+			out.DNF++
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		total += elapsed
+		qs = append(qs, matching.Evaluate(found, p.Truth))
+	}
+	out.Quality = matching.AverageQuality(qs)
+	if n := len(qs); n > 0 {
+		out.MeanMS = float64(total.Microseconds()) / float64(n) / 1000
+		var varSum float64
+		for _, q := range qs {
+			d := q.FMeasure - out.Quality.FMeasure
+			varSum += d * d
+		}
+		out.StdDevF = math.Sqrt(varSum / float64(n))
+	}
+	return out, nil
+}

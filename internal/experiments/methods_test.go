@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunMethodStdDev(t *testing.T) {
+	pairs, err := QuickScale().testbed(dataset.DSF, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := RunMethod(EMS(false), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.StdDevF < 0 || meas.StdDevF > 1 {
+		t.Errorf("StdDevF = %g out of range", meas.StdDevF)
+	}
+	if meas.MeanMS <= 0 {
+		t.Errorf("MeanMS = %g, want > 0", meas.MeanMS)
+	}
+}
+
+// TestSFAndICoPMethods drives the extra-baseline constructors directly.
+func TestSFAndICoPMethods(t *testing.T) {
+	pairs, err := QuickScale().testbed(dataset.DSF, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{SF(false), SF(true), ICoP()} {
+		meas, err := RunMethod(m, pairs[:1])
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if meas.Quality.Found == 0 && m.Name != "ICoP" {
+			t.Errorf("%s found nothing", m.Name)
+		}
+	}
+}
+
+// TestGenericCompositeBaselines drives the GED/OPQ/BHV composite wrappers on
+// one small pair each.
+func TestGenericCompositeBaselines(t *testing.T) {
+	s := Scale{Pairs: 1, Events: 10, Traces: 60, Seed: 5}
+	pairs, err := s.compositeTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{
+		GEDComposite(false, 1e-6, 2),
+		GEDComposite(true, 1e-6, 2),
+		OPQComposite(1e-6, 2),
+		BHVComposite(false, 0.005, 2),
+		BHVComposite(true, 0.005, 2),
+	} {
+		if _, err := RunMethod(m, pairs); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+)
+
+// Robustness is an extension experiment beyond the paper: it corrupts log 2
+// of every DS-FB pair with increasing recording noise (dropped, swapped and
+// duplicated events) and reports how each matcher's accuracy degrades.
+// Real event logs are noisy; a matcher whose statistics aggregate over
+// whole logs (EMS) should degrade more gracefully than one keyed to exact
+// local patterns.
+func Robustness(s Scale) ([]*Table, error) {
+	base, err := s.testbed(dataset.DSFB, 0)
+	if err != nil {
+		return nil, err
+	}
+	levels := []float64{0, 0.02, 0.05, 0.10, 0.20}
+	cols := []string{"method"}
+	for _, lv := range levels {
+		cols = append(cols, fmt.Sprintf("noise=%.2f", lv))
+	}
+	t := &Table{Title: "Robustness (extension): f-measure vs recording noise (DS-FB)", Columns: cols}
+	groups := make([][]*dataset.Pair, len(levels))
+	for i, lv := range levels {
+		rng := rand.New(rand.NewSource(s.Seed + int64(i*1000)))
+		pairs := make([]*dataset.Pair, len(base))
+		for j, p := range base {
+			noisy, err := eventlog.AddNoise(rng, p.Log2, eventlog.NoiseOptions{
+				DropProb: lv, SwapProb: lv, DupProb: lv / 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pairs[j] = &dataset.Pair{Name: p.Name, Log1: p.Log1, Log2: noisy, Truth: p.Truth}
+		}
+		groups[i] = pairs
+	}
+	for _, m := range []Method{EMS(false), EMSEstimate(5, false), GED(false), BHV(false), SF(false)} {
+		row := []string{m.Name}
+		for i := range levels {
+			meas, err := RunMethod(m, groups[i])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cellQuality(meas))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestRobustness checks structure and the headline: EMS at zero noise
+// matches the Fig3 DS-FB result, and EMS stays at least as accurate as GED
+// and BHV at every noise level.
+func TestRobustness(t *testing.T) {
+	tables, err := Robustness(QuickScale())
+	if err != nil {
+		t.Fatalf("Robustness: %v", err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("got %d method rows", len(tb.Rows))
+	}
+	ems := row(t, tb, "EMS")
+	for _, other := range []string{"GED", "BHV"} {
+		or := row(t, tb, other)
+		for col := 1; col < len(tb.Columns); col++ {
+			if cell(t, or[col]) > cell(t, ems[col])+0.05 {
+				t.Errorf("%s beats EMS at %s: %s vs %s", other, tb.Columns[col], or[col], ems[col])
+			}
+		}
+	}
+	// Accuracy at the heaviest noise must not exceed the clean accuracy.
+	clean := cell(t, ems[1])
+	noisy := cell(t, ems[len(tb.Columns)-1])
+	if noisy > clean+0.05 {
+		t.Errorf("noise improved EMS: %.3f -> %.3f", clean, noisy)
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/matching"
+)
+
+// Scale sizes a figure run. Quick keeps unit tests fast; Full mirrors the
+// paper's dataset sizes as closely as the synthetic generator allows.
+type Scale struct {
+	// Pairs is the number of log pairs per testbed/group.
+	Pairs int
+	// Events is the default model size.
+	Events int
+	// Traces per log.
+	Traces int
+	// Seed makes every dataset deterministic.
+	Seed int64
+}
+
+// QuickScale is used by unit tests and benchmarks.
+func QuickScale() Scale { return Scale{Pairs: 3, Events: 16, Traces: 100, Seed: 1} }
+
+// FullScale approximates the paper's group sizes (DS-F 23, DS-B 22 pairs).
+func FullScale() Scale { return Scale{Pairs: 15, Events: 20, Traces: 200, Seed: 1} }
+
+func (s Scale) testbed(tb dataset.Testbed, composites int) ([]*dataset.Pair, error) {
+	opts := dataset.TestbedOptions{
+		Pairs:           s.Pairs,
+		Events:          s.Events,
+		Traces:          s.Traces,
+		OpaqueFraction:  0.5,
+		CompositeMerges: composites,
+		Seed:            s.Seed,
+	}
+	return dataset.MakeTestbed(tb, opts)
+}
+
+var testbeds = []dataset.Testbed{dataset.DSF, dataset.DSB, dataset.DSFB}
+
+// singletonMethods returns the five approaches of Figures 3/4.
+func singletonMethods(useLabels bool) []Method {
+	return []Method{
+		EMS(useLabels),
+		EMSEstimate(5, useLabels),
+		GED(useLabels),
+		OPQ(),
+		BHV(useLabels),
+	}
+}
+
+// figSingleton runs the Figure 3/4 protocol: five methods across the three
+// dislocation testbeds, reporting f-measure and mean time.
+func figSingleton(title string, s Scale, useLabels bool) ([]*Table, error) {
+	acc := &Table{Title: title + ": f-measure", Columns: []string{"method", "DS-F", "DS-B", "DS-FB"}}
+	tim := &Table{Title: title + ": time (ms/pair)", Columns: []string{"method", "DS-F", "DS-B", "DS-FB"}}
+	groups := make(map[dataset.Testbed][]*dataset.Pair, len(testbeds))
+	for _, tb := range testbeds {
+		pairs, err := s.testbed(tb, 0)
+		if err != nil {
+			return nil, err
+		}
+		groups[tb] = pairs
+	}
+	for _, m := range singletonMethods(useLabels) {
+		accRow := []string{m.Name}
+		timRow := []string{m.Name}
+		for _, tb := range testbeds {
+			meas, err := RunMethod(m, groups[tb])
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", m.Name, tb, err)
+			}
+			accRow = append(accRow, cellQuality(meas))
+			timRow = append(timRow, cellTime(meas))
+		}
+		acc.AddRow(accRow...)
+		tim.AddRow(timRow...)
+	}
+	return []*Table{acc, tim}, nil
+}
+
+func cellQuality(m Measurement) string {
+	if m.DNF > 0 && m.Quality.Found == 0 {
+		return "DNF"
+	}
+	return fmtF(m.Quality.FMeasure)
+}
+
+func cellTime(m Measurement) string {
+	if m.DNF > 0 && m.MeanMS == 0 {
+		return "DNF"
+	}
+	return fmtMS(m.MeanMS)
+}
+
+// Fig3 reproduces Figure 3: matching singleton events on structure only.
+func Fig3(s Scale) ([]*Table, error) {
+	return figSingleton("Figure 3: singleton matching, structure only", s, false)
+}
+
+// Fig4 reproduces Figure 4: singleton matching integrating typographic
+// similarity.
+func Fig4(s Scale) ([]*Table, error) {
+	return figSingleton("Figure 4: singleton matching with typographic similarity", s, true)
+}
+
+// Fig5 reproduces Figure 5: the estimation trade-off — f-measure and time
+// as the number of exact iterations I grows from 0 to MAX.
+func Fig5(s Scale) ([]*Table, error) {
+	pairs, err := s.testbed(dataset.DSFB, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 5: estimation trade-off (DS-FB)",
+		Columns: []string{"I", "f-measure", "time (ms/pair)"},
+	}
+	for _, i := range []int{0, 1, 2, 3, 5, 10} {
+		meas, err := RunMethod(EMSEstimate(i, false), pairs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", i), fmtF(meas.Quality.FMeasure), fmtMS(meas.MeanMS))
+	}
+	meas, err := RunMethod(EMS(false), pairs)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("MAX", fmtF(meas.Quality.FMeasure), fmtMS(meas.MeanMS))
+	return []*Table{t}, nil
+}
+
+// Fig6 reproduces Figure 6: the prune power of early convergence — total
+// formula-(1) evaluations and time, pruned vs unpruned, over growing event
+// counts.
+func Fig6(s Scale) ([]*Table, error) {
+	evals := &Table{
+		Title:   "Figure 6(a): total iterations (formula-1 evaluations)",
+		Columns: []string{"events", "pruned", "unpruned"},
+	}
+	tim := &Table{
+		Title:   "Figure 6(b): time (ms/pair)",
+		Columns: []string{"events", "pruned", "unpruned"},
+	}
+	for _, events := range []int{10, 20, 30, 40} {
+		sz := s
+		sz.Events = events
+		pairs, err := sz.testbed(dataset.DSFB, 0)
+		if err != nil {
+			return nil, err
+		}
+		pe, pt, err := measureEvaluations(pairs, true)
+		if err != nil {
+			return nil, err
+		}
+		ue, ut, err := measureEvaluations(pairs, false)
+		if err != nil {
+			return nil, err
+		}
+		evals.AddRow(fmt.Sprintf("%d", events), fmt.Sprintf("%d", pe), fmt.Sprintf("%d", ue))
+		tim.AddRow(fmt.Sprintf("%d", events), fmtMS(pt), fmtMS(ut))
+	}
+	return []*Table{evals, tim}, nil
+}
+
+// measureEvaluations runs exact EMS over the pairs and returns the total
+// formula evaluations and mean time.
+func measureEvaluations(pairs []*dataset.Pair, prune bool) (int, float64, error) {
+	totalEvals := 0
+	var totalTime time.Duration
+	for _, p := range pairs {
+		g1, g2, err := buildGraphs(p, true, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Prune = prune
+		start := time.Now()
+		r, err := core.Compute(g1, g2, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		totalTime += time.Since(start)
+		totalEvals += r.Evaluations
+	}
+	ms := float64(totalTime.Microseconds()) / float64(len(pairs)) / 1000
+	return totalEvals, ms, nil
+}
+
+// Fig7 reproduces Figure 7: the minimum frequency control — accuracy falls
+// and time falls as low-frequency edges are filtered.
+func Fig7(s Scale) ([]*Table, error) {
+	pairs, err := s.testbed(dataset.DSFB, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 7: minimum frequency control (DS-FB)",
+		Columns: []string{"threshold", "f-measure", "time (ms/pair)"},
+	}
+	for _, th := range []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25} {
+		meas, err := RunMethod(EMSMinFreq(th, false), pairs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", th), fmtF(meas.Quality.FMeasure), fmtMS(meas.MeanMS))
+	}
+	return []*Table{t}, nil
+}
+
+// Fig8 reproduces Figure 8: scalability over the number of events; OPQ
+// becomes infeasible beyond 30 events (reported DNF).
+func Fig8(s Scale, sizes []int) ([]*Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 20, 30, 50, 70, 100}
+	}
+	cols := []string{"method"}
+	for _, n := range sizes {
+		cols = append(cols, fmt.Sprintf("%d", n))
+	}
+	acc := &Table{Title: "Figure 8(a): scalability, f-measure vs events", Columns: cols}
+	tim := &Table{Title: "Figure 8(b): scalability, time (ms/pair) vs events", Columns: cols}
+	groups := make([][]*dataset.Pair, len(sizes))
+	for i, n := range sizes {
+		opts := dataset.TestbedOptions{
+			Pairs: s.Pairs, Events: n, Traces: s.Traces,
+			OpaqueFraction: 1.0, Seed: s.Seed + int64(n),
+		}
+		pairs, err := dataset.MakeTestbed(dataset.None, opts)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = pairs
+	}
+	for _, m := range singletonMethods(false) {
+		accRow := []string{m.Name}
+		timRow := []string{m.Name}
+		for i := range sizes {
+			meas, err := RunMethod(m, groups[i])
+			if err != nil {
+				return nil, err
+			}
+			accRow = append(accRow, cellQuality(meas))
+			timRow = append(timRow, cellTime(meas))
+		}
+		acc.AddRow(accRow...)
+		tim.AddRow(timRow...)
+	}
+	return []*Table{acc, tim}, nil
+}
+
+// Fig9 reproduces Figure 9: accuracy as the number of dislocated events m
+// grows (the first m events of every log-2 trace are removed).
+func Fig9(s Scale, events int, ms []int) ([]*Table, error) {
+	if events == 0 {
+		events = 60
+	}
+	if len(ms) == 0 {
+		ms = []int{2, 4, 6, 8, 10}
+	}
+	cols := []string{"method"}
+	for _, m := range ms {
+		cols = append(cols, fmt.Sprintf("m=%d", m))
+	}
+	acc := &Table{Title: "Figure 9: f-measure vs dislocated events", Columns: cols}
+	groups := make([][]*dataset.Pair, len(ms))
+	for i, m := range ms {
+		opts := dataset.TestbedOptions{
+			Pairs: s.Pairs, Events: events, Traces: s.Traces,
+			Dislocation: m, Style: dataset.StyleTrim, OpaqueFraction: 1.0, Seed: s.Seed + int64(m),
+		}
+		pairs, err := dataset.MakeTestbed(dataset.DSB, opts)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = pairs
+	}
+	for _, m := range singletonMethods(false) {
+		row := []string{m.Name}
+		for i := range ms {
+			meas, err := RunMethod(m, groups[i])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cellQuality(meas))
+		}
+		acc.AddRow(row...)
+	}
+	return []*Table{acc}, nil
+}
+
+// avgQuality is a convenience for tests.
+func avgQuality(m Method, pairs []*dataset.Pair) (matching.Quality, error) {
+	meas, err := RunMethod(m, pairs)
+	return meas.Quality, err
+}

@@ -1,0 +1,69 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 5, Figures 3-14) on the synthetic testbeds of package dataset.
+// Each FigNN function returns one or more text tables mirroring the series
+// the paper plots: matching f-measure, wall-clock time, and the iteration
+// counts the pruning figures report. cmd/emsbench prints them all; the
+// bench_test.go targets at the repository root time representative slices.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: one figure panel.
+type Table struct {
+	// Title identifies the figure panel, e.g. "Figure 3(a): f-measure".
+	Title string
+	// Columns holds the header cells; Rows the data cells.
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// fmtF formats an f-measure cell.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtMS formats a duration cell in milliseconds.
+func fmtMS(ms float64) string { return fmt.Sprintf("%.2f", ms) }

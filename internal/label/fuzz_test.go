@@ -1,0 +1,30 @@
+package label
+
+import "testing"
+
+// Fuzz targets: every measure must stay in [0,1], be symmetric, and give 1
+// on identical inputs — for arbitrary (including invalid-UTF-8) strings.
+
+func fuzzMeasure(f *testing.F, sim Similarity) {
+	f.Add("check order", "chk order")
+	f.Add("", "")
+	f.Add("ü", "u")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		v := sim(a, b)
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("sim(%q,%q) = %g out of range", a, b, v)
+		}
+		w := sim(b, a)
+		if d := v - w; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("asymmetric: %g vs %g", v, w)
+		}
+		if s := sim(a, a); s < 1-1e-9 {
+			t.Fatalf("self similarity %g != 1 for %q", s, a)
+		}
+	})
+}
+
+func FuzzQGramCosine(f *testing.F)  { fuzzMeasure(f, QGramCosine(3)) }
+func FuzzLevenshtein(f *testing.F)  { fuzzMeasure(f, Levenshtein) }
+func FuzzJaroWinkler(f *testing.F)  { fuzzMeasure(f, JaroWinkler) }
+func FuzzJaccardWords(f *testing.F) { fuzzMeasure(f, JaccardWords) }

@@ -1,0 +1,103 @@
+package label
+
+import (
+	"strings"
+)
+
+// JaroWinkler returns the Jaro-Winkler similarity, which rewards common
+// prefixes — well suited to activity labels that differ by suffixes
+// ("approve claim" vs "approve claim v2").
+func JaroWinkler(a, b string) float64 {
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	j := jaro(ra, rb)
+	if j == 0 {
+		return 0
+	}
+	// Common prefix up to 4 runes, scaling factor 0.1 (the standard
+	// constants).
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+func jaro(a, b []rune) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	window := max(len(a), len(b))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, len(a))
+	matchedB := make([]bool, len(b))
+	matches := 0
+	for i, ca := range a {
+		lo := max(0, i-window)
+		hi := min(len(b)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchedB[j] || b[j] != ca {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched runes.
+	transpositions := 0
+	j := 0
+	for i := range a {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(a)) + m/float64(len(b)) + (m-t)/m) / 3
+}
+
+// MongeElkan lifts a base similarity to multi-word labels: each word of the
+// first label is scored against its best counterpart in the second, then
+// averaged; the result is symmetrized. It tolerates word reordering and
+// missing filler words.
+func MongeElkan(base Similarity) Similarity {
+	oneWay := func(a, b []string) float64 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		if len(a) == 0 || len(b) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, x := range a {
+			best := 0.0
+			for _, y := range b {
+				if v := base(x, y); v > best {
+					best = v
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(a))
+	}
+	return func(a, b string) float64 {
+		wa, wb := strings.Fields(strings.ToLower(a)), strings.Fields(strings.ToLower(b))
+		return (oneWay(wa, wb) + oneWay(wb, wa)) / 2
+	}
+}

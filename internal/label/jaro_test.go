@@ -1,0 +1,87 @@
+package label
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.9611},
+		{"dixon", "dicksonx", 0.8133},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); math.Abs(got-c.want) > 0.001 {
+			t.Errorf("JaroWinkler(%q,%q) = %.4f, want %.4f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerPrefixBonus(t *testing.T) {
+	// Same Jaro core (two shared runes), different prefix placement.
+	withPrefix := JaroWinkler("abxy", "abqr")
+	noPrefix := JaroWinkler("xyab", "qrab")
+	if withPrefix <= noPrefix {
+		t.Errorf("prefix bonus missing: %.4f vs %.4f", withPrefix, noPrefix)
+	}
+}
+
+func TestMongeElkanWordReordering(t *testing.T) {
+	sim := MongeElkan(JaroWinkler)
+	reordered := sim("check inventory", "inventory check")
+	if math.Abs(reordered-1) > 1e-9 {
+		t.Errorf("reordered words = %.4f, want 1", reordered)
+	}
+	partial := sim("check inventory", "check stock")
+	if partial >= reordered || partial <= 0.3 {
+		t.Errorf("partial overlap = %.4f, want between 0.3 and 1", partial)
+	}
+}
+
+func TestMongeElkanEmpty(t *testing.T) {
+	sim := MongeElkan(JaroWinkler)
+	if sim("", "") != 1 {
+		t.Errorf("empty/empty != 1")
+	}
+	if sim("a", "") != 0 {
+		t.Errorf("a/empty != 0")
+	}
+}
+
+func TestJaroWinklerProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		v := JaroWinkler(a, b)
+		if v < 0 || v > 1+1e-9 {
+			return false
+		}
+		if math.Abs(v-JaroWinkler(b, a)) > 1e-9 {
+			return false
+		}
+		return math.Abs(JaroWinkler(a, a)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMongeElkanProperties(t *testing.T) {
+	sim := MongeElkan(QGramCosine(2))
+	f := func(a, b string) bool {
+		v := sim(a, b)
+		if v < 0 || v > 1+1e-9 {
+			return false
+		}
+		return math.Abs(v-sim(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

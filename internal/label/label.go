@@ -1,0 +1,153 @@
+// Package label implements typographic (label) similarity measures between
+// event names: cosine similarity over q-gram profiles (the measure the paper
+// uses, following Gravano et al., WWW 2003), normalized Levenshtein edit
+// similarity, and Jaccard word similarity. All measures return values in
+// [0,1] where 1 means identical.
+package label
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Similarity computes a label similarity in [0,1] between two event names.
+type Similarity func(a, b string) float64
+
+// QGramCosine returns the cosine-similarity measure over q-gram frequency
+// vectors. Names are lower-cased and padded with q-1 boundary markers so
+// that prefixes and suffixes contribute. q must be >= 1; q = 3 reproduces
+// the paper's setting.
+func QGramCosine(q int) Similarity {
+	if q < 1 {
+		q = 1
+	}
+	return func(a, b string) float64 {
+		pa, pb := qgramProfile(a, q), qgramProfile(b, q)
+		return cosine(pa, pb)
+	}
+}
+
+func qgramProfile(s string, q int) map[string]int {
+	s = strings.ToLower(s)
+	pad := strings.Repeat("\x00", q-1)
+	r := []rune(pad + s + pad)
+	prof := make(map[string]int)
+	for i := 0; i+q <= len(r); i++ {
+		prof[string(r[i:i+q])]++
+	}
+	return prof
+}
+
+func cosine(a, b map[string]int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for g, ca := range a {
+		if cb, ok := b[g]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+		na += float64(ca) * float64(ca)
+	}
+	for _, cb := range b {
+		nb += float64(cb) * float64(cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Levenshtein returns the normalized edit similarity
+// 1 - dist(a,b)/max(len(a),len(b)), computed over runes.
+func Levenshtein(a, b string) float64 {
+	ra, rb := []rune(strings.ToLower(a)), []rune(strings.ToLower(b))
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	d := editDistance(ra, rb)
+	return 1 - float64(d)/float64(max(len(ra), len(rb)))
+}
+
+func editDistance(a, b []rune) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// JaccardWords returns the Jaccard similarity between the word sets of the
+// two names, where words are maximal alphanumeric runs, lower-cased.
+func JaccardWords(a, b string) float64 {
+	wa, wb := wordSet(a), wordSet(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	inter := 0
+	for w := range wa {
+		if wb[w] {
+			inter++
+		}
+	}
+	union := len(wa) + len(wb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func wordSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out[strings.ToLower(cur.String())] = true
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Zero is the similarity that is 0 for every pair; it is used when labels
+// are opaque and must be ignored (equivalently alpha = 1).
+func Zero(a, b string) float64 { return 0 }
+
+// Matrix evaluates the similarity for every pair of the two name slices and
+// returns a dense row-major matrix m[i*len(b)+j] = sim(a[i], b[j]).
+func Matrix(sim Similarity, a, b []string) []float64 {
+	m := make([]float64, len(a)*len(b))
+	for i, x := range a {
+		for j, y := range b {
+			m[i*len(b)+j] = sim(x, y)
+		}
+	}
+	return m
+}

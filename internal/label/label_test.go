@@ -1,0 +1,128 @@
+package label
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQGramCosineIdentical(t *testing.T) {
+	sim := QGramCosine(3)
+	if got := sim("Check Inventory", "Check Inventory"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical strings = %g, want 1", got)
+	}
+}
+
+func TestQGramCosineCaseInsensitive(t *testing.T) {
+	sim := QGramCosine(3)
+	if got := sim("SHIP GOODS", "ship goods"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("case-insensitive match = %g, want 1", got)
+	}
+}
+
+func TestQGramCosineSimilarVsDissimilar(t *testing.T) {
+	sim := QGramCosine(3)
+	similar := sim("check inventory", "check inventory v2")
+	dissimilar := sim("check inventory", "#9f3a1b")
+	if similar <= dissimilar {
+		t.Errorf("similar %g <= dissimilar %g", similar, dissimilar)
+	}
+	if similar < 0.5 {
+		t.Errorf("near-duplicate similarity %g unexpectedly low", similar)
+	}
+	if dissimilar > 0.2 {
+		t.Errorf("garbled similarity %g unexpectedly high", dissimilar)
+	}
+}
+
+func TestQGramCosineEmpty(t *testing.T) {
+	sim := QGramCosine(3)
+	if got := sim("", ""); got != 1 {
+		t.Errorf("empty/empty = %g, want 1", got)
+	}
+	if got := sim("abc", ""); got != 0 {
+		t.Errorf("abc/empty = %g, want 0", got)
+	}
+}
+
+func TestQGramCosineQClamped(t *testing.T) {
+	sim := QGramCosine(0) // clamped to 1
+	if got := sim("ab", "ba"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("unigram profile of anagrams = %g, want 1", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"abc", "abc", 1},
+		{"abc", "abd", 2.0 / 3},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"kitten", "sitting", 1 - 3.0/7},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Levenshtein(%q,%q) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardWords(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"check order", "order check", 1},
+		{"check order", "check invoice", 1.0 / 3},
+		{"", "", 1},
+		{"a b", "c d", 0},
+	}
+	for _, c := range cases {
+		if got := JaccardWords(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JaccardWords(%q,%q) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if Zero("a", "a") != 0 {
+		t.Errorf("Zero not zero")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := Matrix(Levenshtein, []string{"ab", "cd"}, []string{"ab"})
+	if len(m) != 2 {
+		t.Fatalf("matrix size %d, want 2", len(m))
+	}
+	if m[0] != 1 || m[1] != 0 {
+		t.Errorf("matrix = %v, want [1 0]", m)
+	}
+}
+
+// Properties: symmetry and range for all measures.
+func TestMeasureProperties(t *testing.T) {
+	measures := map[string]Similarity{
+		"qgram":   QGramCosine(3),
+		"edit":    Levenshtein,
+		"jaccard": JaccardWords,
+	}
+	for name, sim := range measures {
+		f := func(a, b string) bool {
+			v1, v2 := sim(a, b), sim(b, a)
+			if math.Abs(v1-v2) > 1e-9 {
+				return false
+			}
+			if v1 < 0 || v1 > 1+1e-9 {
+				return false
+			}
+			return math.Abs(sim(a, a)-1) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consensus combines several mappings of the same log pair — different
+// matcher configurations, or the "inaccurate and contradictory" opinions of
+// multiple human integrators the paper's introduction describes — into one
+// mapping: a correspondence survives when at least quorum inputs contain
+// it, conflicting survivors (sharing a left or right group) are resolved in
+// favor of higher support then higher average score, and the score of each
+// surviving correspondence is its average across supporting inputs.
+func Consensus(mappings []Mapping, quorum int) (Mapping, error) {
+	if quorum < 1 {
+		return nil, fmt.Errorf("matching: quorum must be >= 1, got %d", quorum)
+	}
+	if quorum > len(mappings) {
+		return nil, fmt.Errorf("matching: quorum %d exceeds %d mappings", quorum, len(mappings))
+	}
+	type tally struct {
+		c     Correspondence
+		count int
+		score float64
+	}
+	tallies := make(map[string]*tally)
+	for _, m := range mappings {
+		seen := make(map[string]bool)
+		for _, c := range m {
+			k := c.Key()
+			if seen[k] {
+				continue // count once per input mapping
+			}
+			seen[k] = true
+			t, ok := tallies[k]
+			if !ok {
+				t = &tally{c: c}
+				tallies[k] = t
+			}
+			t.count++
+			t.score += c.Score
+		}
+	}
+	survivors := make([]*tally, 0, len(tallies))
+	for _, t := range tallies {
+		if t.count >= quorum {
+			survivors = append(survivors, t)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool {
+		if survivors[i].count != survivors[j].count {
+			return survivors[i].count > survivors[j].count
+		}
+		si := survivors[i].score / float64(survivors[i].count)
+		sj := survivors[j].score / float64(survivors[j].count)
+		if si != sj {
+			return si > sj
+		}
+		return survivors[i].c.Key() < survivors[j].c.Key()
+	})
+	usedLeft := make(map[string]bool)
+	usedRight := make(map[string]bool)
+	var out Mapping
+	for _, t := range survivors {
+		conflict := false
+		for _, e := range t.c.Left {
+			if usedLeft[e] {
+				conflict = true
+			}
+		}
+		for _, e := range t.c.Right {
+			if usedRight[e] {
+				conflict = true
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, e := range t.c.Left {
+			usedLeft[e] = true
+		}
+		for _, e := range t.c.Right {
+			usedRight[e] = true
+		}
+		out = append(out, NewCorrespondence(t.c.Left, t.c.Right, t.score/float64(t.count)))
+	}
+	return out.Sort(), nil
+}

@@ -1,0 +1,81 @@
+package matching
+
+import (
+	"math"
+	"testing"
+)
+
+func c1(l, r string, s float64) Correspondence {
+	return NewCorrespondence([]string{l}, []string{r}, s)
+}
+
+func TestConsensusQuorum(t *testing.T) {
+	m1 := Mapping{c1("a", "x", 0.9), c1("b", "y", 0.8)}
+	m2 := Mapping{c1("a", "x", 0.7), c1("b", "z", 0.6)}
+	m3 := Mapping{c1("a", "x", 0.8)}
+	out, err := Consensus([]Mapping{m1, m2, m3}, 2)
+	if err != nil {
+		t.Fatalf("Consensus: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %v, want only a->x (quorum 2)", out)
+	}
+	if out[0].Left[0] != "a" || out[0].Right[0] != "x" {
+		t.Errorf("survivor = %v", out[0])
+	}
+	if math.Abs(out[0].Score-0.8) > 1e-12 {
+		t.Errorf("averaged score = %g, want 0.8", out[0].Score)
+	}
+}
+
+func TestConsensusConflictResolution(t *testing.T) {
+	// a->x supported twice, a->y once: a->x wins and blocks a->y.
+	m1 := Mapping{c1("a", "x", 0.5)}
+	m2 := Mapping{c1("a", "x", 0.5)}
+	m3 := Mapping{c1("a", "y", 0.99)}
+	out, err := Consensus([]Mapping{m1, m2, m3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Right[0] != "x" {
+		t.Errorf("conflict resolved wrongly: %v", out)
+	}
+}
+
+func TestConsensusCompositeGroupsConflict(t *testing.T) {
+	// {c,d}->m conflicts with c->n via the shared left event c.
+	m1 := Mapping{NewCorrespondence([]string{"c", "d"}, []string{"m"}, 0.9)}
+	m2 := Mapping{NewCorrespondence([]string{"c", "d"}, []string{"m"}, 0.9)}
+	m3 := Mapping{c1("c", "n", 0.9)}
+	out, err := Consensus([]Mapping{m1, m2, m3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Left) != 2 {
+		t.Errorf("composite group lost: %v", out)
+	}
+}
+
+func TestConsensusDuplicatesInOneInputCountOnce(t *testing.T) {
+	m1 := Mapping{c1("a", "x", 0.5), c1("a", "x", 0.5)}
+	out, err := Consensus([]Mapping{m1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %v", out)
+	}
+	// Quorum 2 must NOT be met by a duplicate within one input.
+	if _, err := Consensus([]Mapping{m1}, 2); err == nil {
+		t.Errorf("quorum above input count accepted")
+	}
+}
+
+func TestConsensusValidation(t *testing.T) {
+	if _, err := Consensus(nil, 0); err == nil {
+		t.Errorf("quorum 0 accepted")
+	}
+	if _, err := Consensus([]Mapping{{}}, 2); err == nil {
+		t.Errorf("quorum above count accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package matching turns pair-wise event similarities into correspondences
+// and scores them against a ground truth with precision, recall and
+// f-measure — the evaluation criteria of Section 5 of the paper.
+//
+// A correspondence relates a set of events of log 1 to a set of events of
+// log 2; singleton sets on both sides give the ordinary 1:1 match, larger
+// sets express composite (m:n) matches.
+package matching
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/assignment"
+)
+
+// Correspondence relates an event group of log 1 to an event group of log 2.
+// Groups hold original (pre-merge) event names and are kept sorted.
+type Correspondence struct {
+	Left  []string
+	Right []string
+	Score float64
+}
+
+// NewCorrespondence builds a correspondence with sorted, copied groups.
+func NewCorrespondence(left, right []string, score float64) Correspondence {
+	l := append([]string(nil), left...)
+	r := append([]string(nil), right...)
+	sort.Strings(l)
+	sort.Strings(r)
+	return Correspondence{Left: l, Right: r, Score: score}
+}
+
+// Key returns a canonical identity for the correspondence, ignoring score.
+func (c Correspondence) Key() string {
+	return strings.Join(c.Left, "\x1f") + "\x1e" + strings.Join(c.Right, "\x1f")
+}
+
+// String renders the correspondence as "{a,b} -> {x} (0.87)".
+func (c Correspondence) String() string {
+	return fmt.Sprintf("{%s} -> {%s} (%.3f)", strings.Join(c.Left, ","), strings.Join(c.Right, ","), c.Score)
+}
+
+// Mapping is a set of correspondences.
+type Mapping []Correspondence
+
+// Keys returns the canonical key set of the mapping.
+func (m Mapping) Keys() map[string]bool {
+	out := make(map[string]bool, len(m))
+	for _, c := range m {
+		out[c.Key()] = true
+	}
+	return out
+}
+
+// Sort orders the mapping by descending score, then by key, in place, and
+// returns it.
+func (m Mapping) Sort() Mapping {
+	sort.Slice(m, func(i, j int) bool {
+		if m[i].Score != m[j].Score {
+			return m[i].Score > m[j].Score
+		}
+		return m[i].Key() < m[j].Key()
+	})
+	return m
+}
+
+// Select applies the maximum-total-similarity selection method to a
+// similarity matrix: an optimal assignment is computed and every selected
+// pair with similarity >= threshold becomes a 1:1 correspondence. The group
+// splitter, when non-nil, expands merged composite names back into their
+// member events; nil treats every name as a singleton.
+func Select(names1, names2 []string, sim []float64, threshold float64, split func(string) []string) (Mapping, error) {
+	if len(sim) != len(names1)*len(names2) {
+		return nil, fmt.Errorf("matching: similarity matrix size %d does not match %dx%d", len(sim), len(names1), len(names2))
+	}
+	pairs, err := assignment.Maximize(sim, len(names1), len(names2))
+	if err != nil {
+		return nil, err
+	}
+	if split == nil {
+		split = func(s string) []string { return []string{s} }
+	}
+	var out Mapping
+	for _, p := range pairs {
+		if p.Value < threshold {
+			continue
+		}
+		out = append(out, NewCorrespondence(split(names1[p.I]), split(names2[p.J]), p.Value))
+	}
+	return out.Sort(), nil
+}
+
+// Quality holds precision, recall and f-measure of a found mapping against
+// the ground truth.
+type Quality struct {
+	Precision, Recall, FMeasure float64
+	Found, Truth, Correct       int
+}
+
+// Evaluate scores found against truth: a found correspondence is correct iff
+// a truth correspondence with exactly the same groups exists.
+func Evaluate(found, truth Mapping) Quality {
+	tk := truth.Keys()
+	correct := 0
+	for k := range found.Keys() {
+		if tk[k] {
+			correct++
+		}
+	}
+	q := Quality{Found: len(found.Keys()), Truth: len(tk), Correct: correct}
+	if q.Found > 0 {
+		q.Precision = float64(correct) / float64(q.Found)
+	}
+	if q.Truth > 0 {
+		q.Recall = float64(correct) / float64(q.Truth)
+	}
+	if q.Precision+q.Recall > 0 {
+		q.FMeasure = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+// AverageQuality averages a slice of qualities component-wise; the counters
+// are summed. An empty slice yields the zero Quality.
+func AverageQuality(qs []Quality) Quality {
+	var out Quality
+	if len(qs) == 0 {
+		return out
+	}
+	for _, q := range qs {
+		out.Precision += q.Precision
+		out.Recall += q.Recall
+		out.FMeasure += q.FMeasure
+		out.Found += q.Found
+		out.Truth += q.Truth
+		out.Correct += q.Correct
+	}
+	n := float64(len(qs))
+	out.Precision /= n
+	out.Recall /= n
+	out.FMeasure /= n
+	return out
+}

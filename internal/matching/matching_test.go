@@ -1,0 +1,158 @@
+package matching
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCorrespondenceKeyOrderInsensitive(t *testing.T) {
+	a := NewCorrespondence([]string{"b", "a"}, []string{"x"}, 0.5)
+	b := NewCorrespondence([]string{"a", "b"}, []string{"x"}, 0.9)
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ for same groups: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestCorrespondenceKeySideSensitive(t *testing.T) {
+	a := NewCorrespondence([]string{"a"}, []string{"x"}, 1)
+	b := NewCorrespondence([]string{"x"}, []string{"a"}, 1)
+	if a.Key() == b.Key() {
+		t.Errorf("left/right swap has equal key")
+	}
+}
+
+func TestCorrespondenceString(t *testing.T) {
+	c := NewCorrespondence([]string{"a", "b"}, []string{"x"}, 0.5)
+	if got := c.String(); got != "{a,b} -> {x} (0.500)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMappingSort(t *testing.T) {
+	m := Mapping{
+		NewCorrespondence([]string{"a"}, []string{"x"}, 0.3),
+		NewCorrespondence([]string{"b"}, []string{"y"}, 0.9),
+	}.Sort()
+	if m[0].Score != 0.9 {
+		t.Errorf("not sorted by descending score: %v", m)
+	}
+}
+
+func TestSelectPicksOptimal(t *testing.T) {
+	names1 := []string{"a", "b"}
+	names2 := []string{"x", "y"}
+	sim := []float64{
+		0.9, 0.8,
+		0.8, 0.1,
+	}
+	m, err := Select(names1, names2, sim, 0, nil)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	keys := m.Keys()
+	if !keys[NewCorrespondence([]string{"a"}, []string{"y"}, 0).Key()] ||
+		!keys[NewCorrespondence([]string{"b"}, []string{"x"}, 0).Key()] {
+		t.Errorf("Select chose %v, want a->y and b->x", m)
+	}
+}
+
+func TestSelectThreshold(t *testing.T) {
+	names1 := []string{"a", "b"}
+	names2 := []string{"x", "y"}
+	sim := []float64{
+		0.9, 0.0,
+		0.0, 0.05,
+	}
+	m, err := Select(names1, names2, sim, 0.2, nil)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("got %d correspondences, want 1 (threshold filters b->y): %v", len(m), m)
+	}
+	if m[0].Left[0] != "a" {
+		t.Errorf("kept %v, want a->x", m[0])
+	}
+}
+
+func TestSelectSplitsComposites(t *testing.T) {
+	split := func(s string) []string { return strings.Split(s, "+") }
+	m, err := Select([]string{"c+d"}, []string{"4"}, []float64{0.9}, 0, split)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	want := []string{"c", "d"}
+	if !reflect.DeepEqual(m[0].Left, want) {
+		t.Errorf("Left = %v, want %v", m[0].Left, want)
+	}
+}
+
+func TestSelectSizeMismatch(t *testing.T) {
+	if _, err := Select([]string{"a"}, []string{"x"}, []float64{1, 2}, 0, nil); err == nil {
+		t.Errorf("size mismatch accepted")
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	truth := Mapping{
+		NewCorrespondence([]string{"a"}, []string{"x"}, 1),
+		NewCorrespondence([]string{"b"}, []string{"y"}, 1),
+	}
+	q := Evaluate(truth, truth)
+	if q.Precision != 1 || q.Recall != 1 || q.FMeasure != 1 {
+		t.Errorf("perfect match scored %+v", q)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	truth := Mapping{
+		NewCorrespondence([]string{"a"}, []string{"x"}, 1),
+		NewCorrespondence([]string{"b"}, []string{"y"}, 1),
+	}
+	found := Mapping{
+		NewCorrespondence([]string{"a"}, []string{"x"}, 1),
+		NewCorrespondence([]string{"b"}, []string{"z"}, 1),
+	}
+	q := Evaluate(found, truth)
+	if math.Abs(q.Precision-0.5) > 1e-12 || math.Abs(q.Recall-0.5) > 1e-12 {
+		t.Errorf("partial match scored %+v, want P=R=0.5", q)
+	}
+	if math.Abs(q.FMeasure-0.5) > 1e-12 {
+		t.Errorf("f-measure = %g, want 0.5", q.FMeasure)
+	}
+}
+
+func TestEvaluateCompositeExactGroups(t *testing.T) {
+	truth := Mapping{NewCorrespondence([]string{"c", "d"}, []string{"4"}, 1)}
+	foundWrong := Mapping{NewCorrespondence([]string{"c"}, []string{"4"}, 1)}
+	if q := Evaluate(foundWrong, truth); q.Correct != 0 {
+		t.Errorf("subset group counted correct: %+v", q)
+	}
+	foundRight := Mapping{NewCorrespondence([]string{"d", "c"}, []string{"4"}, 1)}
+	if q := Evaluate(foundRight, truth); q.Correct != 1 {
+		t.Errorf("exact group not counted: %+v", q)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	q := Evaluate(nil, nil)
+	if q.Precision != 0 || q.Recall != 0 || q.FMeasure != 0 {
+		t.Errorf("empty eval = %+v, want zeros", q)
+	}
+}
+
+func TestAverageQuality(t *testing.T) {
+	qs := []Quality{
+		{Precision: 1, Recall: 0.5, FMeasure: 2.0 / 3},
+		{Precision: 0.5, Recall: 1, FMeasure: 2.0 / 3},
+	}
+	avg := AverageQuality(qs)
+	if math.Abs(avg.Precision-0.75) > 1e-12 || math.Abs(avg.Recall-0.75) > 1e-12 {
+		t.Errorf("average = %+v", avg)
+	}
+	if z := AverageQuality(nil); z.FMeasure != 0 {
+		t.Errorf("empty average = %+v", z)
+	}
+}

@@ -1,0 +1,178 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assignment"
+)
+
+// Strategy selects how pair-wise similarities become 1:1 correspondences.
+// The paper uses maximum total similarity [17]; Section 6 outlines
+// alternatives, implemented here for comparison.
+type Strategy int
+
+const (
+	// MaxTotal picks the assignment maximizing the total similarity
+	// (Hungarian algorithm) — the paper's choice.
+	MaxTotal Strategy = iota
+	// Greedy repeatedly picks the highest-similarity unconflicted pair.
+	Greedy
+	// Stable computes a stable matching (Gale-Shapley) where both sides
+	// rank partners by similarity: no two events prefer each other over
+	// their assigned partners.
+	Stable
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case MaxTotal:
+		return "max-total"
+	case Greedy:
+		return "greedy"
+	case Stable:
+		return "stable"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// SelectWith is Select with an explicit selection strategy.
+func SelectWith(strategy Strategy, names1, names2 []string, sim []float64, threshold float64, split func(string) []string) (Mapping, error) {
+	if len(sim) != len(names1)*len(names2) {
+		return nil, fmt.Errorf("matching: similarity matrix size %d does not match %dx%d", len(sim), len(names1), len(names2))
+	}
+	if split == nil {
+		split = func(s string) []string { return []string{s} }
+	}
+	var pairs []assignment.Pair
+	var err error
+	switch strategy {
+	case MaxTotal:
+		pairs, err = assignment.Maximize(sim, len(names1), len(names2))
+	case Greedy:
+		pairs = greedySelect(sim, len(names1), len(names2))
+	case Stable:
+		pairs = stableSelect(sim, len(names1), len(names2))
+	default:
+		err = fmt.Errorf("matching: unknown strategy %v", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out Mapping
+	for _, p := range pairs {
+		if p.Value < threshold {
+			continue
+		}
+		out = append(out, NewCorrespondence(split(names1[p.I]), split(names2[p.J]), p.Value))
+	}
+	return out.Sort(), nil
+}
+
+// greedySelect takes pairs in descending similarity order, skipping
+// conflicts.
+func greedySelect(sim []float64, rows, cols int) []assignment.Pair {
+	type cand struct {
+		i, j int
+		v    float64
+	}
+	cands := make([]cand, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			cands = append(cands, cand{i, j, sim[i*cols+j]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].v != cands[b].v {
+			return cands[a].v > cands[b].v
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	usedR := make([]bool, rows)
+	usedC := make([]bool, cols)
+	var out []assignment.Pair
+	for _, c := range cands {
+		if usedR[c.i] || usedC[c.j] {
+			continue
+		}
+		usedR[c.i] = true
+		usedC[c.j] = true
+		out = append(out, assignment.Pair{I: c.i, J: c.j, Value: c.v})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].I < out[b].I })
+	return out
+}
+
+// stableSelect runs Gale-Shapley with rows proposing; both sides rank by
+// similarity (ties broken by index for determinism).
+func stableSelect(sim []float64, rows, cols int) []assignment.Pair {
+	if rows == 0 || cols == 0 {
+		return nil
+	}
+	// prefs[i] lists columns in descending preference for row i.
+	prefs := make([][]int, rows)
+	for i := 0; i < rows; i++ {
+		p := make([]int, cols)
+		for j := range p {
+			p[j] = j
+		}
+		sort.Slice(p, func(a, b int) bool {
+			va, vb := sim[i*cols+p[a]], sim[i*cols+p[b]]
+			if va != vb {
+				return va > vb
+			}
+			return p[a] < p[b]
+		})
+		prefs[i] = p
+	}
+	next := make([]int, rows)    // next proposal index per row
+	partner := make([]int, cols) // assigned row per column, -1 if free
+	for j := range partner {
+		partner[j] = -1
+	}
+	free := make([]int, 0, rows)
+	for i := rows - 1; i >= 0; i-- {
+		free = append(free, i)
+	}
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		if next[i] >= cols {
+			continue // exhausted all proposals; stays unmatched
+		}
+		j := prefs[i][next[i]]
+		next[i]++
+		cur := partner[j]
+		switch {
+		case cur == -1:
+			partner[j] = i
+		case betterFor(sim, cols, j, i, cur):
+			partner[j] = i
+			free = append(free, cur)
+		default:
+			free = append(free, i)
+		}
+	}
+	var out []assignment.Pair
+	for j, i := range partner {
+		if i >= 0 {
+			out = append(out, assignment.Pair{I: i, J: j, Value: sim[i*cols+j]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].I < out[b].I })
+	return out
+}
+
+// betterFor reports whether column j prefers row a over row b.
+func betterFor(sim []float64, cols, j, a, b int) bool {
+	va, vb := sim[a*cols+j], sim[b*cols+j]
+	if va != vb {
+		return va > vb
+	}
+	return a < b
+}

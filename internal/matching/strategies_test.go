@@ -1,0 +1,173 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrategyString(t *testing.T) {
+	if MaxTotal.String() != "max-total" || Greedy.String() != "greedy" || Stable.String() != "stable" {
+		t.Errorf("strategy names wrong")
+	}
+}
+
+func TestSelectWithUnknownStrategy(t *testing.T) {
+	if _, err := SelectWith(Strategy(9), []string{"a"}, []string{"x"}, []float64{1}, 0, nil); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+}
+
+func TestGreedyVsMaxTotal(t *testing.T) {
+	// Greedy takes (0,0)=0.9 then is stuck with (1,1)=0.1; MaxTotal finds
+	// the cross pairing worth 1.6.
+	names1 := []string{"a", "b"}
+	names2 := []string{"x", "y"}
+	sim := []float64{
+		0.9, 0.8,
+		0.8, 0.1,
+	}
+	g, err := SelectWith(Greedy, names1, names2, sim, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Keys()[NewCorrespondence([]string{"a"}, []string{"x"}, 0).Key()] {
+		t.Errorf("greedy did not take the locally best pair: %v", g)
+	}
+	m, err := SelectWith(MaxTotal, names1, names2, sim, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gt, mt float64
+	for _, c := range g {
+		gt += c.Score
+	}
+	for _, c := range m {
+		mt += c.Score
+	}
+	if mt < gt {
+		t.Errorf("max-total %g below greedy %g", mt, gt)
+	}
+}
+
+func TestStableNoBlockingPair(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		sim := make([]float64, rows*cols)
+		for i := range sim {
+			sim[i] = math.Round(rng.Float64()*100) / 100
+		}
+		names1 := make([]string, rows)
+		names2 := make([]string, cols)
+		for i := range names1 {
+			names1[i] = string(rune('a' + i))
+		}
+		for j := range names2 {
+			names2[j] = string(rune('A' + j))
+		}
+		m, err := SelectWith(Stable, names1, names2, sim, 0, nil)
+		if err != nil {
+			return false
+		}
+		// Reconstruct the assignment.
+		rowOf := map[string]string{}
+		colOf := map[string]string{}
+		for _, c := range m {
+			rowOf[c.Left[0]] = c.Right[0]
+			colOf[c.Right[0]] = c.Left[0]
+		}
+		val := func(a, b string) float64 {
+			var i, j int
+			for k, n := range names1 {
+				if n == a {
+					i = k
+				}
+			}
+			for k, n := range names2 {
+				if n == b {
+					j = k
+				}
+			}
+			return sim[i*cols+j]
+		}
+		// Blocking pair check: no (a, B) both strictly preferring each
+		// other over their partners (unmatched counts as value -inf).
+		for _, a := range names1 {
+			for _, B := range names2 {
+				v := val(a, B)
+				pa, hasA := rowOf[a]
+				pb, hasB := colOf[B]
+				prefersA := !hasA || v > val(a, pa)
+				prefersB := !hasB || v > val(pb, B)
+				if prefersA && prefersB && (hasA || hasB || v > 0) && rowOf[a] != B {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrategiesAgreeOnDiagonalMatrix(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	sim := []float64{
+		0.9, 0.1, 0.1,
+		0.1, 0.9, 0.1,
+		0.1, 0.1, 0.9,
+	}
+	for _, s := range []Strategy{MaxTotal, Greedy, Stable} {
+		m, err := SelectWith(s, names, names, sim, 0, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(m) != 3 {
+			t.Fatalf("%v selected %d pairs", s, len(m))
+		}
+		for _, c := range m {
+			if c.Left[0] != c.Right[0] {
+				t.Errorf("%v off-diagonal pair %v", s, c)
+			}
+		}
+	}
+}
+
+func TestStrategiesRespectThreshold(t *testing.T) {
+	names1 := []string{"a"}
+	names2 := []string{"x"}
+	for _, s := range []Strategy{MaxTotal, Greedy, Stable} {
+		m, err := SelectWith(s, names1, names2, []float64{0.05}, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 0 {
+			t.Errorf("%v ignored threshold: %v", s, m)
+		}
+	}
+}
+
+func TestStrategiesSizeMismatch(t *testing.T) {
+	for _, s := range []Strategy{MaxTotal, Greedy, Stable} {
+		if _, err := SelectWith(s, []string{"a"}, []string{"x"}, []float64{1, 2}, 0, nil); err == nil {
+			t.Errorf("%v: size mismatch accepted", s)
+		}
+	}
+}
+
+func TestStableRectangular(t *testing.T) {
+	names1 := []string{"a", "b", "c"}
+	names2 := []string{"x"}
+	sim := []float64{0.2, 0.9, 0.5}
+	m, err := SelectWith(Stable, names1, names2, sim, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[0].Left[0] != "b" {
+		t.Errorf("stable rectangular = %v, want b->x", m)
+	}
+}

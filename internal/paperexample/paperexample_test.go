@@ -1,0 +1,58 @@
+package paperexample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+// TestFrequenciesMatchFigure1 re-derives the statistics the paper prints in
+// Figures 1(c)/1(d) from the reconstructed logs.
+func TestFrequenciesMatchFigure1(t *testing.T) {
+	st1 := eventlog.CollectStats(Log1())
+	want1 := map[string]float64{A: 0.4, B: 0.6, C: 1.0, D: 1.0, E: 1.0, F: 1.0}
+	for e, w := range want1 {
+		if got := st1.NodeFreq[e]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("f(%s) = %g, want %g", e, got, w)
+		}
+	}
+	if got := st1.EdgeFreq[[2]string{A, C}]; math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("f(A,C) = %g, want 0.4", got)
+	}
+	st2 := eventlog.CollectStats(Log2())
+	want2 := map[string]float64{N1: 1.0, N2: 0.4, N3: 0.6, N4: 1.0, N5: 1.0, N6: 1.0}
+	for e, w := range want2 {
+		if got := st2.NodeFreq[e]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("f(%s) = %g, want %g", e, got, w)
+		}
+	}
+}
+
+func TestTruthShape(t *testing.T) {
+	truth := Truth()
+	if len(truth) != 5 {
+		t.Fatalf("truth has %d rows, want 5", len(truth))
+	}
+	composite := 0
+	for _, c := range truth {
+		if len(c.Left) == 2 {
+			composite++
+		}
+	}
+	if composite != 1 {
+		t.Errorf("truth has %d composite rows, want 1 ({C,D}->4)", composite)
+	}
+	if len(SingletonTruth()) != 4 {
+		t.Errorf("singleton truth has %d rows, want 4", len(SingletonTruth()))
+	}
+}
+
+func TestLogsValid(t *testing.T) {
+	if err := Log1().Validate(); err != nil {
+		t.Errorf("Log1 invalid: %v", err)
+	}
+	if err := Log2().Validate(); err != nil {
+		t.Errorf("Log2 invalid: %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package procgen generates random process specifications and plays them
+// out into event logs. It replaces the BeehiveZ toolkit the paper uses for
+// its synthetic datasets: process models are random process trees over the
+// operators sequence, exclusive choice, parallel and loop, and logs are
+// produced by stochastic simulation, so two logs played out from the same
+// specification are observations of the same process (events with equal
+// names correspond — the synthetic ground truth).
+package procgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/eventlog"
+)
+
+// Kind enumerates process-tree node kinds.
+type Kind int
+
+const (
+	// Activity is a leaf: one observable event.
+	Activity Kind = iota
+	// Seq executes its children in order.
+	Seq
+	// Xor executes exactly one child, chosen at random.
+	Xor
+	// And executes all children concurrently (random interleaving).
+	And
+	// Loop executes its single child one or more times.
+	Loop
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Activity:
+		return "activity"
+	case Seq:
+		return "seq"
+	case Xor:
+		return "xor"
+	case And:
+		return "and"
+	case Loop:
+		return "loop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is one node of a process tree.
+type Node struct {
+	Kind     Kind
+	Label    string // event name, for Activity leaves
+	Children []*Node
+}
+
+// Spec is a complete process specification.
+type Spec struct {
+	Root       *Node
+	Activities []string
+}
+
+// Options controls random specification generation.
+type Options struct {
+	// Activities is the number of distinct activities (leaves). Must be >= 1.
+	Activities int
+	// MaxBranch caps operator fan-out (>= 2).
+	MaxBranch int
+	// XorWeight, AndWeight and SeqWeight are the relative odds of choosing
+	// each operator for an internal node.
+	XorWeight, AndWeight, SeqWeight float64
+	// LoopProb is the probability of wrapping an internal node in a loop.
+	LoopProb float64
+}
+
+// DefaultOptions returns a mix that produces sequence-dominated models with
+// occasional choice and parallelism, resembling real administrative
+// processes.
+func DefaultOptions(activities int) Options {
+	return Options{
+		Activities: activities,
+		MaxBranch:  3,
+		XorWeight:  0.2,
+		AndWeight:  0.2,
+		SeqWeight:  0.6,
+		LoopProb:   0.05,
+	}
+}
+
+// Generate builds a random process tree with exactly opts.Activities leaves
+// using the supplied random source.
+func Generate(rng *rand.Rand, opts Options) (*Spec, error) {
+	if opts.Activities < 1 {
+		return nil, fmt.Errorf("procgen: Activities must be >= 1, got %d", opts.Activities)
+	}
+	if opts.MaxBranch < 2 {
+		opts.MaxBranch = 2
+	}
+	if opts.XorWeight+opts.AndWeight+opts.SeqWeight <= 0 {
+		opts.SeqWeight = 1
+	}
+	names := ActivityNames(rng, opts.Activities)
+	root := build(rng, opts, names)
+	return &Spec{Root: root, Activities: names}, nil
+}
+
+// ActivityNames produces n distinct pronounceable activity names, so label
+// similarity experiments have realistic material to work with.
+func ActivityNames(rng *rand.Rand, n int) []string {
+	verbs := []string{"check", "send", "review", "approve", "ship", "pay", "create", "close", "audit", "plan", "assign", "verify", "notify", "archive", "update", "register"}
+	nouns := []string{"order", "invoice", "claim", "request", "stock", "report", "contract", "ticket", "account", "delivery", "quote", "payment", "record", "case", "form", "batch"}
+	seen := make(map[string]bool)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		name := verbs[rng.Intn(len(verbs))] + " " + nouns[rng.Intn(len(nouns))]
+		if seen[name] {
+			name = fmt.Sprintf("%s %d", name, len(out))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func build(rng *rand.Rand, opts Options, names []string) *Node {
+	if len(names) == 1 {
+		return &Node{Kind: Activity, Label: names[0]}
+	}
+	k := pickOperator(rng, opts)
+	branches := 2
+	if m := min(opts.MaxBranch, len(names)); m > 2 {
+		branches = 2 + rng.Intn(m-1)
+		if branches > m {
+			branches = m
+		}
+	}
+	parts := splitNames(rng, names, branches)
+	node := &Node{Kind: k}
+	for _, p := range parts {
+		node.Children = append(node.Children, build(rng, opts, p))
+	}
+	if rng.Float64() < opts.LoopProb {
+		node = &Node{Kind: Loop, Children: []*Node{node}}
+	}
+	return node
+}
+
+func pickOperator(rng *rand.Rand, opts Options) Kind {
+	total := opts.XorWeight + opts.AndWeight + opts.SeqWeight
+	r := rng.Float64() * total
+	switch {
+	case r < opts.SeqWeight:
+		return Seq
+	case r < opts.SeqWeight+opts.XorWeight:
+		return Xor
+	default:
+		return And
+	}
+}
+
+// splitNames partitions names into k non-empty contiguous chunks of random
+// sizes.
+func splitNames(rng *rand.Rand, names []string, k int) [][]string {
+	if k > len(names) {
+		k = len(names)
+	}
+	cuts := map[int]bool{}
+	for len(cuts) < k-1 {
+		cuts[1+rng.Intn(len(names)-1)] = true
+	}
+	var out [][]string
+	start := 0
+	for i := 1; i <= len(names); i++ {
+		if i == len(names) || cuts[i] {
+			out = append(out, names[start:i])
+			start = i
+		}
+	}
+	return out
+}
+
+// PlayoutOptions controls log simulation.
+type PlayoutOptions struct {
+	// Traces is the number of traces to simulate (>= 1).
+	Traces int
+	// LoopRepeat is the probability of repeating a loop body again.
+	LoopRepeat float64
+	// MaxLoop caps loop repetitions.
+	MaxLoop int
+	// XorSkew biases exclusive choices: 0 picks branches uniformly; larger
+	// values draw increasingly skewed per-branch weights at playout start.
+	// Two playouts of the same specification with independent skews model
+	// independently implemented systems whose corresponding activities have
+	// different occurrence frequencies — the statistical heterogeneity of
+	// real multi-source event data.
+	XorSkew float64
+}
+
+// DefaultPlayout simulates 200 traces with mild looping.
+func DefaultPlayout() PlayoutOptions {
+	return PlayoutOptions{Traces: 200, LoopRepeat: 0.3, MaxLoop: 3}
+}
+
+// Playout simulates the specification into an event log.
+func (s *Spec) Playout(rng *rand.Rand, name string, opts PlayoutOptions) (*eventlog.Log, error) {
+	if opts.Traces < 1 {
+		return nil, fmt.Errorf("procgen: Traces must be >= 1, got %d", opts.Traces)
+	}
+	if opts.MaxLoop < 1 {
+		opts.MaxLoop = 1
+	}
+	l := eventlog.New(name)
+	sim := &simulator{rng: rng, opts: opts}
+	if opts.XorSkew > 0 {
+		sim.weights = make(map[*Node][]float64)
+		drawXorWeights(rng, s.Root, opts.XorSkew, sim.weights)
+	}
+	for i := 0; i < opts.Traces; i++ {
+		t := sim.run(s.Root)
+		if len(t) == 0 {
+			// Degenerate but possible with empty loops; retry once, then
+			// fall back to the activity list to keep the log valid.
+			t = sim.run(s.Root)
+			if len(t) == 0 {
+				t = append(eventlog.Trace(nil), s.Activities...)
+			}
+		}
+		l.Append(t)
+	}
+	return l, nil
+}
+
+// simulator carries the playout state: the random source and, when XorSkew
+// is enabled, the per-XOR-node branch weights drawn for this playout.
+type simulator struct {
+	rng     *rand.Rand
+	opts    PlayoutOptions
+	weights map[*Node][]float64
+}
+
+// drawXorWeights samples skewed branch weights for every XOR node.
+func drawXorWeights(rng *rand.Rand, n *Node, skew float64, out map[*Node][]float64) {
+	if n.Kind == Xor {
+		w := make([]float64, len(n.Children))
+		var sum float64
+		for i := range w {
+			w[i] = 0.1 + math.Pow(rng.Float64(), skew)
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		out[n] = w
+	}
+	for _, c := range n.Children {
+		drawXorWeights(rng, c, skew, out)
+	}
+}
+
+func (s *simulator) pickBranch(n *Node) *Node {
+	w, ok := s.weights[n]
+	if !ok {
+		return n.Children[s.rng.Intn(len(n.Children))]
+	}
+	r := s.rng.Float64()
+	for i, wi := range w {
+		if r < wi {
+			return n.Children[i]
+		}
+		r -= wi
+	}
+	return n.Children[len(n.Children)-1]
+}
+
+func (s *simulator) run(n *Node) eventlog.Trace {
+	switch n.Kind {
+	case Activity:
+		return eventlog.Trace{n.Label}
+	case Seq:
+		var out eventlog.Trace
+		for _, c := range n.Children {
+			out = append(out, s.run(c)...)
+		}
+		return out
+	case Xor:
+		return s.run(s.pickBranch(n))
+	case And:
+		parts := make([]eventlog.Trace, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = s.run(c)
+		}
+		return interleave(s.rng, parts)
+	case Loop:
+		var out eventlog.Trace
+		for i := 0; i < s.opts.MaxLoop; i++ {
+			out = append(out, s.run(n.Children[0])...)
+			if s.rng.Float64() >= s.opts.LoopRepeat {
+				break
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// interleave produces a uniformly random order-preserving shuffle of the
+// given sequences.
+func interleave(rng *rand.Rand, parts []eventlog.Trace) eventlog.Trace {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(eventlog.Trace, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		// Choose a part weighted by its remaining length so every
+		// interleaving of the multiset of positions is equally likely.
+		r := rng.Intn(total - len(out))
+		for pi := range parts {
+			rem := len(parts[pi]) - idx[pi]
+			if r < rem {
+				out = append(out, parts[pi][idx[pi]])
+				idx[pi]++
+				break
+			}
+			r -= rem
+		}
+	}
+	return out
+}
+
+// String renders the tree in a compact prefix notation for diagnostics.
+func (n *Node) String() string {
+	if n.Kind == Activity {
+		return n.Label
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = c.String()
+	}
+	return n.Kind.String() + "(" + strings.Join(parts, ", ") + ")"
+}

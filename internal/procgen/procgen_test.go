@@ -1,0 +1,276 @@
+package procgen
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eventlog"
+)
+
+func TestGenerateLeafCount(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		spec, err := Generate(rng, DefaultOptions(n))
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", n, err)
+		}
+		if got := len(spec.Activities); got != n {
+			t.Errorf("activities = %d, want %d", got, n)
+		}
+		if got := countLeaves(spec.Root); got != n {
+			t.Errorf("leaves = %d, want %d", got, n)
+		}
+	}
+}
+
+func countLeaves(n *Node) int {
+	if n.Kind == Activity {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += countLeaves(c)
+	}
+	return total
+}
+
+func TestGenerateRejectsZeroActivities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, DefaultOptions(0)); err == nil {
+		t.Errorf("zero activities accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s1, err := Generate(rand.New(rand.NewSource(7)), DefaultOptions(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Generate(rand.New(rand.NewSource(7)), DefaultOptions(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Root.String() != s2.Root.String() {
+		t.Errorf("same seed produced different trees:\n%s\n%s", s1.Root, s2.Root)
+	}
+}
+
+func TestActivityNamesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	names := ActivityNames(rng, 100)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate activity name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPlayoutTraceCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec, err := Generate(rng, DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := DefaultPlayout()
+	po.Traces = 37
+	l, err := spec.Playout(rng, "log", po)
+	if err != nil {
+		t.Fatalf("Playout: %v", err)
+	}
+	if l.Len() != 37 {
+		t.Errorf("traces = %d, want 37", l.Len())
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("playout produced invalid log: %v", err)
+	}
+}
+
+func TestPlayoutAlphabetSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	spec, err := Generate(rng, DefaultOptions(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := spec.Playout(rng, "log", DefaultPlayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), spec.Activities...)
+	sort.Strings(want)
+	for _, e := range l.Alphabet() {
+		if idx := sort.SearchStrings(want, e); idx >= len(want) || want[idx] != e {
+			t.Errorf("alphabet contains unknown event %q", e)
+		}
+	}
+}
+
+func TestPlayoutRejectsBadOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec, _ := Generate(rng, DefaultOptions(3))
+	if _, err := spec.Playout(rng, "x", PlayoutOptions{Traces: 0}); err == nil {
+		t.Errorf("zero traces accepted")
+	}
+}
+
+func TestSeqPreservesOrder(t *testing.T) {
+	n := &Node{Kind: Seq, Children: []*Node{
+		{Kind: Activity, Label: "a"},
+		{Kind: Activity, Label: "b"},
+		{Kind: Activity, Label: "c"},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	got := (&simulator{rng: rng, opts: DefaultPlayout()}).run(n)
+	if !reflect.DeepEqual(got, eventlog.Trace{"a", "b", "c"}) {
+		t.Errorf("Seq trace = %v", got)
+	}
+}
+
+func TestXorPicksOneChild(t *testing.T) {
+	n := &Node{Kind: Xor, Children: []*Node{
+		{Kind: Activity, Label: "a"},
+		{Kind: Activity, Label: "b"},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	sawA, sawB := false, false
+	for i := 0; i < 100; i++ {
+		tr := (&simulator{rng: rng, opts: DefaultPlayout()}).run(n)
+		if len(tr) != 1 {
+			t.Fatalf("Xor trace length %d, want 1", len(tr))
+		}
+		switch tr[0] {
+		case "a":
+			sawA = true
+		case "b":
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Errorf("Xor never picked both branches: a=%v b=%v", sawA, sawB)
+	}
+}
+
+func TestAndInterleavesBothOrders(t *testing.T) {
+	n := &Node{Kind: And, Children: []*Node{
+		{Kind: Activity, Label: "a"},
+		{Kind: Activity, Label: "b"},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	orders := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		tr := (&simulator{rng: rng, opts: DefaultPlayout()}).run(n)
+		if len(tr) != 2 {
+			t.Fatalf("And trace = %v", tr)
+		}
+		orders[tr[0]+tr[1]] = true
+	}
+	if !orders["ab"] || !orders["ba"] {
+		t.Errorf("And produced only orders %v", orders)
+	}
+}
+
+func TestAndPreservesChildOrderWithin(t *testing.T) {
+	n := &Node{Kind: And, Children: []*Node{
+		{Kind: Seq, Children: []*Node{
+			{Kind: Activity, Label: "a1"},
+			{Kind: Activity, Label: "a2"},
+		}},
+		{Kind: Activity, Label: "b"},
+	}}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		tr := (&simulator{rng: rng, opts: DefaultPlayout()}).run(n)
+		i1, i2 := indexIn(tr, "a1"), indexIn(tr, "a2")
+		if i1 > i2 {
+			t.Fatalf("interleaving broke intra-branch order: %v", tr)
+		}
+	}
+}
+
+func indexIn(tr eventlog.Trace, e string) int {
+	for i, x := range tr {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestLoopRepeats(t *testing.T) {
+	n := &Node{Kind: Loop, Children: []*Node{{Kind: Activity, Label: "a"}}}
+	rng := rand.New(rand.NewSource(1))
+	opts := PlayoutOptions{Traces: 1, LoopRepeat: 0.9, MaxLoop: 5}
+	sawRepeat := false
+	for i := 0; i < 50; i++ {
+		tr := (&simulator{rng: rng, opts: opts}).run(n)
+		if len(tr) > 5 {
+			t.Fatalf("loop exceeded MaxLoop: %v", tr)
+		}
+		if len(tr) > 1 {
+			sawRepeat = true
+		}
+	}
+	if !sawRepeat {
+		t.Errorf("loop never repeated at 0.9 probability")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := &Node{Kind: Seq, Children: []*Node{
+		{Kind: Activity, Label: "a"},
+		{Kind: Xor, Children: []*Node{
+			{Kind: Activity, Label: "b"},
+			{Kind: Activity, Label: "c"},
+		}},
+	}}
+	if got := n.String(); got != "seq(a, xor(b, c))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: every playout trace is a valid interleaving — each activity
+// appears at most MaxLoop times... in loop-free trees exactly the XOR-chosen
+// subset appears once.
+func TestPlayoutStableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opts := DefaultOptions(2 + rng.Intn(20))
+		opts.LoopProb = 0 // loop-free: each activity at most once per trace
+		spec, err := Generate(rng, opts)
+		if err != nil {
+			return false
+		}
+		po := DefaultPlayout()
+		po.Traces = 20
+		l, err := spec.Playout(rng, "p", po)
+		if err != nil {
+			return false
+		}
+		for _, tr := range l.Traces {
+			seen := map[string]bool{}
+			for _, e := range tr {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{Activity: "activity", Seq: "seq", Xor: "xor", And: "and", Loop: "loop"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

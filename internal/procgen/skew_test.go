@@ -1,0 +1,81 @@
+package procgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+// xorSpec builds a fixed two-branch choice for skew tests.
+func xorSpec() *Spec {
+	root := &Node{Kind: Xor, Children: []*Node{
+		{Kind: Activity, Label: "a"},
+		{Kind: Activity, Label: "b"},
+	}}
+	return &Spec{Root: root, Activities: []string{"a", "b"}}
+}
+
+func branchFraction(l *eventlog.Log, e string) float64 {
+	st := eventlog.CollectStats(l)
+	return st.NodeFreq[e]
+}
+
+func TestXorSkewZeroIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	po := PlayoutOptions{Traces: 4000, XorSkew: 0}
+	l, err := xorSpec().Playout(rng, "u", po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := branchFraction(l, "a"); math.Abs(f-0.5) > 0.05 {
+		t.Errorf("uniform branch fraction = %.3f, want ~0.5", f)
+	}
+}
+
+func TestXorSkewProducesDifferentDistributions(t *testing.T) {
+	spec := xorSpec()
+	po := PlayoutOptions{Traces: 2000, XorSkew: 3}
+	maxGap := 0.0
+	// Across several independent playouts the drawn weights differ; at
+	// least one pair of playouts must disagree notably on branch a.
+	var fracs []float64
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := spec.Playout(rng, "s", po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracs = append(fracs, branchFraction(l, "a"))
+	}
+	for i := range fracs {
+		for j := i + 1; j < len(fracs); j++ {
+			if g := math.Abs(fracs[i] - fracs[j]); g > maxGap {
+				maxGap = g
+			}
+		}
+	}
+	if maxGap < 0.15 {
+		t.Errorf("skewed playouts too similar: fractions %v", fracs)
+	}
+}
+
+func TestXorSkewStableWithinOnePlayout(t *testing.T) {
+	// Weights are drawn once per playout: splitting one playout's traces
+	// in half must give similar branch fractions.
+	rng := rand.New(rand.NewSource(9))
+	po := PlayoutOptions{Traces: 4000, XorSkew: 3}
+	l, err := xorSpec().Playout(rng, "s", po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := l.Len() / 2
+	first := &eventlog.Log{Name: "h1", Traces: l.Traces[:half]}
+	second := &eventlog.Log{Name: "h2", Traces: l.Traces[half:]}
+	f1 := branchFraction(first, "a")
+	f2 := branchFraction(second, "a")
+	if math.Abs(f1-f2) > 0.06 {
+		t.Errorf("branch fraction drifted within one playout: %.3f vs %.3f", f1, f2)
+	}
+}
