@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the gate new changes must pass:
+# vet plus the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,93 @@
+// Command emsd serves event-log matching over HTTP: a long-running daemon
+// exposing the ems engine behind an async job API with a bounded worker
+// pool, a content-addressed result cache, and a metrics endpoint.
+//
+// Usage:
+//
+//	emsd [-addr :8484] [-workers N] [-cache N] [-allow-paths]
+//
+// Submit a job, poll it, fetch the result:
+//
+//	curl -s -X POST localhost:8484/v1/jobs -d '{
+//	  "log1": {"csv": "case,event\nc1,A\nc1,C\n"},
+//	  "log2": {"csv": "case,event\nc1,1\nc1,2\n"},
+//	  "options": {"labels": true}
+//	}'
+//	curl -s localhost:8484/v1/jobs/job-000001
+//	curl -s localhost:8484/v1/jobs/job-000001/result
+//
+// SIGINT/SIGTERM drain in-flight jobs and cancel queued ones before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8484", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent match computations (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
+		maxJobs    = flag.Int("max-jobs", 10000, "job registry retention bound")
+		allowPaths = flag.Bool("allow-paths", false, "allow jobs to read logs from server-local file paths")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emsd:", err)
+		os.Exit(1)
+	}
+	cfg := server.Config{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		MaxJobs:    *maxJobs,
+		AllowPaths: *allowPaths,
+	}
+	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "emsd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the service on ln until ctx is cancelled, then drains: job
+// intake stops, queued jobs are cancelled, running jobs get up to the drain
+// timeout to finish while the HTTP listener keeps answering polls.
+func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.Duration, logw io.Writer) error {
+	s := server.New(cfg)
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "emsd listening on %s (workers=%d cache=%d)\n", ln.Addr(), cfg.Workers, cfg.CacheSize)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(logw, "emsd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	serr := s.Shutdown(dctx)
+	herr := hs.Shutdown(dctx)
+	<-errc // http.ErrServerClosed from the Serve goroutine
+	st := s.Stats()
+	fmt.Fprintf(logw, "emsd: stopped (completed=%d failed=%d cancelled=%d)\n",
+		st.Completed, st.Failed, st.Cancelled)
+	if serr != nil {
+		return fmt.Errorf("drain: %w", serr)
+	}
+	return herr
+}

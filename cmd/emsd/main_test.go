@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/ems"
+	"repro/internal/paperexample"
+	"repro/internal/server"
+)
+
+// TestServeSmoke boots the daemon on an ephemeral port, submits the paper's
+// running example, polls to completion, and checks the served
+// correspondences against a direct ems.Match call — then cancels the
+// context and expects a clean drain.
+func TestServeSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var logBuf bytes.Buffer
+	served := make(chan error, 1)
+	go func() {
+		served <- serve(ctx, ln, server.Config{Workers: 2}, 30*time.Second, &logBuf)
+	}()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	// Submit the paper pair as inline CSV.
+	var csv1, csv2 bytes.Buffer
+	if err := ems.WriteCSV(&csv1, paperexample.Log1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ems.WriteCSV(&csv2, paperexample.Log2()); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"log1": map[string]string{"name": "L1", "csv": csv1.String()},
+		"log2": map[string]string{"name": "L2", "csv": csv2.String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		t.Fatalf("submit: status %d, view %+v", resp.StatusCode, view)
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for view.Status != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", view.Status)
+		}
+		if view.Status == "failed" || view.Status == "cancelled" {
+			t.Fatalf("job ended %q", view.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The served result equals a direct in-process Match.
+	r, err := http.Get(base + "/v1/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ems.ReadResultJSON(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ems.Match(paperexample.Log1(), paperexample.Log2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Mapping) != len(want.Mapping) {
+		t.Fatalf("served %d correspondences, direct match %d", len(got.Mapping), len(want.Mapping))
+	}
+	for i := range want.Mapping {
+		if got.Mapping[i].Key() != want.Mapping[i].Key() {
+			t.Errorf("correspondence %d: served %v, direct %v", i, got.Mapping[i], want.Mapping[i])
+		}
+		if math.Abs(got.Mapping[i].Score-want.Mapping[i].Score) > 1e-9 {
+			t.Errorf("correspondence %d score: served %g, direct %g", i, got.Mapping[i].Score, want.Mapping[i].Score)
+		}
+	}
+
+	// Context cancel (the SIGTERM path) drains and returns promptly.
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not return after context cancel")
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("emsd: stopped")) {
+		t.Errorf("shutdown log missing: %q", logBuf.String())
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && bytes.Contains(b, []byte("ok")) {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+// TestServeRefusesBusyPort pins the error path: a second daemon on the same
+// port must fail loudly, not serve.
+func TestServeRefusesBusyPort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := net.Listen("tcp", ln.Addr().String()); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	// And serve on a closed listener returns the accept error.
+	closed, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := serve(ctx, closed, server.Config{Workers: 1}, time.Second, io.Discard); err == nil {
+		t.Fatal("serve on a closed listener returned nil")
+	}
+}

@@ -40,11 +40,29 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *format, *alpha, *useLabels, *estimate,
+	// Testing the value can't distinguish an explicit `-alpha 1.0` from the
+	// default; only flag.Visit (set flags only) can.
+	alphaSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "alpha" {
+			alphaSet = true
+		}
+	})
+	if err := run(flag.Arg(0), flag.Arg(1), *format, resolveAlpha(*alpha, alphaSet, *useLabels), *useLabels, *estimate,
 		*minFreq, *threshold, *compositeF, *delta, *matrix, *outJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "emsmatch:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveAlpha implements the -labels default: blending at 0.7 kicks in only
+// when the user did not pass -alpha themselves, so an explicit `-alpha 1.0
+// -labels` (structure only, labels loaded but weightless) is honored.
+func resolveAlpha(alpha float64, alphaSet, useLabels bool) float64 {
+	if useLabels && !alphaSet {
+		return 0.7
+	}
+	return alpha
 }
 
 func run(path1, path2, format string, alpha float64, useLabels bool, estimate int,
@@ -63,9 +81,6 @@ func run(path1, path2, format string, alpha float64, useLabels bool, estimate in
 		ems.WithDelta(delta),
 	}
 	if useLabels {
-		if alpha == 1.0 {
-			alpha = 0.7
-		}
 		opts = append(opts, ems.WithLabelSimilarity(ems.QGramCosine(3)))
 	}
 	opts = append(opts, ems.WithAlpha(alpha))

@@ -67,6 +67,30 @@ func TestRunXMLFormat(t *testing.T) {
 	}
 }
 
+// TestResolveAlpha pins the -labels default against the flag bug where an
+// explicit `-alpha 1.0` was silently overridden to 0.7: the 0.7 default may
+// only apply when -alpha was not set at all.
+func TestResolveAlpha(t *testing.T) {
+	cases := []struct {
+		alpha     float64
+		alphaSet  bool
+		useLabels bool
+		want      float64
+	}{
+		{1.0, false, false, 1.0}, // plain default
+		{1.0, false, true, 0.7},  // -labels without -alpha: blend
+		{1.0, true, true, 1.0},   // explicit -alpha 1.0 -labels: honored
+		{0.5, true, true, 0.5},   // explicit -alpha 0.5 -labels: honored
+		{0.3, true, false, 0.3},  // explicit -alpha without -labels
+	}
+	for _, c := range cases {
+		if got := resolveAlpha(c.alpha, c.alphaSet, c.useLabels); got != c.want {
+			t.Errorf("resolveAlpha(%g, set=%t, labels=%t) = %g, want %g",
+				c.alpha, c.alphaSet, c.useLabels, got, c.want)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	p1, p2 := writePairFiles(t)
 	if err := run("nonexistent.csv", p2, "csv", 1, false, -1, 0, 0.1, false, 0.005, false, ""); err == nil {

@@ -1,6 +1,7 @@
 package ems
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -28,6 +29,14 @@ type PairOutput struct {
 // returned in input order. workers <= 0 uses GOMAXPROCS. The composite flag
 // selects MatchComposite per pair.
 func MatchAll(pairs []PairInput, workers int, compositeMatch bool, opts ...Option) []PairOutput {
+	return MatchAllContext(context.Background(), pairs, workers, compositeMatch, opts...)
+}
+
+// MatchAllContext is MatchAll with cancellation: pairs not yet started when
+// ctx is cancelled are skipped and reported with an error wrapping
+// ctx.Err(), while pairs already being matched run to completion — the
+// drain semantics a long-running service needs for graceful shutdown.
+func MatchAllContext(ctx context.Context, pairs []PairInput, workers int, compositeMatch bool, opts ...Option) []PairOutput {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,7 +57,9 @@ func MatchAll(pairs []PairInput, workers int, compositeMatch bool, opts ...Optio
 				p := pairs[i]
 				var res *Result
 				var err error
-				if p.Log1 == nil || p.Log2 == nil {
+				if ctx.Err() != nil {
+					err = fmt.Errorf("ems: pair %q not matched: %w", p.Name, ctx.Err())
+				} else if p.Log1 == nil || p.Log2 == nil {
 					err = fmt.Errorf("ems: pair %q has a nil log", p.Name)
 				} else if compositeMatch {
 					res, err = MatchComposite(p.Log1, p.Log2, opts...)
@@ -59,8 +70,20 @@ func MatchAll(pairs []PairInput, workers int, compositeMatch bool, opts ...Optio
 			}
 		}()
 	}
+feed:
 	for i := range pairs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark the unfed remainder (and this pair) as cancelled.
+			for j := i; j < len(pairs); j++ {
+				out[j] = PairOutput{
+					Name: pairs[j].Name,
+					Err:  fmt.Errorf("ems: pair %q not matched: %w", pairs[j].Name, ctx.Err()),
+				}
+			}
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,6 +1,8 @@
 package ems_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -76,6 +78,47 @@ func TestMatchAllNilLogAndEmpty(t *testing.T) {
 	}
 	if got := ems.MatchAll(nil, 3, false); len(got) != 0 {
 		t.Errorf("empty batch returned %v", got)
+	}
+}
+
+func TestMatchAllContextCancelled(t *testing.T) {
+	l1, l2 := paperLogs()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any pair starts
+	pairs := []ems.PairInput{
+		{Name: "p0", Log1: l1, Log2: l2},
+		{Name: "p1", Log1: l1, Log2: l1},
+		{Name: "p2", Log1: l2, Log2: l2},
+	}
+	outs := ems.MatchAllContext(ctx, pairs, 2, false)
+	if len(outs) != 3 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if o.Name != pairs[i].Name {
+			t.Errorf("output %d name %q, want %q", i, o.Name, pairs[i].Name)
+		}
+		if o.Result != nil {
+			t.Errorf("%s: cancelled pair produced a result", o.Name)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", o.Name, o.Err)
+		}
+	}
+}
+
+func TestMatchAllContextActiveEqualsMatchAll(t *testing.T) {
+	l1, l2 := paperLogs()
+	pairs := []ems.PairInput{{Name: "p", Log1: l1, Log2: l2}}
+	plain := ems.MatchAll(pairs, 1, false)
+	ctxed := ems.MatchAllContext(context.Background(), pairs, 1, false)
+	if ctxed[0].Err != nil {
+		t.Fatal(ctxed[0].Err)
+	}
+	for i := range plain[0].Result.Sim {
+		if plain[0].Result.Sim[i] != ctxed[0].Result.Sim[i] {
+			t.Fatalf("context variant differs at %d", i)
+		}
 	}
 }
 

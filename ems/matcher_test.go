@@ -2,6 +2,7 @@ package ems_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/ems"
@@ -77,11 +78,36 @@ func TestMatcherAppendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Append(3, ems.Trace{"x"}); err == nil {
-		t.Errorf("side 3 accepted")
+	for _, side := range []int{0, -1, 3, 42} {
+		if err := m.Append(side, ems.Trace{"x"}); err == nil {
+			t.Errorf("side %d accepted", side)
+		} else if !strings.Contains(err.Error(), "side") {
+			t.Errorf("side %d error does not name the problem: %v", side, err)
+		}
 	}
 	if err := m.Append(1, ems.Trace{}); err == nil {
 		t.Errorf("empty trace accepted")
+	}
+	if err := m.Append(2, nil); err == nil {
+		t.Errorf("nil trace accepted")
+	}
+	// A batch with one empty trace must fail as a whole…
+	if err := m.Append(1, ems.Trace{"y"}, ems.Trace{}); err == nil {
+		t.Errorf("batch containing an empty trace accepted")
+	}
+	// …and the log sizes must stay consistent: only traces appended before
+	// the failing one are present (documented first-error semantics).
+	u1, u2 := m.Logs()
+	if u1.Len() != l1.Len()+1 {
+		t.Errorf("side 1 has %d traces, want %d (valid prefix of failed batch kept)",
+			u1.Len(), l1.Len()+1)
+	}
+	if u2.Len() != l2.Len() {
+		t.Errorf("side 2 grew on failed appends: %d vs %d", u2.Len(), l2.Len())
+	}
+	// The matcher still works after rejected appends.
+	if _, err := m.Rematch(); err != nil {
+		t.Errorf("Rematch after rejected appends: %v", err)
 	}
 }
 

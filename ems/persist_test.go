@@ -60,3 +60,53 @@ func TestReadResultJSONErrors(t *testing.T) {
 		t.Errorf("inconsistent matrix accepted")
 	}
 }
+
+// TestReadResultJSONTruncated feeds every proper prefix of a valid document
+// to the reader: a partial download or a torn file must error, never yield
+// a silently wrong result, and never panic.
+func TestReadResultJSONTruncated(t *testing.T) {
+	l1, l2 := paperLogs()
+	res, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	// Step through prefixes (every byte would be slow; 7 is coprime with
+	// the indentation patterns so all cut positions are exercised).
+	for cut := 0; cut < len(full)-1; cut += 7 {
+		if _, err := ems.ReadResultJSON(strings.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+	if _, err := ems.ReadResultJSON(strings.NewReader(full)); err != nil {
+		t.Fatalf("untruncated document rejected: %v", err)
+	}
+}
+
+// TestReadResultJSONWrongShapes covers structurally valid JSON carrying the
+// wrong types or impossible shapes.
+func TestReadResultJSONWrongShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"sim has strings", `{"names1":["a"],"names2":["b"],"sim":["x"]}`},
+		{"mapping not a list", `{"names1":[],"names2":[],"sim":[],"mapping":5}`},
+		{"top level array", `[1,2,3]`},
+		{"matrix larger than names", `{"names1":["a"],"names2":["b"],"sim":[1,2,3,4]}`},
+		{"matrix smaller than names", `{"names1":["a","b"],"names2":["c","d"],"sim":[1]}`},
+	}
+	for _, c := range cases {
+		if _, err := ems.ReadResultJSON(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Empty-but-consistent is fine: a result with no events.
+	if _, err := ems.ReadResultJSON(strings.NewReader(`{"names1":[],"names2":[],"sim":[]}`)); err != nil {
+		t.Errorf("empty result rejected: %v", err)
+	}
+}

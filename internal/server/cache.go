@@ -1,0 +1,100 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/ems"
+)
+
+// CacheKey identifies a match computation by content: a hash over both logs'
+// traces and the canonical option string. Two submissions with identical
+// trace content and options share a key regardless of log names, file paths,
+// or the transport the logs arrived by.
+func CacheKey(log1, log2 *ems.Log, optionKey string) string {
+	h := sha256.New()
+	hashLog := func(l *ems.Log) {
+		fmt.Fprintf(h, "log:%d\n", l.Len())
+		for _, t := range l.Traces {
+			for _, e := range t {
+				h.Write([]byte(e))
+				h.Write([]byte{0})
+			}
+			h.Write([]byte{'\n'})
+		}
+	}
+	hashLog(log1)
+	hashLog(log2)
+	h.Write([]byte("opts:"))
+	h.Write([]byte(optionKey))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultCache is an LRU-bounded map from content key to matched result.
+// It is safe for concurrent use. Stored results are shared pointers: callers
+// must treat them as immutable.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *ems.Result
+}
+
+// newResultCache creates a cache holding at most capacity results;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, promoting it to most recently
+// used.
+func (c *resultCache) Get(key string) (*ems.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) Put(key string, res *ems.Result) {
+	if c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

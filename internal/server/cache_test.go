@@ -1,0 +1,113 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"repro/ems"
+	"repro/internal/paperexample"
+)
+
+func dummyResult(tag string) *ems.Result {
+	return &ems.Result{Names1: []string{tag}, Names2: []string{tag}, Sim: []float64{1}}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("k1", dummyResult("r1"))
+	c.Put("k2", dummyResult("r2"))
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	}
+	// k1 was just used, so inserting k3 must evict k2.
+	c.Put("k3", dummyResult("r3"))
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 survived past capacity (LRU order broken)")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("recently used k1 was evicted")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Error("k3 missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	// Updating an existing key must not grow the cache.
+	c.Put("k3", dummyResult("r3b"))
+	if c.Len() != 2 {
+		t.Errorf("len after update = %d, want 2", c.Len())
+	}
+	if r, _ := c.Get("k3"); r.Names1[0] != "r3b" {
+		t.Errorf("update did not replace the stored result")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("k", dummyResult("r"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache stored a result")
+	}
+	if c.Len() != 0 {
+		t.Error("disabled cache non-empty")
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(i+w)%len(keys)]
+				c.Put(k, dummyResult(k))
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("cache over capacity: %d", c.Len())
+	}
+}
+
+func TestCacheKeyContentAddressing(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	base := CacheKey(l1, l2, "opts")
+	if CacheKey(l1, l2, "opts") != base {
+		t.Fatal("key not deterministic")
+	}
+	// Same content under a different log name must share the key: the cache
+	// is content-addressed, not name-addressed.
+	renamed := l1.Clone()
+	renamed.Name = "other"
+	if CacheKey(renamed, l2, "opts") != base {
+		t.Error("log name leaked into the content key")
+	}
+	// Different options, swapped sides, or different traces must differ.
+	if CacheKey(l1, l2, "opts2") == base {
+		t.Error("options not part of the key")
+	}
+	if CacheKey(l2, l1, "opts") == base {
+		t.Error("side order not part of the key")
+	}
+	mutated := l1.Clone()
+	mutated.Traces[0][0] = "X"
+	if CacheKey(mutated, l2, "opts") == base {
+		t.Error("trace content not part of the key")
+	}
+	// Trace boundaries matter: [ab],[c] differs from [a],[bc].
+	x := ems.NewLog("x")
+	x.Append(ems.Trace{"a", "b"})
+	x.Append(ems.Trace{"c"})
+	y := ems.NewLog("y")
+	y.Append(ems.Trace{"a"})
+	y.Append(ems.Trace{"b", "c"})
+	if CacheKey(x, l2, "opts") == CacheKey(y, l2, "opts") {
+		t.Error("trace boundaries not part of the key")
+	}
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds a submission body (inline logs included).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs             submit a match job
+//	GET  /v1/jobs/{id}        poll job status
+//	GET  /v1/jobs/{id}/result fetch the finished result
+//	GET  /v1/stats            service metrics
+//	GET  /healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	s.mu.Lock()
+	if s.closed {
+		status = "shutting-down"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.Rejected()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return
+	}
+	job, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.View())
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case IsRequestError(err):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	res, ok := job.Result()
+	if !ok {
+		view := job.View()
+		code := http.StatusConflict
+		if view.Status == StatusQueued || view.Status == StatusRunning {
+			// Not ready yet: tell pollers to come back.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, view)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = res.WriteJSON(w)
+}

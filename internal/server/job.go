@@ -1,0 +1,259 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/ems"
+)
+
+// Status is the lifecycle state of a match job.
+type Status string
+
+// Job lifecycle: queued → running → one of the terminal states. Jobs served
+// from the cache (or coalesced onto an identical in-flight job) jump
+// straight to done.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// LogInput carries one log of a job request. Exactly one of CSV, Traces,
+// and Path must be set.
+type LogInput struct {
+	// Name labels the log in diagnostics; defaults to "log1"/"log2".
+	Name string `json:"name,omitempty"`
+	// CSV is an inline two-column case,event CSV document.
+	CSV string `json:"csv,omitempty"`
+	// Traces is the inline JSON form: a list of traces, each a list of
+	// event names.
+	Traces [][]string `json:"traces,omitempty"`
+	// Path reads the log from a file on the server's filesystem.
+	Path string `json:"path,omitempty"`
+	// Format selects the file format for Path: "csv" (default) or "xml".
+	Format string `json:"format,omitempty"`
+}
+
+// JobOptions mirrors the emsmatch CLI knobs. Pointer fields distinguish
+// "not given" from an explicit zero, so -labels can default alpha to 0.7
+// exactly like the CLI does.
+type JobOptions struct {
+	Alpha     *float64 `json:"alpha,omitempty"`
+	Labels    bool     `json:"labels,omitempty"`
+	Estimate  *int     `json:"estimate,omitempty"`
+	Composite bool     `json:"composite,omitempty"`
+	Threshold *float64 `json:"threshold,omitempty"`
+	MinFreq   *float64 `json:"min_freq,omitempty"`
+	Delta     *float64 `json:"delta,omitempty"`
+}
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	Log1    LogInput   `json:"log1"`
+	Log2    LogInput   `json:"log2"`
+	Options JobOptions `json:"options"`
+}
+
+// resolve turns a LogInput into a Log.
+func (in *LogInput) resolve(fallbackName string) (*ems.Log, error) {
+	name := in.Name
+	if name == "" {
+		name = fallbackName
+	}
+	set := 0
+	for _, present := range []bool{in.CSV != "", in.Traces != nil, in.Path != ""} {
+		if present {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("%s: exactly one of csv, traces, path must be set", name)
+	}
+	switch {
+	case in.CSV != "":
+		l, err := ems.ReadCSV(strings.NewReader(in.CSV), name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return l, nil
+	case in.Traces != nil:
+		l := ems.NewLog(name)
+		for i, t := range in.Traces {
+			if len(t) == 0 {
+				return nil, fmt.Errorf("%s: trace %d is empty", name, i)
+			}
+			l.Append(ems.Trace(t))
+		}
+		if l.Len() == 0 {
+			return nil, fmt.Errorf("%s: no traces", name)
+		}
+		return l, nil
+	default:
+		f, err := os.Open(in.Path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		defer f.Close()
+		switch in.Format {
+		case "", "csv":
+			return ems.ReadCSV(f, name)
+		case "xml":
+			return ems.ReadXML(f)
+		default:
+			return nil, fmt.Errorf("%s: unknown format %q (want csv or xml)", name, in.Format)
+		}
+	}
+}
+
+// build validates the options and returns the ems option list plus the
+// canonical string that feeds the cache key. Defaults mirror cmd/emsmatch:
+// labels without an explicit alpha blends at 0.7.
+func (o JobOptions) build() ([]ems.Option, string, error) {
+	alpha := 1.0
+	if o.Alpha != nil {
+		alpha = *o.Alpha
+	} else if o.Labels {
+		alpha = 0.7
+	}
+	threshold := 0.1
+	if o.Threshold != nil {
+		threshold = *o.Threshold
+	}
+	minFreq := 0.0
+	if o.MinFreq != nil {
+		minFreq = *o.MinFreq
+	}
+	delta := 0.005
+	if o.Delta != nil {
+		delta = *o.Delta
+	}
+	estimate := -1
+	if o.Estimate != nil {
+		estimate = *o.Estimate
+	}
+	opts := []ems.Option{
+		ems.WithMinFrequency(minFreq),
+		ems.WithSelectionThreshold(threshold),
+		ems.WithDelta(delta),
+		ems.WithAlpha(alpha),
+	}
+	if o.Labels {
+		opts = append(opts, ems.WithLabelSimilarity(ems.QGramCosine(3)))
+	}
+	if estimate >= 0 {
+		opts = append(opts, ems.WithEstimation(estimate))
+	}
+	// Probe the options now so bad values fail the submission with a 400
+	// instead of a failed job later. NewMatcher validates options without
+	// computing anything.
+	probe := ems.NewLog("probe")
+	probe.Append(ems.Trace{"x"})
+	if _, err := ems.NewMatcher(probe, probe, opts...); err != nil {
+		return nil, "", err
+	}
+	key := fmt.Sprintf("alpha=%g labels=%t estimate=%d threshold=%g minfreq=%g delta=%g composite=%t",
+		alpha, o.Labels, estimate, threshold, minFreq, delta, o.Composite)
+	return opts, key, nil
+}
+
+// Job is one submitted match unit. The zero value is not usable; the server
+// creates jobs.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	result   *ems.Result
+	cacheHit bool
+	wall     time.Duration
+	done     chan struct{}
+
+	// fields owned by the server (guarded by Server.mu):
+	key       string
+	followers []*Job
+	pair      ems.PairInput
+	opts      []ems.Option
+	composite bool
+}
+
+func newJob(id string) *Job {
+	return &Job{ID: id, status: StatusQueued, done: make(chan struct{})}
+}
+
+// JobView is the JSON representation of a job's state.
+type JobView struct {
+	ID       string  `json:"id"`
+	Status   Status  `json:"status"`
+	CacheHit bool    `json:"cache_hit"`
+	Error    string  `json:"error,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:       j.ID,
+		Status:   j.status,
+		CacheHit: j.cacheHit,
+		Error:    j.err,
+		WallMS:   float64(j.wall.Microseconds()) / 1000,
+	}
+}
+
+// Status returns the job's current state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the matched result once the job is done; ok is false in
+// every other state.
+func (j *Job) Result() (*ems.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setRunning transitions queued → running; it reports whether the
+// transition happened (false when the job was already terminal).
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(status Status, res *ems.Result, errMsg string, wall time.Duration, cacheHit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCancelled:
+		return
+	}
+	j.status = status
+	j.result = res
+	j.err = errMsg
+	j.wall = wall
+	j.cacheHit = cacheHit
+	close(j.done)
+}

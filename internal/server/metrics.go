@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics aggregates service counters. All methods are safe for concurrent
+// use; the zero value is ready.
+type Metrics struct {
+	mu         sync.Mutex
+	submitted  uint64
+	completed  uint64
+	failed     uint64
+	cancelled  uint64
+	rejected   uint64
+	cacheHits  uint64
+	cacheMiss  uint64
+	totalWall  time.Duration
+	maxWall    time.Duration
+	timedJobs  uint64
+	lastWall   time.Duration
+	lastFinish time.Time
+}
+
+// Stats is a point-in-time snapshot of the metrics plus the live gauges the
+// server injects (queue depth, running jobs, cache size).
+type Stats struct {
+	Submitted      uint64  `json:"jobs_submitted"`
+	Completed      uint64  `json:"jobs_completed"`
+	Failed         uint64  `json:"jobs_failed"`
+	Cancelled      uint64  `json:"jobs_cancelled"`
+	Rejected       uint64  `json:"jobs_rejected"`
+	QueueDepth     int     `json:"queue_depth"`
+	Running        int     `json:"jobs_running"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheSize      int     `json:"cache_size"`
+	AvgWallMillis  float64 `json:"avg_wall_ms"`
+	MaxWallMillis  float64 `json:"max_wall_ms"`
+	LastWallMillis float64 `json:"last_wall_ms"`
+}
+
+// Submitted records an accepted job submission.
+func (m *Metrics) Submitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+// Rejected records a submission refused before queueing (bad request or
+// shutdown).
+func (m *Metrics) Rejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// CacheHit records a job served from the result cache (or coalesced onto an
+// in-flight computation of the same pair).
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// CacheMiss records a job that required a fresh computation.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.cacheMiss++
+	m.mu.Unlock()
+}
+
+// JobDone records a finished job: its terminal state and, for jobs that
+// actually computed, the wall time of the computation.
+func (m *Metrics) JobDone(status Status, wall time.Duration, computed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch status {
+	case StatusDone:
+		m.completed++
+	case StatusFailed:
+		m.failed++
+	case StatusCancelled:
+		m.cancelled++
+	}
+	if computed {
+		m.timedJobs++
+		m.totalWall += wall
+		m.lastWall = wall
+		m.lastFinish = time.Now()
+		if wall > m.maxWall {
+			m.maxWall = wall
+		}
+	}
+}
+
+// Snapshot returns the current counters. Gauges (queue depth, running,
+// cache size) are zero; the server fills them in.
+func (m *Metrics) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Submitted:   m.submitted,
+		Completed:   m.completed,
+		Failed:      m.failed,
+		Cancelled:   m.cancelled,
+		Rejected:    m.rejected,
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMiss,
+	}
+	if total := m.cacheHits + m.cacheMiss; total > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	}
+	if m.timedJobs > 0 {
+		s.AvgWallMillis = float64(m.totalWall.Microseconds()) / 1000 / float64(m.timedJobs)
+	}
+	s.MaxWallMillis = float64(m.maxWall.Microseconds()) / 1000
+	s.LastWallMillis = float64(m.lastWall.Microseconds()) / 1000
+	return s
+}

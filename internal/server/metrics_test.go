@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsCountersAndRates(t *testing.T) {
+	m := &Metrics{}
+	m.Submitted()
+	m.Submitted()
+	m.Submitted()
+	m.CacheMiss()
+	m.CacheHit()
+	m.CacheHit()
+	m.JobDone(StatusDone, 10*time.Millisecond, true)
+	m.JobDone(StatusDone, 30*time.Millisecond, true)
+	m.JobDone(StatusFailed, 0, false)
+	m.JobDone(StatusCancelled, 0, false)
+	s := m.Snapshot()
+	if s.Submitted != 3 || s.Completed != 2 || s.Failed != 1 || s.Cancelled != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Errorf("cache counters = %+v", s)
+	}
+	if want := 2.0 / 3.0; s.CacheHitRate < want-1e-9 || s.CacheHitRate > want+1e-9 {
+		t.Errorf("hit rate = %g, want %g", s.CacheHitRate, want)
+	}
+	if s.AvgWallMillis < 19 || s.AvgWallMillis > 21 {
+		t.Errorf("avg wall = %g ms, want ~20", s.AvgWallMillis)
+	}
+	if s.MaxWallMillis < 29 || s.MaxWallMillis > 31 {
+		t.Errorf("max wall = %g ms, want ~30", s.MaxWallMillis)
+	}
+	if s.LastWallMillis < 29 || s.LastWallMillis > 31 {
+		t.Errorf("last wall = %g ms, want ~30", s.LastWallMillis)
+	}
+}
+
+func TestMetricsZeroValueSnapshot(t *testing.T) {
+	var m Metrics
+	s := m.Snapshot()
+	if s.CacheHitRate != 0 || s.AvgWallMillis != 0 {
+		t.Errorf("zero-value snapshot not zero: %+v", s)
+	}
+}
+
+// TestMetricsConcurrent exercises every mutator from many goroutines; run
+// with -race this pins the "safe for concurrent use" contract.
+func TestMetricsConcurrent(t *testing.T) {
+	m := &Metrics{}
+	var wg sync.WaitGroup
+	const per = 100
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Submitted()
+				m.CacheMiss()
+				m.CacheHit()
+				m.JobDone(StatusDone, time.Millisecond, true)
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Submitted != 8*per || s.Completed != 8*per {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrShuttingDown is returned for submissions that arrive after shutdown
+// has begun.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// pool is a bounded worker pool over a FIFO job queue. Shutdown is
+// two-phase: Close stops intake and hands back the still-queued jobs (so
+// the server can mark them cancelled), Wait drains the in-flight ones.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job
+	closed  bool
+	running int
+	wg      sync.WaitGroup
+	run     func(*Job)
+}
+
+// newPool starts workers goroutines executing run on queued jobs.
+func newPool(workers int, run func(*Job)) *pool {
+	p := &pool{run: run}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Enqueue appends a job to the queue.
+func (p *pool) Enqueue(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	p.queue = append(p.queue, j)
+	p.cond.Signal()
+	return nil
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return // closed and drained
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.running++
+		p.mu.Unlock()
+		p.run(j)
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}
+}
+
+// Close stops intake and returns the jobs that were still queued; they will
+// not be run. Jobs already picked up by a worker keep running.
+func (p *pool) Close() []*Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	dropped := p.queue
+	p.queue = nil
+	p.cond.Broadcast()
+	return dropped
+}
+
+// Wait blocks until every worker has finished its current job, or ctx
+// expires.
+func (p *pool) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Depth reports the number of queued (not yet running) jobs.
+func (p *pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Running reports the number of jobs currently being computed.
+func (p *pool) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}

@@ -1,0 +1,263 @@
+// Package server implements emsd, the long-running matching service: an
+// HTTP/JSON front end over the ems engine with an async job queue, a
+// bounded worker pool, a content-addressed LRU result cache, and a
+// concurrent-safe metrics surface.
+//
+// Request flow: POST /v1/jobs parses the two logs and options, computes the
+// content key, and either (a) answers from the cache, (b) coalesces onto an
+// identical in-flight job, or (c) enqueues a fresh computation on the pool.
+// Clients poll GET /v1/jobs/{id} and fetch GET /v1/jobs/{id}/result.
+// Shutdown drains running jobs and cancels queued ones.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sync"
+
+	"repro/ems"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers bounds concurrent match computations; <= 0 uses GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the result cache (entries); 0 uses the default
+	// (128), negative disables caching.
+	CacheSize int
+	// MaxJobs bounds the job registry; once exceeded, the oldest terminal
+	// jobs are forgotten (their IDs 404 afterwards). 0 uses the default
+	// (10000).
+	MaxJobs int
+	// AllowPaths permits LogInput.Path (reading logs from the server's
+	// filesystem). Off by default: inline-only keeps the service safe to
+	// expose beyond localhost.
+	AllowPaths bool
+}
+
+// requestError marks a client-side (HTTP 400) submission failure.
+type requestError struct{ err error }
+
+func (e *requestError) Error() string { return e.err.Error() }
+func (e *requestError) Unwrap() error { return e.err }
+
+// IsRequestError reports whether err stems from a malformed submission
+// rather than a server-side failure.
+func IsRequestError(err error) bool {
+	var re *requestError
+	return errors.As(err, &re)
+}
+
+// Server is the emsd service state. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+	pool    *pool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string // insertion order, for bounded retention
+	inflight map[string]*Job
+	nextID   uint64
+	closed   bool
+}
+
+// New creates a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.CacheSize < 0 {
+		cfg.CacheSize = 0
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 10000
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		metrics:  &Metrics{},
+		cache:    newResultCache(cfg.CacheSize),
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	s.pool = newPool(cfg.Workers, s.runJob)
+	return s
+}
+
+// Submit validates a request and returns its job handle. The job may
+// already be terminal (cache hit). Errors satisfying IsRequestError are the
+// client's fault; ErrShuttingDown means the server no longer accepts work.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	if (req.Log1.Path != "" || req.Log2.Path != "") && !s.cfg.AllowPaths {
+		s.metrics.Rejected()
+		return nil, &requestError{fmt.Errorf("log paths are disabled on this server (start emsd with -allow-paths)")}
+	}
+	l1, err := req.Log1.resolve("log1")
+	if err != nil {
+		s.metrics.Rejected()
+		return nil, &requestError{err}
+	}
+	l2, err := req.Log2.resolve("log2")
+	if err != nil {
+		s.metrics.Rejected()
+		return nil, &requestError{err}
+	}
+	opts, optKey, err := req.Options.build()
+	if err != nil {
+		s.metrics.Rejected()
+		return nil, &requestError{err}
+	}
+	key := CacheKey(l1, l2, optKey)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.metrics.Rejected()
+		return nil, ErrShuttingDown
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("job-%06d", s.nextID))
+	s.registerLocked(job)
+	s.metrics.Submitted()
+
+	// (a) Completed result already cached.
+	if res, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.metrics.CacheHit()
+		job.finish(StatusDone, res, "", 0, true)
+		s.metrics.JobDone(StatusDone, 0, false)
+		return job, nil
+	}
+	// (b) Identical job already queued or running: coalesce.
+	if leader, ok := s.inflight[key]; ok {
+		leader.followers = append(leader.followers, job)
+		s.mu.Unlock()
+		s.metrics.CacheHit()
+		return job, nil
+	}
+	// (c) Fresh computation.
+	job.key = key
+	job.pair = ems.PairInput{Name: job.ID, Log1: l1, Log2: l2}
+	job.opts = opts
+	job.composite = req.Options.Composite
+	s.inflight[key] = job
+	s.mu.Unlock()
+	s.metrics.CacheMiss()
+	if err := s.pool.Enqueue(job); err != nil {
+		s.completeJob(job, StatusCancelled, nil, "server shutting down", 0, false)
+		return nil, ErrShuttingDown
+	}
+	return job, nil
+}
+
+// registerLocked adds the job to the registry, evicting the oldest terminal
+// jobs beyond the retention bound. Caller holds s.mu.
+func (s *Server) registerLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	for len(s.jobs) > s.cfg.MaxJobs && len(s.jobOrder) > 0 {
+		oldest := s.jobOrder[0]
+		old, ok := s.jobs[oldest]
+		if ok {
+			switch old.Status() {
+			case StatusDone, StatusFailed, StatusCancelled:
+				delete(s.jobs, oldest)
+			default:
+				return // oldest still active: retain everything for now
+			}
+		}
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// runJob is the pool callback: compute one pair and complete the job.
+func (s *Server) runJob(j *Job) {
+	if !j.setRunning() {
+		return
+	}
+	start := time.Now()
+	out := ems.MatchAllContext(s.ctx, []ems.PairInput{j.pair}, 1, j.composite, j.opts...)[0]
+	wall := time.Since(start)
+	switch {
+	case out.Err == nil:
+		s.completeJob(j, StatusDone, out.Result, "", wall, true)
+	case errors.Is(out.Err, context.Canceled) || errors.Is(out.Err, context.DeadlineExceeded):
+		s.completeJob(j, StatusCancelled, nil, "server shutting down", wall, false)
+	default:
+		s.completeJob(j, StatusFailed, nil, out.Err.Error(), wall, false)
+	}
+}
+
+// completeJob finishes a leader job and every follower coalesced onto it,
+// publishing a successful result to the cache.
+func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg string, wall time.Duration, computed bool) {
+	if status == StatusDone && res != nil {
+		s.cache.Put(j.key, res)
+	}
+	s.mu.Lock()
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	followers := j.followers
+	j.followers = nil
+	s.mu.Unlock()
+
+	j.finish(status, res, errMsg, wall, false)
+	s.metrics.JobDone(status, wall, computed)
+	for _, f := range followers {
+		f.finish(status, res, errMsg, 0, true)
+		s.metrics.JobDone(status, 0, false)
+	}
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats snapshots the metrics with live gauges filled in.
+func (s *Server) Stats() Stats {
+	st := s.metrics.Snapshot()
+	st.QueueDepth = s.pool.Depth()
+	st.Running = s.pool.Running()
+	st.CacheSize = s.cache.Len()
+	return st
+}
+
+// Shutdown stops intake, cancels queued jobs, and waits for running jobs to
+// drain (bounded by ctx). It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	dropped := s.pool.Close()
+	for _, j := range dropped {
+		s.completeJob(j, StatusCancelled, nil, "server shutting down", 0, false)
+	}
+	err := s.pool.Wait(ctx)
+	if !already {
+		// Release the base context only after the drain, so running jobs
+		// were given the chance to finish.
+		s.cancel()
+	}
+	return err
+}
