@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench fuzz-smoke bench-core
 
 all: check
 
@@ -23,3 +23,20 @@ check: vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Short fuzz runs over every fuzz target; CI uses this as a smoke test.
+# Each target needs its own invocation: `go test -fuzz` accepts exactly one.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/eventlog
+	$(GO) test -run '^$$' -fuzz '^FuzzReadXES$$' -fuzztime $(FUZZTIME) ./internal/eventlog
+	$(GO) test -run '^$$' -fuzz '^FuzzReadXML$$' -fuzztime $(FUZZTIME) ./internal/eventlog
+	$(GO) test -run '^$$' -fuzz '^FuzzQGramCosine$$' -fuzztime $(FUZZTIME) ./internal/label
+	$(GO) test -run '^$$' -fuzz '^FuzzLevenshtein$$' -fuzztime $(FUZZTIME) ./internal/label
+	$(GO) test -run '^$$' -fuzz '^FuzzReadResultJSON$$' -fuzztime $(FUZZTIME) ./ems
+
+# Core-engine scaling benchmark: serial vs N-worker wall time on a fixed
+# synthetic pair, written as a machine-readable trajectory point.
+bench-core:
+	$(GO) run ./cmd/emsbench -json BENCH_core.json

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/eventlog"
+	"repro/internal/procgen"
+)
+
+// coreBenchReport is the machine-readable output of the core-engine scaling
+// benchmark (`emsbench -json BENCH_core.json`). It freezes a perf
+// trajectory point — serial versus N-worker wall time on a fixed synthetic
+// pair — so later changes to the iteration engine can be regressed against
+// it.
+type coreBenchReport struct {
+	Schema     string  `json:"schema"`
+	Events     int     `json:"events"`
+	Traces     int     `json:"traces"`
+	Vertices1  int     `json:"vertices1"`
+	Vertices2  int     `json:"vertices2"`
+	Pairs      int     `json:"pairs"`
+	Rounds     int     `json:"rounds"`
+	Evals      int     `json:"evaluations"`
+	Converged  bool    `json:"converged"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	SerialMS   float64 `json:"serial_wall_ms"`
+
+	Runs []coreBenchRun `json:"runs"`
+}
+
+// coreBenchRun is one measured worker configuration.
+type coreBenchRun struct {
+	Workers     int     `json:"workers"`
+	WallNS      int64   `json:"wall_ns"`
+	WallMS      float64 `json:"wall_ms"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	// Speedup is serial wall time divided by this run's wall time (1.0 for
+	// the serial run itself). Worker counts beyond the machine's cores
+	// cannot speed anything up; the field records what the hardware gave.
+	Speedup float64 `json:"speedup"`
+	// BitIdentical confirms the run reproduced the serial Sim matrix and
+	// counters exactly — the engine's determinism contract, re-checked on
+	// every benchmark emission.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// coreBenchSeed fixes the synthetic workload so trajectory points stay
+// comparable across sessions.
+const coreBenchSeed = 2014
+
+// coreBenchPair generates the benchmark workload: two skewed playouts of
+// one generated process specification, so the logs are heterogeneous views
+// of the same behavior, built into artificial-event dependency graphs.
+func coreBenchPair(events, traces int) (*depgraph.Graph, *depgraph.Graph, error) {
+	rng := rand.New(rand.NewSource(coreBenchSeed))
+	spec, err := procgen.Generate(rng, procgen.DefaultOptions(events))
+	if err != nil {
+		return nil, nil, err
+	}
+	po := procgen.PlayoutOptions{Traces: traces, LoopRepeat: 0.3, MaxLoop: 3, XorSkew: 2}
+	l1, err := spec.Playout(rng, "bench1", po)
+	if err != nil {
+		return nil, nil, err
+	}
+	l2, err := spec.Playout(rng, "bench2", po)
+	if err != nil {
+		return nil, nil, err
+	}
+	build := func(l *eventlog.Log) (*depgraph.Graph, error) {
+		g, err := depgraph.Build(l)
+		if err != nil {
+			return nil, err
+		}
+		return g.AddArtificial()
+	}
+	g1, err := build(l1)
+	if err != nil {
+		return nil, nil, err
+	}
+	g2, err := build(l2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g1, g2, nil
+}
+
+// runCoreBench measures the similarity computation of the benchmark pair at
+// each worker count, verifies bit-identical results against the serial
+// baseline, and writes the JSON report to path. Each configuration runs
+// reps times and keeps the fastest wall time.
+func runCoreBench(path string, events, traces, reps int, workerCounts []int) error {
+	g1, g2, err := coreBenchPair(events, traces)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+
+	measure := func(workers int) (*core.Result, time.Duration, error) {
+		c := cfg
+		c.Workers = workers
+		var best time.Duration
+		var res *core.Result
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			out, err := core.Compute(g1, g2, c)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, 0, err
+			}
+			if res == nil || wall < best {
+				best = wall
+				res = out
+			}
+		}
+		return res, best, nil
+	}
+
+	serial, serialWall, err := measure(1)
+	if err != nil {
+		return err
+	}
+	report := coreBenchReport{
+		Schema:     "ems-core-bench/v1",
+		Events:     events,
+		Traces:     traces,
+		Vertices1:  g1.N(),
+		Vertices2:  g2.N(),
+		Pairs:      g1.RealCount() * g2.RealCount(),
+		Rounds:     serial.Rounds,
+		Evals:      serial.Evaluations,
+		Converged:  serial.Converged,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SerialMS:   durMS(serialWall),
+	}
+	report.Runs = append(report.Runs, benchRun(1, serialWall, serialWall, serial, serial))
+	for _, w := range workerCounts {
+		if w <= 1 {
+			continue
+		}
+		res, wall, err := measure(w)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, benchRun(w, wall, serialWall, serial, res))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("core bench: %d events, %d pairs, %d rounds, %d evaluations (GOMAXPROCS=%d)\n",
+		events, report.Pairs, report.Rounds, report.Evals, report.GOMAXPROCS)
+	for _, r := range report.Runs {
+		fmt.Printf("  workers=%d  wall=%8.2fms  evals/s=%12.0f  speedup=%.2fx  bit_identical=%v\n",
+			r.Workers, r.WallMS, r.EvalsPerSec, r.Speedup, r.BitIdentical)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchRun assembles one run record, checking the result against the serial
+// baseline bit for bit.
+func benchRun(workers int, wall, serialWall time.Duration, serial, res *core.Result) coreBenchRun {
+	identical := serial.Evaluations == res.Evaluations &&
+		serial.Rounds == res.Rounds &&
+		serial.Converged == res.Converged &&
+		len(serial.Sim) == len(res.Sim)
+	if identical {
+		for i := range serial.Sim {
+			if serial.Sim[i] != res.Sim[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	var eps float64
+	if secs := wall.Seconds(); secs > 0 {
+		eps = float64(res.Evaluations) / secs
+	}
+	var speedup float64
+	if wall > 0 {
+		speedup = float64(serialWall) / float64(wall)
+	}
+	return coreBenchRun{
+		Workers:      workers,
+		WallNS:       wall.Nanoseconds(),
+		WallMS:       durMS(wall),
+		EvalsPerSec:  eps,
+		Speedup:      speedup,
+		BitIdentical: identical,
+	}
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

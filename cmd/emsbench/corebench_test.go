@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunCoreBench exercises the scaling harness end to end on a small pair
+// and checks the report invariants: schema, run set, and the bit-identical
+// flag on every parallel run.
+func TestRunCoreBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := runCoreBench(path, 24, 40, 1, []int{2, 4}); err != nil {
+		t.Fatalf("runCoreBench: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep coreBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if rep.Schema != "ems-core-bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Events != 24 || rep.Traces != 40 {
+		t.Errorf("workload = %d events/%d traces, want 24/40", rep.Events, rep.Traces)
+	}
+	if rep.Pairs <= 0 || rep.Rounds <= 0 || rep.Evals <= 0 {
+		t.Errorf("empty workload stats: pairs=%d rounds=%d evals=%d", rep.Pairs, rep.Rounds, rep.Evals)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3 (serial, 2, 4)", len(rep.Runs))
+	}
+	wantWorkers := []int{1, 2, 4}
+	for i, r := range rep.Runs {
+		if r.Workers != wantWorkers[i] {
+			t.Errorf("run %d workers = %d, want %d", i, r.Workers, wantWorkers[i])
+		}
+		if !r.BitIdentical {
+			t.Errorf("run with %d workers is not bit-identical to serial", r.Workers)
+		}
+		if r.WallNS <= 0 || r.EvalsPerSec <= 0 || r.Speedup <= 0 {
+			t.Errorf("run %d has empty measurements: %+v", i, r)
+		}
+	}
+	if rep.Runs[0].Speedup != 1.0 {
+		t.Errorf("serial speedup = %v, want 1.0", rep.Runs[0].Speedup)
+	}
+}
+
+// TestParseWorkerCounts covers the -bench-workers parser.
+func TestParseWorkerCounts(t *testing.T) {
+	got, err := parseWorkerCounts(" 2, 4 ,8")
+	if err != nil {
+		t.Fatalf("parseWorkerCounts: %v", err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 8 {
+		t.Errorf("got %v, want [2 4 8]", got)
+	}
+	for _, bad := range []string{"", "0", "two", "4,-1"} {
+		if _, err := parseWorkerCounts(bad); err == nil {
+			t.Errorf("parseWorkerCounts(%q) accepted", bad)
+		}
+	}
+}

@@ -4,27 +4,46 @@
 //
 // Usage:
 //
-//	emsbench            # quick scale, all figures
-//	emsbench -full      # paper-sized datasets (minutes)
-//	emsbench -fig 8     # one figure only
+//	emsbench                      # quick scale, all figures
+//	emsbench -full                # paper-sized datasets (minutes)
+//	emsbench -fig 8               # one figure only
+//	emsbench -json BENCH_core.json  # core-engine scaling benchmark
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		full       = flag.Bool("full", false, "paper-sized datasets (slower)")
-		fig        = flag.Int("fig", 0, "run a single figure (3-14); 0 = all")
-		ablations  = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
-		robustness = flag.Bool("robustness", false, "run the noise-robustness extension experiment")
+		full        = flag.Bool("full", false, "paper-sized datasets (slower)")
+		fig         = flag.Int("fig", 0, "run a single figure (3-14); 0 = all")
+		ablations   = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
+		robustness  = flag.Bool("robustness", false, "run the noise-robustness extension experiment")
+		benchJSON   = flag.String("json", "", "run the core-engine scaling benchmark and write its report to this file")
+		benchEvents = flag.Int("bench-events", 200, "activities of the synthetic benchmark pair (with -json)")
+		benchTraces = flag.Int("bench-traces", 200, "traces per benchmark log (with -json)")
+		benchReps   = flag.Int("bench-reps", 3, "repetitions per worker count, fastest kept (with -json)")
+		benchW      = flag.String("bench-workers", "2,4,8", "comma-separated worker counts to compare against serial (with -json)")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		counts, err := parseWorkerCounts(*benchW)
+		if err == nil {
+			err = runCoreBench(*benchJSON, *benchEvents, *benchTraces, *benchReps, counts)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ablations || *robustness {
 		if err := runExtras(*full, *ablations, *robustness); err != nil {
 			fmt.Fprintln(os.Stderr, "emsbench:", err)
@@ -36,6 +55,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWorkerCounts parses the -bench-workers list ("2,4,8").
+func parseWorkerCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -bench-workers entry %q (want positive integers)", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-bench-workers is empty")
+	}
+	return counts, nil
 }
 
 func runExtras(full, ablations, robustness bool) error {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	emsd [-addr :8484] [-workers N] [-cache N] [-allow-paths]
+//	emsd [-addr :8484] [-workers N] [-engine-workers N] [-cache N] [-allow-paths]
 //
 // Submit a job, poll it, fetch the result:
 //
@@ -38,6 +38,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8484", "listen address")
 		workers    = flag.Int("workers", 0, "concurrent match computations (0 = GOMAXPROCS)")
+		engWorkers = flag.Int("engine-workers", 0, "per-job iteration-engine goroutines (0 = GOMAXPROCS/workers, -1 = serial)")
 		cacheSize  = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
 		maxJobs    = flag.Int("max-jobs", 10000, "job registry retention bound")
 		allowPaths = flag.Bool("allow-paths", false, "allow jobs to read logs from server-local file paths")
@@ -52,10 +53,11 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := server.Config{
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		MaxJobs:    *maxJobs,
-		AllowPaths: *allowPaths,
+		Workers:       *workers,
+		EngineWorkers: *engWorkers,
+		CacheSize:     *cacheSize,
+		MaxJobs:       *maxJobs,
+		AllowPaths:    *allowPaths,
 	}
 	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "emsd:", err)

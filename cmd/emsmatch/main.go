@@ -33,6 +33,7 @@ func main() {
 		delta      = flag.Float64("delta", 0.005, "minimum improvement for a composite merge")
 		matrix     = flag.Bool("matrix", false, "print the full similarity matrix")
 		outJSON    = flag.String("o", "", "also write the full result as JSON to this file")
+		workers    = flag.Int("workers", 0, "iteration-engine goroutines (0 = auto, 1 = serial; results identical)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -49,7 +50,7 @@ func main() {
 		}
 	})
 	if err := run(flag.Arg(0), flag.Arg(1), *format, resolveAlpha(*alpha, alphaSet, *useLabels), *useLabels, *estimate,
-		*minFreq, *threshold, *compositeF, *delta, *matrix, *outJSON); err != nil {
+		*minFreq, *threshold, *compositeF, *delta, *matrix, *outJSON, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "emsmatch:", err)
 		os.Exit(1)
 	}
@@ -66,7 +67,7 @@ func resolveAlpha(alpha float64, alphaSet, useLabels bool) float64 {
 }
 
 func run(path1, path2, format string, alpha float64, useLabels bool, estimate int,
-	minFreq, threshold float64, compositeMatch bool, delta float64, matrix bool, outJSON string) error {
+	minFreq, threshold float64, compositeMatch bool, delta float64, matrix bool, outJSON string, workers int) error {
 	l1, err := readLog(path1, format)
 	if err != nil {
 		return err
@@ -79,6 +80,7 @@ func run(path1, path2, format string, alpha float64, useLabels bool, estimate in
 		ems.WithMinFrequency(minFreq),
 		ems.WithSelectionThreshold(threshold),
 		ems.WithDelta(delta),
+		ems.WithWorkers(workers),
 	}
 	if useLabels {
 		opts = append(opts, ems.WithLabelSimilarity(ems.QGramCosine(3)))

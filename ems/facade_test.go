@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/ems"
+	"repro/internal/paperexample"
 )
 
 func TestFacadeLabelHelpers(t *testing.T) {
@@ -75,5 +76,38 @@ func TestFacadeRemainingOptions(t *testing.T) {
 	}
 	if _, err := ems.MatchComposite(l1, l2, ems.WithCandidateDiscovery(1.0, 2, 4)); err != nil {
 		t.Fatalf("MatchComposite with discovery options: %v", err)
+	}
+}
+
+// TestWithWorkersIdenticalResults: the engine worker count is a pure
+// performance knob — matching results must not change, and negative values
+// are rejected.
+func TestWithWorkersIdenticalResults(t *testing.T) {
+	l1, l2 := paperexample.Log1(), paperexample.Log2()
+	serial, err := ems.Match(l1, l2, ems.WithWorkers(1))
+	if err != nil {
+		t.Fatalf("Match workers=1: %v", err)
+	}
+	par, err := ems.Match(l1, l2, ems.WithWorkers(4))
+	if err != nil {
+		t.Fatalf("Match workers=4: %v", err)
+	}
+	if len(serial.Sim) != len(par.Sim) {
+		t.Fatalf("matrix sizes differ: %d vs %d", len(serial.Sim), len(par.Sim))
+	}
+	for i := range serial.Sim {
+		if serial.Sim[i] != par.Sim[i] {
+			t.Fatalf("workers changed similarity at %d: %x vs %x", i, serial.Sim[i], par.Sim[i])
+		}
+	}
+	if serial.Evaluations != par.Evaluations || serial.Rounds != par.Rounds {
+		t.Errorf("counters differ: evals %d/%d rounds %d/%d",
+			serial.Evaluations, par.Evaluations, serial.Rounds, par.Rounds)
+	}
+	if len(serial.Mapping) != len(par.Mapping) {
+		t.Errorf("mappings differ: %d vs %d correspondences", len(serial.Mapping), len(par.Mapping))
+	}
+	if _, err := ems.Match(l1, l2, ems.WithWorkers(-1)); err == nil {
+		t.Error("negative workers accepted")
 	}
 }

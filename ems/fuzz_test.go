@@ -1,0 +1,50 @@
+package ems
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadResultJSON checks the result-persistence reader: it must never
+// panic, and every result it accepts must survive a WriteJSON →
+// ReadResultJSON round trip unchanged.
+func FuzzReadResultJSON(f *testing.F) {
+	f.Add(`{"names1":["a","b"],"names2":["x"],"sim":[0.5,0.25],` +
+		`"mapping":[{"left":["a"],"right":["x"],"score":0.5}],"evaluations":4,"rounds":2}`)
+	f.Add(`{"names1":[],"names2":[],"sim":[],"mapping":null,"evaluations":0,"rounds":0}`)
+	f.Add(`{"names1":["a"],"names2":["x","y"],"sim":[0.1]}`) // size mismatch: must be rejected
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`{"names1":["a+b"],"names2":["x"],"sim":[1],"composites1":[["a","b"]]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := ReadResultJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(r.Sim) != len(r.Names1)*len(r.Names2) {
+			t.Fatalf("accepted result has inconsistent matrix: %d sim for %dx%d",
+				len(r.Sim), len(r.Names1), len(r.Names2))
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted result failed to serialize: %v", err)
+		}
+		back, err := ReadResultJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Names1) != len(r.Names1) || len(back.Names2) != len(r.Names2) ||
+			len(back.Sim) != len(r.Sim) || len(back.Mapping) != len(r.Mapping) ||
+			back.Evaluations != r.Evaluations || back.Rounds != r.Rounds {
+			t.Fatalf("round trip changed shape: %+v vs %+v", back, r)
+		}
+		for i := range r.Sim {
+			// NaN never round-trips through JSON (encoding rejects it), so
+			// any accepted value compares by ==.
+			if back.Sim[i] != r.Sim[i] {
+				t.Fatalf("round trip changed sim[%d]: %v vs %v", i, back.Sim[i], r.Sim[i])
+			}
+		}
+	})
+}

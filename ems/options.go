@@ -130,6 +130,21 @@ func WithEpsilon(eps float64) Option {
 	}
 }
 
+// WithWorkers sets the number of goroutines the iteration engine splits
+// each similarity round across. 0 (the default) picks GOMAXPROCS but stays
+// serial on small instances; 1 forces the serial path. Results are
+// bit-identical for every value — the rounds are Jacobi updates over the
+// previous matrix, so rows are independent.
+func WithWorkers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("ems: workers must be >= 0, got %d", n)
+		}
+		o.sim.Workers = n
+		return nil
+	}
+}
+
 // WithMaxRounds caps iteration rounds for cyclic graphs.
 func WithMaxRounds(n int) Option {
 	return func(o *options) error {

@@ -26,6 +26,11 @@ type Result struct {
 	// Converged reports whether iteration stopped by convergence rather
 	// than by the MaxRounds cap.
 	Converged bool
+
+	// idxOnce lazily builds the name-to-index maps behind Lookup, which
+	// composite matching hits once per event pair.
+	idxOnce    sync.Once
+	idx1, idx2 map[string]int
 }
 
 // At returns the combined similarity of the i-th event of graph 1 and the
@@ -46,25 +51,32 @@ func (r *Result) Avg() float64 {
 }
 
 // Lookup returns the similarity of two events by name; ok is false when
-// either name is unknown.
+// either name is unknown. The index maps are built on first use and shared
+// by subsequent calls, so per-pair lookups stay O(1); Lookup is safe for
+// concurrent use as long as the name slices are not mutated.
 func (r *Result) Lookup(a, b string) (v float64, ok bool) {
-	i, j := -1, -1
-	for k, n := range r.Names1 {
-		if n == a {
-			i = k
-			break
-		}
-	}
-	for k, n := range r.Names2 {
-		if n == b {
-			j = k
-			break
-		}
-	}
-	if i < 0 || j < 0 {
+	r.idxOnce.Do(func() {
+		r.idx1 = nameIndex(r.Names1)
+		r.idx2 = nameIndex(r.Names2)
+	})
+	i, ok1 := r.idx1[a]
+	j, ok2 := r.idx2[b]
+	if !ok1 || !ok2 {
 		return 0, false
 	}
 	return r.At(i, j), true
+}
+
+// nameIndex inverts a name slice; the first occurrence wins, matching the
+// previous linear-scan behavior on duplicate names.
+func nameIndex(names []string) map[string]int {
+	idx := make(map[string]int, len(names))
+	for k, n := range names {
+		if _, dup := idx[n]; !dup {
+			idx[n] = k
+		}
+	}
+	return idx
 }
 
 // Compute runs the full similarity computation between two dependency
@@ -127,16 +139,23 @@ func NewComputation(g1, g2 *depgraph.Graph, cfg Config, seed *Seed) (*Computatio
 		names2:    g2.Names[g2.RealStart():],
 		realPairs: g1.RealCount() * g2.RealCount(),
 	}
+	// One pool serves both direction engines: the per-direction goroutines
+	// of Run submit row ranges to the same workers, so a computation never
+	// uses more than cfg.Workers row workers at once.
+	var pool *rowPool
+	if w := resolveWorkers(cfg, g1.N(), g2.N()); w > 1 {
+		pool = newRowPool(w)
+	}
 	var err error
 	switch cfg.Direction {
 	case Forward:
-		c.fwd, err = newDirEngine(g1, g2, cfg)
+		c.fwd, err = newDirEngine(g1, g2, cfg, pool)
 	case Backward:
-		c.fwd, err = newDirEngine(g1.Reverse(), g2.Reverse(), cfg)
+		c.fwd, err = newDirEngine(g1.Reverse(), g2.Reverse(), cfg, pool)
 	case Both:
-		c.fwd, err = newDirEngine(g1, g2, cfg)
+		c.fwd, err = newDirEngine(g1, g2, cfg, pool)
 		if err == nil {
-			c.bwd, err = newDirEngine(g1.Reverse(), g2.Reverse(), cfg)
+			c.bwd, err = newDirEngine(g1.Reverse(), g2.Reverse(), cfg, pool)
 		}
 	default:
 		err = fmt.Errorf("core: invalid direction %v", cfg.Direction)

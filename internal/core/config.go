@@ -78,9 +78,16 @@ type Config struct {
 	EstimateI int
 	// Labels is the label similarity S^L; nil means opaque labels
 	// (similarity 0 everywhere). It is only consulted when Alpha < 1.
+	// With Workers > 1 it is called from several goroutines and must be
+	// safe for concurrent use (every similarity in internal/label is).
 	Labels label.Similarity
 	// Direction selects forward, backward, or averaged similarity.
 	Direction Direction
+	// Workers is the number of goroutines that split each iteration round
+	// into row ranges. 0 picks GOMAXPROCS but stays serial on small
+	// instances; 1 forces the serial path. Rounds are Jacobi updates over
+	// the previous matrix, so results are bit-identical for every value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -114,6 +121,9 @@ func (c Config) Validate() error {
 	}
 	if c.Direction != Forward && c.Direction != Backward && c.Direction != Both {
 		return fmt.Errorf("core: invalid Direction %d", int(c.Direction))
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
 	return nil
 }

@@ -35,8 +35,24 @@ type dirEngine struct {
 	// floating-point recomputation from the hot loop. nil when the graphs
 	// are too large for the cache (see agreeCacheLimit).
 	agree [][]float64
-	// bestBuf is scratch space reused across oneSides calls.
-	bestBuf []float64
+
+	// workers is the effective worker count; pool is nil when workers == 1
+	// (the serial path). The pool is shared with the other direction's
+	// engine of the same Computation.
+	workers int
+	pool    *rowPool
+	// bufs[w] is the oneSides scratch of worker w; deltaW[w] and evalW[w]
+	// accumulate worker w's max increment and evaluation count of a round.
+	// Rows are distributed over workers, so every per-pair write lands in a
+	// disjoint location and the only cross-worker reductions are max and
+	// integer sum — both order-independent, keeping results bit-identical to
+	// the serial path.
+	bufs   [][]float64
+	deltaW []float64
+	evalW  []int
+	// rowSum[v1] holds the per-row partial of upperBoundSum; summing rows in
+	// index order makes the bound independent of the partition too.
+	rowSum []float64
 
 	round     int
 	evals     int // number of formula-(1) evaluations performed
@@ -55,8 +71,9 @@ type dirEngine struct {
 }
 
 // newDirEngine builds the per-direction engine. Both graphs must contain the
-// artificial event.
-func newDirEngine(g1, g2 *depgraph.Graph, cfg Config) (*dirEngine, error) {
+// artificial event. pool may be nil (serial) and is shared between the two
+// direction engines of a Computation.
+func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine, error) {
 	if !g1.HasArtificial || !g2.HasArtificial {
 		return nil, fmt.Errorf("core: similarity requires graphs with the artificial event (use Graph.AddArtificial)")
 	}
@@ -72,15 +89,24 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config) (*dirEngine, error) {
 		g1: g1, g2: g2, cfg: cfg,
 		n1: g1.N(), n2: g2.N(),
 		l1: l1, l2: l2,
+		pool: pool, workers: 1,
 	}
+	if pool != nil {
+		e.workers = pool.workers
+	}
+	e.bufs = make([][]float64, e.workers)
+	e.deltaW = make([]float64, e.workers)
+	e.evalW = make([]int, e.workers)
 	e.lab = make([]float64, e.n1*e.n2)
 	sim := cfg.labels()
 	if cfg.Alpha < 1 {
-		for i := 1; i < e.n1; i++ {
-			for j := 1; j < e.n2; j++ {
-				e.lab[i*e.n2+j] = sim(g1.Names[i], g2.Names[j])
+		e.forRows(1, e.n1, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 1; j < e.n2; j++ {
+					e.lab[i*e.n2+j] = sim(g1.Names[i], g2.Names[j])
+				}
 			}
-		}
+		})
 	}
 	e.cur = make([]float64, e.n1*e.n2)
 	e.prev = make([]float64, e.n1*e.n2)
@@ -111,22 +137,24 @@ func (e *dirEngine) buildAgreementCache() {
 		return
 	}
 	e.agree = make([][]float64, e.n1*e.n2)
-	for v1 := 1; v1 < e.n1; v1++ {
-		pre1 := e.g1.Pre[v1]
-		for v2 := 1; v2 < e.n2; v2++ {
-			pre2 := e.g2.Pre[v2]
-			if len(pre1) == 0 || len(pre2) == 0 {
-				continue
-			}
-			row := make([]float64, len(pre1)*len(pre2))
-			for i, p1 := range pre1 {
-				for j, p2 := range pre2 {
-					row[i*len(pre2)+j] = e.edgeAgreement(p1, v1, p2, v2)
+	e.forRows(1, e.n1, func(w, lo, hi int) {
+		for v1 := lo; v1 < hi; v1++ {
+			pre1 := e.g1.Pre[v1]
+			for v2 := 1; v2 < e.n2; v2++ {
+				pre2 := e.g2.Pre[v2]
+				if len(pre1) == 0 || len(pre2) == 0 {
+					continue
 				}
+				row := make([]float64, len(pre1)*len(pre2))
+				for i, p1 := range pre1 {
+					for j, p2 := range pre2 {
+						row[i*len(pre2)+j] = e.edgeAgreement(p1, v1, p2, v2)
+					}
+				}
+				e.agree[v1*e.n2+v2] = row
 			}
-			e.agree[v1*e.n2+v2] = row
 		}
-	}
+	})
 }
 
 // convergenceBound returns min(max_v1 l(v1), max_v2 l(v2)) over finite
@@ -168,7 +196,8 @@ func (e *dirEngine) edgeAgreement(p1, v1, p2, v2 int) float64 {
 // oneSides computes s(v1,v2) and s(v2,v1) of Definition 2 from the prev
 // matrix in one pass: for each in-neighbor of one event, the best
 // edge-weighted similarity against the in-neighbors of the other, averaged.
-func (e *dirEngine) oneSides(v1, v2 int) (s12, s21 float64) {
+// w selects the calling worker's scratch buffer.
+func (e *dirEngine) oneSides(v1, v2, w int) (s12, s21 float64) {
 	pre1 := e.g1.Pre[v1]
 	pre2 := e.g2.Pre[v2]
 	if len(pre1) == 0 || len(pre2) == 0 {
@@ -176,7 +205,7 @@ func (e *dirEngine) oneSides(v1, v2 int) (s12, s21 float64) {
 	}
 	if cache := e.agree; cache != nil {
 		row := cache[v1*e.n2+v2]
-		best2 := e.bestBuf
+		best2 := e.bufs[w]
 		if cap(best2) < len(pre2) {
 			best2 = make([]float64, len(pre2))
 		} else {
@@ -208,7 +237,7 @@ func (e *dirEngine) oneSides(v1, v2 int) (s12, s21 float64) {
 		for _, b := range best2 {
 			sum2 += b
 		}
-		e.bestBuf = best2
+		e.bufs[w] = best2
 		return sum1 / float64(len(pre1)), sum2 / float64(len(pre2))
 	}
 	// Fallback without the agreement cache.
@@ -239,28 +268,55 @@ func (e *dirEngine) oneSides(v1, v2 int) (s12, s21 float64) {
 // step performs one iteration round (formula (1)) over all non-frozen real
 // pairs and returns the maximum absolute change. When pruning is enabled,
 // pairs already past their convergence bound are skipped.
+//
+// The round is a Jacobi update: every pair reads only the immutable prev
+// matrix, so rows are distributed over the worker pool. Within a row the
+// float additions happen in the same order as the serial path, cur writes
+// are disjoint, and the cross-row reductions (max increment, evaluation
+// count) are order-independent — results are bit-identical for any worker
+// count.
 func (e *dirEngine) step() float64 {
 	e.round++
 	copy(e.prev, e.cur)
-	var maxDelta float64
-	for v1 := 1; v1 < e.n1; v1++ {
-		row := v1 * e.n2
-		for v2 := 1; v2 < e.n2; v2++ {
-			idx := row + v2
-			if e.frozen[idx] {
-				continue
+	for w := 0; w < e.workers; w++ {
+		e.deltaW[w] = 0
+		e.evalW[w] = 0
+	}
+	e.forRows(1, e.n1, func(w, lo, hi int) {
+		var maxDelta float64
+		evals := 0
+		for v1 := lo; v1 < hi; v1++ {
+			row := v1 * e.n2
+			for v2 := 1; v2 < e.n2; v2++ {
+				idx := row + v2
+				if e.frozen[idx] {
+					continue
+				}
+				if e.cfg.Prune && e.round > min(e.l1[v1], e.l2[v2]) {
+					continue
+				}
+				s12, s21 := e.oneSides(v1, v2, w)
+				v := e.cfg.Alpha*(s12+s21)/2 + (1-e.cfg.Alpha)*e.lab[idx]
+				evals++
+				if d := math.Abs(v - e.prev[idx]); d > maxDelta {
+					maxDelta = d
+				}
+				e.cur[idx] = v
 			}
-			if e.cfg.Prune && e.round > min(e.l1[v1], e.l2[v2]) {
-				continue
-			}
-			s12, s21 := e.oneSides(v1, v2)
-			v := e.cfg.Alpha*(s12+s21)/2 + (1-e.cfg.Alpha)*e.lab[idx]
-			e.evals++
-			if d := math.Abs(v - e.prev[idx]); d > maxDelta {
-				maxDelta = d
-			}
-			e.cur[idx] = v
 		}
+		if maxDelta > e.deltaW[w] {
+			e.deltaW[w] = maxDelta
+		}
+		e.evalW[w] += evals
+	})
+	var maxDelta float64
+	for _, d := range e.deltaW {
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	for _, n := range e.evalW {
+		e.evals += n
 	}
 	e.lastDelta = maxDelta
 	return maxDelta
@@ -319,37 +375,41 @@ func (e *dirEngine) estimate() {
 	}
 	e.estimated = true
 	I := e.round
-	for v1 := 1; v1 < e.n1; v1++ {
-		for v2 := 1; v2 < e.n2; v2++ {
-			idx := v1*e.n2 + v2
-			if e.frozen[idx] {
-				continue
-			}
-			h := min(e.l1[v1], e.l2[v2])
-			if h <= I {
-				continue // already exact
-			}
-			a, q := e.estimationCoefficients(v1, v2)
-			if I >= 2 {
-				if fit := e.cur[idx] - q*e.prev[idx]; fit >= 0 {
-					a = fit
+	// Each pair's estimate depends only on its own cur/prev entries, so the
+	// rows parallelize like step().
+	e.forRows(1, e.n1, func(w, lo, hi int) {
+		for v1 := lo; v1 < hi; v1++ {
+			for v2 := 1; v2 < e.n2; v2++ {
+				idx := v1*e.n2 + v2
+				if e.frozen[idx] {
+					continue
 				}
+				h := min(e.l1[v1], e.l2[v2])
+				if h <= I {
+					continue // already exact
+				}
+				a, q := e.estimationCoefficients(v1, v2)
+				if I >= 2 {
+					if fit := e.cur[idx] - q*e.prev[idx]; fit >= 0 {
+						a = fit
+					}
+				}
+				var est float64
+				if h == depgraph.Infinite {
+					est = a / (1 - q)
+				} else {
+					pw := math.Pow(q, float64(h-I))
+					est = pw*e.cur[idx] + a*(1-pw)/(1-q)
+				}
+				// The exact S^I is a lower bound of the true similarity
+				// (Theorem 1 monotonicity), so never estimate below it.
+				if est < e.cur[idx] {
+					est = e.cur[idx]
+				}
+				e.cur[idx] = clamp01(est)
 			}
-			var est float64
-			if h == depgraph.Infinite {
-				est = a / (1 - q)
-			} else {
-				pw := math.Pow(q, float64(h-I))
-				est = pw*e.cur[idx] + a*(1-pw)/(1-q)
-			}
-			// The exact S^I is a lower bound of the true similarity
-			// (Theorem 1 monotonicity), so never estimate below it.
-			if est < e.cur[idx] {
-				est = e.cur[idx]
-			}
-			e.cur[idx] = clamp01(est)
 		}
-	}
+	})
 }
 
 // estimationCoefficients returns (a, q) of formula (2) for the pair (v1,v2).
@@ -387,34 +447,47 @@ func (e *dirEngine) upperBoundSum() float64 {
 	if e.round >= 1 && !e.warmed {
 		deltaCap = e.lastDelta * ac / (1 - ac)
 	}
+	// Bounds are accumulated per row and the row partials reduced in index
+	// order, so the (non-associative) float sum groups identically for every
+	// worker count.
+	if e.rowSum == nil {
+		e.rowSum = make([]float64, e.n1)
+	}
+	e.forRows(1, e.n1, func(w, lo, hi int) {
+		for v1 := lo; v1 < hi; v1++ {
+			var sum float64
+			for v2 := 1; v2 < e.n2; v2++ {
+				idx := v1*e.n2 + v2
+				s := e.cur[idx]
+				if e.frozen[idx] {
+					sum += s
+					continue
+				}
+				h := min(e.l1[v1], e.l2[v2])
+				var slack float64
+				switch {
+				case e.round >= h:
+					slack = 0 // converged (Proposition 2)
+				case h == depgraph.Infinite:
+					slack = ack / (1 - ac)
+				default:
+					slack = (ack - math.Pow(ac, float64(h))) / (1 - ac)
+				}
+				if slack > deltaCap {
+					slack = deltaCap
+				}
+				b := s + slack
+				if b > 1 {
+					b = 1
+				}
+				sum += b
+			}
+			e.rowSum[v1] = sum
+		}
+	})
 	var sum float64
 	for v1 := 1; v1 < e.n1; v1++ {
-		for v2 := 1; v2 < e.n2; v2++ {
-			idx := v1*e.n2 + v2
-			s := e.cur[idx]
-			if e.frozen[idx] {
-				sum += s
-				continue
-			}
-			h := min(e.l1[v1], e.l2[v2])
-			var slack float64
-			switch {
-			case e.round >= h:
-				slack = 0 // converged (Proposition 2)
-			case h == depgraph.Infinite:
-				slack = ack / (1 - ac)
-			default:
-				slack = (ack - math.Pow(ac, float64(h))) / (1 - ac)
-			}
-			if slack > deltaCap {
-				slack = deltaCap
-			}
-			b := s + slack
-			if b > 1 {
-				b = 1
-			}
-			sum += b
-		}
+		sum += e.rowSum[v1]
 	}
 	return sum
 }

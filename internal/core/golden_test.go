@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current engine output")
+
+// goldenResult is the frozen similarity of the paper's running example
+// (Figure 1 / Example 8): the forward, backward and combined matrices under
+// the paper's default configuration (alpha = 1, c = 0.8, both directions,
+// exact iteration with pruning).
+type goldenResult struct {
+	Names1      []string  `json:"names1"`
+	Names2      []string  `json:"names2"`
+	Forward     []float64 `json:"forward"`
+	Backward    []float64 `json:"backward"`
+	Sim         []float64 `json:"sim"`
+	Evaluations int       `json:"evaluations"`
+	Rounds      int       `json:"rounds"`
+}
+
+// TestGoldenPaperExample pins the engine to the paper's numbers: the
+// Example 8 matrices are stored in testdata and every refactor must
+// reproduce them to 1e-9. Regenerate deliberately with
+// `go test ./internal/core -run GoldenPaperExample -update` and review the
+// diff against the paper before committing.
+func TestGoldenPaperExample(t *testing.T) {
+	g1, g2 := exampleGraphs(t)
+	r, err := Compute(g1, g2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	got := goldenResult{
+		Names1:      r.Names1,
+		Names2:      r.Names2,
+		Forward:     r.Forward,
+		Backward:    r.Backward,
+		Sim:         r.Sim,
+		Evaluations: r.Evaluations,
+		Rounds:      r.Rounds,
+	}
+	path := filepath.Join("testdata", "example8_golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal golden: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	var want goldenResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if !equalStrings(got.Names1, want.Names1) || !equalStrings(got.Names2, want.Names2) {
+		t.Fatalf("event names drifted: got %v/%v, want %v/%v", got.Names1, got.Names2, want.Names1, want.Names2)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Errorf("Evaluations = %d, want %d", got.Evaluations, want.Evaluations)
+	}
+	if got.Rounds != want.Rounds {
+		t.Errorf("Rounds = %d, want %d", got.Rounds, want.Rounds)
+	}
+	compareGoldenMatrix(t, "Forward", got.Forward, want.Forward, want.Names1, want.Names2)
+	compareGoldenMatrix(t, "Backward", got.Backward, want.Backward, want.Names1, want.Names2)
+	compareGoldenMatrix(t, "Sim", got.Sim, want.Sim, want.Names1, want.Names2)
+}
+
+const goldenTolerance = 1e-9
+
+func compareGoldenMatrix(t *testing.T, name string, got, want []float64, names1, names2 []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: length %d, want %d", name, len(got), len(want))
+		return
+	}
+	n2 := len(names2)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > goldenTolerance {
+			t.Errorf("%s(%s, %s) = %.12f, want %.12f (drift %g)",
+				name, names1[i/n2], names2[i%n2], got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

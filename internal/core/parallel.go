@@ -1,0 +1,111 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// rowTask is one contiguous row range [lo, hi) handed to a pool worker.
+type rowTask struct {
+	fn     func(w, lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// rowPool is a reusable set of worker goroutines that execute row-range
+// tasks. One pool serves every parallel region of a Computation (both
+// direction engines, all rounds), so goroutines are spawned once per
+// computation instead of once per round.
+//
+// The worker index passed to the task function identifies the goroutine, not
+// the task: per-worker scratch (the oneSides best buffers) is therefore
+// touched by exactly one goroutine at a time even when a fast worker steals
+// several row ranges of the same round.
+//
+// Workers park on the task channel between regions. The pool is shut down by
+// a finalizer when the owning Computation becomes unreachable; this covers
+// the composite-matching search, which abandons candidate computations
+// mid-iteration when their upper bound cannot beat the incumbent.
+type rowPool struct {
+	workers int
+	tasks   chan rowTask
+}
+
+// newRowPool starts workers goroutines (must be >= 2; a single worker is the
+// serial path and needs no pool).
+func newRowPool(workers int) *rowPool {
+	p := &rowPool{workers: workers, tasks: make(chan rowTask)}
+	for w := 0; w < workers; w++ {
+		// The goroutine captures only the channel, not the pool, so the
+		// finalizer below can run once the pool itself is unreachable.
+		go func(w int, tasks <-chan rowTask) {
+			for t := range tasks {
+				t.fn(w, t.lo, t.hi)
+				t.wg.Done()
+			}
+		}(w, p.tasks)
+	}
+	runtime.SetFinalizer(p, func(p *rowPool) { close(p.tasks) })
+	return p
+}
+
+// run partitions [lo, hi) into at most p.workers contiguous chunks and
+// blocks until every chunk has been processed. Chunk boundaries depend only
+// on the range and the worker count, never on scheduling.
+func (p *rowPool) run(lo, hi int, fn func(w, lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for i := 0; i < chunks; i++ {
+		p.tasks <- rowTask{fn: fn, lo: lo + i*n/chunks, hi: lo + (i+1)*n/chunks, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// autoParallelMinPairs is the matrix size (vertex pairs) below which
+// Workers = 0 (automatic) stays serial: on small instances the per-round
+// synchronization costs more than the row work it distributes. Explicit
+// Workers > 1 always parallelizes. A variable so tests can force the
+// automatic path.
+var autoParallelMinPairs = 4096
+
+// resolveWorkers turns the Config.Workers knob into an effective worker
+// count for a pair of graphs with n1 x n2 vertices. At most n1-1 workers are
+// useful (there are n1-1 real rows; the reversed-direction engine has the
+// same vertex count).
+func resolveWorkers(cfg Config, n1, n2 int) int {
+	w := cfg.Workers
+	if w == 0 {
+		if n1*n2 < autoParallelMinPairs {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n1-1 {
+		w = n1 - 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forRows runs fn over the row range [lo, hi), split across the engine's
+// pool when it has one and inline otherwise. The worker index selects
+// per-worker scratch; results must be written to per-row or per-worker
+// locations so that any partition yields bit-identical results (see
+// DESIGN.md on the parallel engine).
+func (e *dirEngine) forRows(lo, hi int, fn func(w, lo, hi int)) {
+	if e.pool == nil {
+		fn(0, lo, hi)
+		return
+	}
+	e.pool.run(lo, hi, fn)
+}

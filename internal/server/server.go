@@ -26,6 +26,14 @@ import (
 type Config struct {
 	// Workers bounds concurrent match computations; <= 0 uses GOMAXPROCS.
 	Workers int
+	// EngineWorkers is the per-job worker budget of the core iteration
+	// engine (ems.WithWorkers): each running job may split its similarity
+	// rounds across this many goroutines. 0 derives it from the machine
+	// budget as max(1, GOMAXPROCS/Workers), so the job pool and the engine
+	// pool compose to roughly GOMAXPROCS total instead of multiplying.
+	// Negative forces the serial engine. Engine workers never change
+	// results, so the result cache is shared across settings.
+	EngineWorkers int
 	// CacheSize bounds the result cache (entries); 0 uses the default
 	// (128), negative disables caching.
 	CacheSize int
@@ -76,6 +84,14 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.EngineWorkers == 0 {
+		if cfg.EngineWorkers = runtime.GOMAXPROCS(0) / cfg.Workers; cfg.EngineWorkers < 1 {
+			cfg.EngineWorkers = 1
+		}
+	}
+	if cfg.EngineWorkers < 0 {
+		cfg.EngineWorkers = 1
+	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 128
 	}
@@ -122,6 +138,10 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		s.metrics.Rejected()
 		return nil, &requestError{err}
 	}
+	// The engine-worker budget is appended after the cache key is derived:
+	// worker counts never change results, so jobs submitted under different
+	// budgets still coalesce and share cache entries.
+	opts = append(opts, ems.WithWorkers(s.cfg.EngineWorkers))
 	key := CacheKey(l1, l2, optKey)
 
 	s.mu.Lock()

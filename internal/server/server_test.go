@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -461,5 +462,61 @@ func writeLogFile(t *testing.T, path string, l *ems.Log) {
 	}
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineWorkersBudget checks the pool-composition defaults: the per-job
+// engine budget derives from GOMAXPROCS/Workers so daemon and engine
+// parallelism compose instead of multiplying.
+func TestEngineWorkersBudget(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	s := New(Config{Workers: procs})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	if s.cfg.EngineWorkers != 1 {
+		t.Errorf("EngineWorkers = %d with a saturated job pool, want 1", s.cfg.EngineWorkers)
+	}
+	s2 := New(Config{Workers: 1})
+	t.Cleanup(func() { _ = s2.Shutdown(context.Background()) })
+	if s2.cfg.EngineWorkers != procs {
+		t.Errorf("EngineWorkers = %d with a single-job pool, want %d", s2.cfg.EngineWorkers, procs)
+	}
+	s3 := New(Config{Workers: 2, EngineWorkers: -1})
+	t.Cleanup(func() { _ = s3.Shutdown(context.Background()) })
+	if s3.cfg.EngineWorkers != 1 {
+		t.Errorf("EngineWorkers = %d with forced serial, want 1", s3.cfg.EngineWorkers)
+	}
+}
+
+// TestEngineWorkersResultsIdentical runs the same job on a serial-engine and
+// a parallel-engine server; the results must match exactly, and the second
+// server's cache must still be keyed identically (engine workers are not
+// part of the content key).
+func TestEngineWorkersResultsIdentical(t *testing.T) {
+	_, tsSerial := newTestServer(t, Config{Workers: 1, EngineWorkers: -1})
+	_, tsPar := newTestServer(t, Config{Workers: 1, EngineWorkers: 4})
+	req := JobRequest{
+		Log1: LogInput{Name: "L1", CSV: logCSV(t, permLog(12, 30, "a", 1))},
+		Log2: LogInput{Name: "L2", CSV: logCSV(t, permLog(12, 30, "b", 2))},
+	}
+	vs, _ := postJob(t, tsSerial, req)
+	vp, _ := postJob(t, tsPar, req)
+	if f := pollJob(t, tsSerial, vs.ID); f.Status != StatusDone {
+		t.Fatalf("serial job ended %s: %s", f.Status, f.Error)
+	}
+	if f := pollJob(t, tsPar, vp.ID); f.Status != StatusDone {
+		t.Fatalf("parallel job ended %s: %s", f.Status, f.Error)
+	}
+	rs := fetchResult(t, tsSerial, vs.ID)
+	rp := fetchResult(t, tsPar, vp.ID)
+	if len(rs.Sim) != len(rp.Sim) {
+		t.Fatalf("matrix sizes differ: %d vs %d", len(rs.Sim), len(rp.Sim))
+	}
+	for i := range rs.Sim {
+		if rs.Sim[i] != rp.Sim[i] {
+			t.Fatalf("engine workers changed similarity at %d: %x vs %x", i, rs.Sim[i], rp.Sim[i])
+		}
+	}
+	if rs.Evaluations != rp.Evaluations || rs.Rounds != rp.Rounds {
+		t.Errorf("counters differ: evals %d/%d rounds %d/%d", rs.Evaluations, rp.Evaluations, rs.Rounds, rp.Rounds)
 	}
 }
