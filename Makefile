@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench fuzz-smoke bench-core
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core
 
 all: check
 
@@ -16,10 +16,28 @@ test:
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./...
+# Race tests get an explicit budget: a deadlock in the cancellation or
+# shutdown paths should fail the build, not hang it.
+RACE_TIMEOUT ?= 10m
 
-check: vet race
+race:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
+
+# Static analysis beyond vet. staticcheck and govulncheck are optional
+# locally (skipped with a note when absent); CI installs both.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping"; \
+	fi
+
+check: vet lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	emsd [-addr :8484] [-workers N] [-engine-workers N] [-cache N] [-allow-paths]
+//	     [-job-timeout D] [-max-job-timeout D] [-max-queue-depth N]
 //
 // Submit a job, poll it, fetch the result:
 //
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -42,7 +44,10 @@ func main() {
 		cacheSize  = flag.Int("cache", 128, "result cache capacity in entries (-1 disables)")
 		maxJobs    = flag.Int("max-jobs", 10000, "job registry retention bound")
 		allowPaths = flag.Bool("allow-paths", false, "allow jobs to read logs from server-local file paths")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout; stragglers are interrupted in-engine afterwards")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job wall-clock deadline (0 = none); requests may override via options.timeout_ms")
+		maxTimeout = flag.Duration("max-job-timeout", 0, "hard cap on every job deadline, including requests that ask for none (0 = no cap)")
+		maxQueue   = flag.Int("max-queue-depth", 0, "shed submissions once this many jobs are queued (0 = unbounded)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -58,6 +63,9 @@ func main() {
 		CacheSize:     *cacheSize,
 		MaxJobs:       *maxJobs,
 		AllowPaths:    *allowPaths,
+		JobTimeout:    *jobTimeout,
+		MaxJobTimeout: *maxTimeout,
+		MaxQueueDepth: *maxQueue,
 	}
 	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "emsd:", err)
@@ -69,6 +77,9 @@ func main() {
 // intake stops, queued jobs are cancelled, running jobs get up to the drain
 // timeout to finish while the HTTP listener keeps answering polls.
 func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.Duration, logw io.Writer) error {
+	if cfg.Log == nil {
+		cfg.Log = log.New(logw, "", log.LstdFlags)
+	}
 	s := server.New(cfg)
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)

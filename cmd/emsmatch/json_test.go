@@ -11,7 +11,7 @@ import (
 func TestRunWritesJSON(t *testing.T) {
 	p1, p2 := writePairFiles(t)
 	out := filepath.Join(t.TempDir(), "result.json")
-	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, false, out, 2); err != nil {
+	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, false, out, 2, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)

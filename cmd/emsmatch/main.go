@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/ems"
 )
@@ -34,6 +35,7 @@ func main() {
 		matrix     = flag.Bool("matrix", false, "print the full similarity matrix")
 		outJSON    = flag.String("o", "", "also write the full result as JSON to this file")
 		workers    = flag.Int("workers", 0, "iteration-engine goroutines (0 = auto, 1 = serial; results identical)")
+		timeout    = flag.Duration("timeout", 0, "abort the match after this wall-clock budget (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -50,7 +52,7 @@ func main() {
 		}
 	})
 	if err := run(flag.Arg(0), flag.Arg(1), *format, resolveAlpha(*alpha, alphaSet, *useLabels), *useLabels, *estimate,
-		*minFreq, *threshold, *compositeF, *delta, *matrix, *outJSON, *workers); err != nil {
+		*minFreq, *threshold, *compositeF, *delta, *matrix, *outJSON, *workers, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "emsmatch:", err)
 		os.Exit(1)
 	}
@@ -67,7 +69,8 @@ func resolveAlpha(alpha float64, alphaSet, useLabels bool) float64 {
 }
 
 func run(path1, path2, format string, alpha float64, useLabels bool, estimate int,
-	minFreq, threshold float64, compositeMatch bool, delta float64, matrix bool, outJSON string, workers int) error {
+	minFreq, threshold float64, compositeMatch bool, delta float64, matrix bool, outJSON string,
+	workers int, timeout time.Duration) error {
 	l1, err := readLog(path1, format)
 	if err != nil {
 		return err
@@ -88,6 +91,9 @@ func run(path1, path2, format string, alpha float64, useLabels bool, estimate in
 	opts = append(opts, ems.WithAlpha(alpha))
 	if estimate >= 0 {
 		opts = append(opts, ems.WithEstimation(estimate))
+	}
+	if timeout > 0 {
+		opts = append(opts, ems.WithTimeout(timeout))
 	}
 	var res *ems.Result
 	if compositeMatch {

@@ -29,21 +29,21 @@ func writePairFiles(t *testing.T) (string, string) {
 
 func TestRunPlainMatch(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, false, 0.005, false, "", 0); err != nil {
+	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunCompositeWithMatrix(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, true, "", 0); err != nil {
+	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, true, "", 0, 0); err != nil {
 		t.Fatalf("run composite: %v", err)
 	}
 }
 
 func TestRunLabelsAndEstimate(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run(p1, p2, "csv", 1.0, true, 3, 0.05, 0.1, false, 0.005, false, "", 0); err != nil {
+	if err := run(p1, p2, "csv", 1.0, true, 3, 0.05, 0.1, false, 0.005, false, "", 0, 0); err != nil {
 		t.Fatalf("run labels: %v", err)
 	}
 }
@@ -62,7 +62,7 @@ func TestRunXMLFormat(t *testing.T) {
 		}
 		f.Close()
 	}
-	if err := run(p1, p2, "xml", 1.0, false, -1, 0, 0.1, false, 0.005, false, "", 0); err != nil {
+	if err := run(p1, p2, "xml", 1.0, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err != nil {
 		t.Fatalf("run xml: %v", err)
 	}
 }
@@ -93,13 +93,13 @@ func TestResolveAlpha(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run("nonexistent.csv", p2, "csv", 1, false, -1, 0, 0.1, false, 0.005, false, "", 0); err == nil {
+	if err := run("nonexistent.csv", p2, "csv", 1, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err == nil {
 		t.Errorf("missing file accepted")
 	}
-	if err := run(p1, p2, "bogus", 1, false, -1, 0, 0.1, false, 0.005, false, "", 0); err == nil {
+	if err := run(p1, p2, "bogus", 1, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err == nil {
 		t.Errorf("unknown format accepted")
 	}
-	if err := run(p1, p2, "csv", 7, false, -1, 0, 0.1, false, 0.005, false, "", 0); err == nil {
+	if err := run(p1, p2, "csv", 7, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err == nil {
 		t.Errorf("invalid alpha accepted")
 	}
 }

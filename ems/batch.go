@@ -34,8 +34,11 @@ func MatchAll(pairs []PairInput, workers int, compositeMatch bool, opts ...Optio
 
 // MatchAllContext is MatchAll with cancellation: pairs not yet started when
 // ctx is cancelled are skipped and reported with an error wrapping
-// ctx.Err(), while pairs already being matched run to completion — the
-// drain semantics a long-running service needs for graceful shutdown.
+// ctx.Err(), and pairs already being matched abort within one iteration
+// round (their error satisfies errors.Is(err, ErrStopped)) — the drain
+// semantics a long-running service needs for prompt graceful shutdown. A
+// panic while matching one pair is contained to that pair and reported as
+// its error; the other pairs are unaffected.
 func MatchAllContext(ctx context.Context, pairs []PairInput, workers int, compositeMatch bool, opts ...Option) []PairOutput {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -47,6 +50,10 @@ func MatchAllContext(ctx context.Context, pairs []PairInput, workers int, compos
 	if len(pairs) == 0 {
 		return out
 	}
+	// The batch context is prepended so an explicit WithContext among the
+	// caller's options still takes precedence, while every pair without one
+	// aborts mid-computation when ctx is cancelled.
+	opts = append([]Option{WithContext(ctx)}, opts...)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -54,19 +61,7 @@ func MatchAllContext(ctx context.Context, pairs []PairInput, workers int, compos
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				p := pairs[i]
-				var res *Result
-				var err error
-				if ctx.Err() != nil {
-					err = fmt.Errorf("ems: pair %q not matched: %w", p.Name, ctx.Err())
-				} else if p.Log1 == nil || p.Log2 == nil {
-					err = fmt.Errorf("ems: pair %q has a nil log", p.Name)
-				} else if compositeMatch {
-					res, err = MatchComposite(p.Log1, p.Log2, opts...)
-				} else {
-					res, err = Match(p.Log1, p.Log2, opts...)
-				}
-				out[i] = PairOutput{Name: p.Name, Result: res, Err: err}
+				out[i] = matchPair(ctx, pairs[i], compositeMatch, opts)
 			}
 		}()
 	}
@@ -87,6 +82,30 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	return out
+}
+
+// matchPair matches one batch pair, containing a panic in the underlying
+// computation to this pair's output so the rest of the batch (and the
+// calling process) survives.
+func matchPair(ctx context.Context, p PairInput, compositeMatch bool, opts []Option) (out PairOutput) {
+	out.Name = p.Name
+	defer func() {
+		if r := recover(); r != nil {
+			out.Result = nil
+			out.Err = fmt.Errorf("ems: pair %q panicked: %v", p.Name, r)
+		}
+	}()
+	switch {
+	case ctx.Err() != nil:
+		out.Err = fmt.Errorf("ems: pair %q not matched: %w", p.Name, ctx.Err())
+	case p.Log1 == nil || p.Log2 == nil:
+		out.Err = fmt.Errorf("ems: pair %q has a nil log", p.Name)
+	case compositeMatch:
+		out.Result, out.Err = MatchComposite(p.Log1, p.Log2, opts...)
+	default:
+		out.Result, out.Err = Match(p.Log1, p.Log2, opts...)
+	}
 	return out
 }
 

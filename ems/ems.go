@@ -48,6 +48,12 @@ type Quality = matching.Quality
 // [0, 1].
 type LabelSimilarity = label.Similarity
 
+// ErrStopped is the sentinel matched (via errors.Is) by every error a match
+// call returns when it was aborted by WithContext cancellation or a
+// WithTimeout deadline. errors.Unwrap-ing such an error (or errors.Is with
+// context.Canceled / context.DeadlineExceeded) reveals the cause.
+var ErrStopped = core.ErrStopped
+
 // Direction selects forward, backward, or averaged similarity propagation.
 type Direction = core.Direction
 
@@ -187,6 +193,7 @@ func Match(log1, log2 *Log, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer o.armStop()()
 	g1, err := buildGraph(log1, o)
 	if err != nil {
 		return nil, err
@@ -212,6 +219,7 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer o.armStop()()
 	c1 := composite.Discover(log1, o.discover)
 	c2 := composite.Discover(log2, o.discover)
 	ccfg := composite.Config{

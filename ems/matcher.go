@@ -63,6 +63,7 @@ func (m *Matcher) Rematch() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer o.armStop()()
 	g1, err := buildGraph(m.log1, o)
 	if err != nil {
 		return nil, err
@@ -82,8 +83,13 @@ func (m *Matcher) Rematch() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	comp.Run()
-	cr := comp.Result()
+	if err := comp.Run(); err != nil {
+		return nil, err
+	}
+	cr, err := comp.Result()
+	if err != nil {
+		return nil, err
+	}
 	m.prev = cr
 	return assemble(cr, nil, nil, o)
 }

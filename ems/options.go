@@ -1,7 +1,9 @@
 package ems
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/composite"
 	"repro/internal/core"
@@ -15,12 +17,35 @@ type options struct {
 	selectionThreshold float64
 	strategy           matching.Strategy
 	markov             bool
+	// cancellation
+	ctx     context.Context
+	timeout time.Duration
 	// composite matching
 	discover      composite.DiscoverOptions
 	delta         float64
 	maxMergeSteps int
 	useUnchanged  bool
 	useBounds     bool
+}
+
+// armStop installs the cooperative-cancellation hook derived from
+// WithContext and WithTimeout onto the similarity config and returns a
+// release function the match call must defer; the release stops the timeout
+// timer (if any) so abandoned deadlines do not linger.
+func (o *options) armStop() (release func()) {
+	ctx := o.ctx
+	if ctx == nil {
+		if o.timeout <= 0 {
+			return func() {}
+		}
+		ctx = context.Background()
+	}
+	cancel := func() {}
+	if o.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+	}
+	o.sim.Stop = ctx.Err
+	return cancel
 }
 
 // Option customizes Match and MatchComposite.
@@ -141,6 +166,36 @@ func WithWorkers(n int) Option {
 			return fmt.Errorf("ems: workers must be >= 0, got %d", n)
 		}
 		o.sim.Workers = n
+		return nil
+	}
+}
+
+// WithContext makes the match call honor the context: cancellation is
+// checked once per iteration round and once per row-chunk inside the
+// parallel workers, so a running computation aborts within one round. The
+// call then returns an error satisfying errors.Is(err, ErrStopped) that also
+// wraps the context's cause (e.g. context.Canceled). The context never
+// changes the numbers of a run it does not abort.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) error {
+		if ctx == nil {
+			return fmt.Errorf("ems: context must not be nil")
+		}
+		o.ctx = ctx
+		return nil
+	}
+}
+
+// WithTimeout aborts the match call once the given wall-clock budget is
+// spent, counted from the start of the call. It composes with WithContext:
+// whichever expires first stops the computation. The returned error wraps
+// both ErrStopped and context.DeadlineExceeded.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("ems: timeout must be > 0, got %v", d)
+		}
+		o.timeout = d
 		return nil
 	}
 }

@@ -59,8 +59,13 @@ func TestExample8UnchangedSimilarities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp.Run()
-	res := comp.Result()
+	if err := comp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := comp.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range []string{"A", "B", "C", "D"} {
 		for _, u := range []string{"1", "2", "3", "4", "5", "6"} {
 			b, _ := base.Lookup(v, u)

@@ -103,6 +103,13 @@ func Greedy(l1, l2 *eventlog.Log, cands1, cands2 []Candidate, cfg Config) (*Resu
 		}
 		var b *best
 		bestAvg := base.Avg() + cfg.Delta
+		// The candidate loop can be long; honor the cancellation hook between
+		// candidate evaluations too, not only inside the engine rounds.
+		if cfg.Sim.Stop != nil {
+			if cause := cfg.Sim.Stop(); cause != nil {
+				return nil, &core.StopError{Cause: cause}
+			}
+		}
 		try := func(side int, cand Candidate, curLog *eventlog.Log, curG, otherG *depgraph.Graph) error {
 			merged := curLog.MergeConsecutive(cand.Events, JoinName(cand.Events))
 			mg, err := buildGraph(merged, cfg.MinFrequency)
@@ -130,20 +137,34 @@ func Greedy(l1, l2 *eventlog.Log, cands1, cands2 []Candidate, cfg Config) (*Resu
 				// only every few rounds once the geometric slack has had a
 				// chance to shrink.
 				for round := 1; ; round++ {
-					done := comp.Step()
-					if round >= 4 && round%3 == 1 && comp.AvgUpperBound() < bestAvg {
-						res.Stats.CandidatesAborted++
-						res.Stats.Evaluations += comp.Evaluations()
-						return nil
+					done, err := comp.Step()
+					if err != nil {
+						return err
+					}
+					if round >= 4 && round%3 == 1 {
+						ub, err := comp.AvgUpperBound()
+						if err != nil {
+							return err
+						}
+						if ub < bestAvg {
+							res.Stats.CandidatesAborted++
+							res.Stats.Evaluations += comp.Evaluations()
+							return nil
+						}
 					}
 					if done {
 						break
 					}
 				}
 			} else {
-				comp.Run()
+				if err := comp.Run(); err != nil {
+					return err
+				}
 			}
-			r := comp.Result()
+			r, err := comp.Result()
+			if err != nil {
+				return err
+			}
 			res.Stats.Evaluations += r.Evaluations
 			if avg := r.Avg(); avg >= bestAvg {
 				bestAvg = avg

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/depgraph"
 )
@@ -81,14 +82,17 @@ func nameIndex(names []string) map[string]int {
 
 // Compute runs the full similarity computation between two dependency
 // graphs (which must carry the artificial event) and returns the result.
-// It is the one-shot form of Computation.
+// It is the one-shot form of Computation. When cfg.Stop aborts the run, the
+// error wraps ErrStopped and the hook's cause.
 func Compute(g1, g2 *depgraph.Graph, cfg Config) (*Result, error) {
 	c, err := NewComputation(g1, g2, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	c.Run()
-	return c.Result(), nil
+	if err := c.Run(); err != nil {
+		return nil, err
+	}
+	return c.Result()
 }
 
 // Seed carries previously computed similarities, keyed by event names.
@@ -203,10 +207,11 @@ func applySeed(e *dirEngine, g1, g2 *depgraph.Graph, values map[string]map[strin
 
 // Step performs one iteration round in every direction and reports whether
 // the computation has finished. Calling Step after completion is a no-op
-// that returns true.
-func (c *Computation) Step() (done bool) {
+// that returns true. A non-nil error wraps ErrStopped: the stop hook aborted
+// the round and the computation must not be used further.
+func (c *Computation) Step() (done bool, err error) {
 	if c.finished() {
-		return true
+		return true, nil
 	}
 	limit := c.cfg.MaxRounds
 	if c.cfg.EstimateI >= 0 && c.cfg.EstimateI < limit {
@@ -217,61 +222,88 @@ func (c *Computation) Step() (done bool) {
 		if e.converged || e.round >= limit {
 			continue
 		}
-		delta := e.step()
+		delta, err := e.step()
+		if err != nil {
+			return false, err
+		}
 		if !e.doneAfter(delta) && e.round < limit {
 			done = false
 		}
 	}
-	return done
+	return done, nil
 }
 
 // Finish completes the computation: any remaining exact rounds are skipped
 // and, in estimation mode, the closed-form estimate is applied. Use it after
 // deciding not to abort a stepwise computation.
-func (c *Computation) Finish() {
+func (c *Computation) Finish() error {
 	if c.cfg.EstimateI >= 0 {
 		for _, e := range c.engines() {
 			if !e.converged {
-				e.estimate()
+				if err := e.estimate(); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // Run iterates every direction to completion (including estimation when
 // configured). The two directions are independent fixpoints, so with
-// Direction == Both they run concurrently.
-func (c *Computation) Run() {
+// Direction == Both they run concurrently. A panic on a direction goroutine
+// is re-raised here as an *EnginePanic so callers can contain it; a stop
+// requested through Config.Stop surfaces as an error wrapping ErrStopped.
+func (c *Computation) Run() error {
 	engines := c.engines()
 	if len(engines) == 1 {
-		engines[0].run()
-		return
+		return engines[0].run()
 	}
 	var wg sync.WaitGroup
-	for _, e := range engines {
+	var panicked atomic.Pointer[EnginePanic]
+	errs := make([]error, len(engines))
+	for i, e := range engines {
 		wg.Add(1)
-		go func(e *dirEngine) {
+		go func(i int, e *dirEngine) {
 			defer wg.Done()
-			e.run()
-		}(e)
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, asEnginePanic(r))
+				}
+			}()
+			errs[i] = e.run()
+		}(i, e)
 	}
 	wg.Wait()
+	if ep := panicked.Load(); ep != nil {
+		panic(ep)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AvgUpperBound returns an upper bound on the average similarity over all
 // real event pairs, given the rounds performed so far (Proposition 6 /
 // Corollary 7). With Direction == Both it is the average of the two
 // per-direction bounds, which bounds the average of the two averages.
-func (c *Computation) AvgUpperBound() float64 {
+func (c *Computation) AvgUpperBound() (float64, error) {
 	if c.realPairs == 0 {
-		return 0
+		return 0, nil
 	}
 	var sum float64
 	engines := c.engines()
 	for _, e := range engines {
-		sum += e.upperBoundSum()
+		s, err := e.upperBoundSum()
+		if err != nil {
+			return 0, err
+		}
+		sum += s
 	}
-	return sum / float64(len(engines)) / float64(c.realPairs)
+	return sum / float64(len(engines)) / float64(c.realPairs), nil
 }
 
 // Evaluations returns the number of formula-(1) evaluations so far.
@@ -284,9 +316,18 @@ func (c *Computation) Evaluations() int {
 }
 
 // Result assembles the current similarity matrices. In estimation mode the
-// estimate is applied first if pending.
-func (c *Computation) Result() *Result {
-	c.Finish()
+// estimate is applied first if pending. Once any direction engine has been
+// stopped, Result refuses to publish the partial matrices and returns the
+// latched stop error instead.
+func (c *Computation) Result() (*Result, error) {
+	for _, e := range c.engines() {
+		if err := e.stopErr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finish(); err != nil {
+		return nil, err
+	}
 	r := &Result{
 		Names1:      c.names1,
 		Names2:      c.names2,
@@ -318,7 +359,7 @@ func (c *Computation) Result() *Result {
 			r.Sim[i] = (r.Forward[i] + r.Backward[i]) / 2
 		}
 	}
-	return r
+	return r, nil
 }
 
 func (c *Computation) engines() []*dirEngine {

@@ -88,6 +88,16 @@ type Config struct {
 	// instances; 1 forces the serial path. Rounds are Jacobi updates over
 	// the previous matrix, so results are bit-identical for every value.
 	Workers int
+	// Stop, when non-nil, is the cooperative cancellation hook: the engine
+	// consults it once per iteration round and once per row-chunk inside the
+	// parallel workers — at the same sites in the label-matrix and
+	// agreement-cache builds, the estimation pass and the upper-bound sums.
+	// The first non-nil return aborts the computation with a *StopError
+	// wrapping the returned cause; a typical hook is ctx.Err. It is called
+	// from multiple goroutines and must be safe for concurrent use. The hook
+	// never alters the numbers of runs it does not abort: uncancelled
+	// computations stay bit-identical at every worker count.
+	Stop func() error
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

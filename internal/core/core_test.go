@@ -321,15 +321,26 @@ func TestUpperBoundSound(t *testing.T) {
 		t.Fatalf("NewComputation: %v", err)
 	}
 	for i := 0; i < 50; i++ {
-		ub := comp.AvgUpperBound()
+		ub, err := comp.AvgUpperBound()
+		if err != nil {
+			t.Fatalf("AvgUpperBound: %v", err)
+		}
 		if ub < want-1e-9 {
 			t.Fatalf("round %d: upper bound %.6f below final average %.6f", i, ub, want)
 		}
-		if comp.Step() {
+		done, err := comp.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
 			break
 		}
 	}
-	got := comp.Result().Avg()
+	res, err := comp.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	got := res.Avg()
 	if math.Abs(got-want) > 1e-9 {
 		t.Errorf("stepwise result %.6f differs from one-shot %.6f", got, want)
 	}
@@ -342,10 +353,19 @@ func TestUpperBoundTightens(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewComputation: %v", err)
 	}
-	prev := comp.AvgUpperBound()
+	prev, err := comp.AvgUpperBound()
+	if err != nil {
+		t.Fatalf("AvgUpperBound: %v", err)
+	}
 	for i := 0; i < 20; i++ {
-		done := comp.Step()
-		ub := comp.AvgUpperBound()
+		done, err := comp.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		ub, err := comp.AvgUpperBound()
+		if err != nil {
+			t.Fatalf("AvgUpperBound: %v", err)
+		}
 		if ub > prev+1e-9 {
 			t.Fatalf("upper bound grew from %.6f to %.6f at round %d", prev, ub, i+1)
 		}
@@ -367,8 +387,13 @@ func TestSeedFreezesPairs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewComputation: %v", err)
 	}
-	comp.Run()
-	r := comp.Result()
+	if err := comp.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r, err := comp.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
 	fwd, _ := lookupIn(r.Names1, r.Names2, r.Forward, "A", "1")
 	if math.Abs(fwd-0.123) > 1e-12 {
 		t.Errorf("seeded forward value changed: %g", fwd)

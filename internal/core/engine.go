@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/depgraph"
 )
@@ -54,6 +55,11 @@ type dirEngine struct {
 	// index order makes the bound independent of the partition too.
 	rowSum []float64
 
+	// stopped latches the first StopError observed by any goroutine of this
+	// engine; once set, every later check returns it without re-invoking the
+	// hook, and partially written matrices are never published.
+	stopped atomic.Pointer[StopError]
+
 	round     int
 	evals     int // number of formula-(1) evaluations performed
 	converged bool
@@ -101,6 +107,9 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 	sim := cfg.labels()
 	if cfg.Alpha < 1 {
 		e.forRows(1, e.n1, func(w, lo, hi int) {
+			if e.checkStop() != nil {
+				return
+			}
 			for i := lo; i < hi; i++ {
 				for j := 1; j < e.n2; j++ {
 					e.lab[i*e.n2+j] = sim(g1.Names[i], g2.Names[j])
@@ -122,7 +131,38 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 	}
 	e.bound = convergenceBound(l1, l2)
 	e.buildAgreementCache()
+	if err := e.stopErr(); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// checkStop consults the cooperative stop hook. The first non-nil cause is
+// latched so every later check — from any worker goroutine — returns the
+// same typed error without re-invoking the hook. It is called once per round
+// and once per row-chunk; a stopped chunk simply returns, leaving matrices
+// partially written, which is safe because a stopped computation only ever
+// propagates the error and never publishes results.
+func (e *dirEngine) checkStop() error {
+	if p := e.stopped.Load(); p != nil {
+		return p
+	}
+	if e.cfg.Stop == nil {
+		return nil
+	}
+	if cause := e.cfg.Stop(); cause != nil {
+		e.stopped.CompareAndSwap(nil, &StopError{Cause: cause})
+		return e.stopped.Load()
+	}
+	return nil
+}
+
+// stopErr returns the latched stop error without consulting the hook.
+func (e *dirEngine) stopErr() error {
+	if p := e.stopped.Load(); p != nil {
+		return p
+	}
+	return nil
 }
 
 // agreeCacheLimit caps the total number of cached agreement factors
@@ -138,6 +178,9 @@ func (e *dirEngine) buildAgreementCache() {
 	}
 	e.agree = make([][]float64, e.n1*e.n2)
 	e.forRows(1, e.n1, func(w, lo, hi int) {
+		if e.checkStop() != nil {
+			return
+		}
 		for v1 := lo; v1 < hi; v1++ {
 			pre1 := e.g1.Pre[v1]
 			for v2 := 1; v2 < e.n2; v2++ {
@@ -267,7 +310,9 @@ func (e *dirEngine) oneSides(v1, v2, w int) (s12, s21 float64) {
 
 // step performs one iteration round (formula (1)) over all non-frozen real
 // pairs and returns the maximum absolute change. When pruning is enabled,
-// pairs already past their convergence bound are skipped.
+// pairs already past their convergence bound are skipped. A stop requested
+// via Config.Stop aborts the round — checked once at round start and once
+// per row-chunk — and returns the latched StopError.
 //
 // The round is a Jacobi update: every pair reads only the immutable prev
 // matrix, so rows are distributed over the worker pool. Within a row the
@@ -275,14 +320,21 @@ func (e *dirEngine) oneSides(v1, v2, w int) (s12, s21 float64) {
 // are disjoint, and the cross-row reductions (max increment, evaluation
 // count) are order-independent — results are bit-identical for any worker
 // count.
-func (e *dirEngine) step() float64 {
+func (e *dirEngine) step() (float64, error) {
 	e.round++
+	fireFailpoint(e.round)
+	if err := e.checkStop(); err != nil {
+		return 0, err
+	}
 	copy(e.prev, e.cur)
 	for w := 0; w < e.workers; w++ {
 		e.deltaW[w] = 0
 		e.evalW[w] = 0
 	}
 	e.forRows(1, e.n1, func(w, lo, hi int) {
+		if e.checkStop() != nil {
+			return
+		}
 		var maxDelta float64
 		evals := 0
 		for v1 := lo; v1 < hi; v1++ {
@@ -309,6 +361,9 @@ func (e *dirEngine) step() float64 {
 		}
 		e.evalW[w] += evals
 	})
+	if err := e.stopErr(); err != nil {
+		return 0, err
+	}
 	var maxDelta float64
 	for _, d := range e.deltaW {
 		if d > maxDelta {
@@ -319,7 +374,7 @@ func (e *dirEngine) step() float64 {
 		e.evals += n
 	}
 	e.lastDelta = maxDelta
-	return maxDelta
+	return maxDelta, nil
 }
 
 // done reports whether iteration may stop: epsilon convergence, the
@@ -337,21 +392,26 @@ func (e *dirEngine) doneAfter(delta float64) bool {
 }
 
 // run iterates to completion, honoring the exact/estimation trade-off when
-// cfg.EstimateI >= 0 (Algorithm 1).
-func (e *dirEngine) run() {
+// cfg.EstimateI >= 0 (Algorithm 1). It returns the StopError when the
+// computation was aborted through Config.Stop.
+func (e *dirEngine) run() error {
 	limit := e.cfg.MaxRounds
 	if e.cfg.EstimateI >= 0 && e.cfg.EstimateI < limit {
 		limit = e.cfg.EstimateI
 	}
 	for e.round < limit {
-		delta := e.step()
+		delta, err := e.step()
+		if err != nil {
+			return err
+		}
 		if e.doneAfter(delta) {
 			break
 		}
 	}
 	if e.cfg.EstimateI >= 0 && !e.converged {
-		e.estimate()
+		return e.estimate()
 	}
+	return nil
 }
 
 // estimate applies the closed-form estimation of Section 3.5 to every pair
@@ -369,15 +429,21 @@ func (e *dirEngine) run() {
 // observed step a = S^I - q*S^(I-1) instead of assuming every edge
 // agreement reaches its maximum c — the fitted recurrence has the same
 // closed form and converges to the exact similarity as I grows.
-func (e *dirEngine) estimate() {
+func (e *dirEngine) estimate() error {
 	if e.estimated {
-		return
+		return e.stopErr()
 	}
 	e.estimated = true
+	if err := e.checkStop(); err != nil {
+		return err
+	}
 	I := e.round
 	// Each pair's estimate depends only on its own cur/prev entries, so the
 	// rows parallelize like step().
 	e.forRows(1, e.n1, func(w, lo, hi int) {
+		if e.checkStop() != nil {
+			return
+		}
 		for v1 := lo; v1 < hi; v1++ {
 			for v2 := 1; v2 < e.n2; v2++ {
 				idx := v1*e.n2 + v2
@@ -410,6 +476,7 @@ func (e *dirEngine) estimate() {
 			}
 		}
 	})
+	return e.stopErr()
 }
 
 // estimationCoefficients returns (a, q) of formula (2) for the pair (v1,v2).
@@ -435,7 +502,10 @@ func (e *dirEngine) estimationCoefficients(v1, v2 int) (a, q float64) {
 // bounds after the current round k: S^k + ((ac)^k - (ac)^h)/(1-ac) with
 // h = min(l(v1), l(v2)) (Corollary 7), falling back to the unbounded form of
 // Proposition 6 when h is infinite, each clamped to 1.
-func (e *dirEngine) upperBoundSum() float64 {
+func (e *dirEngine) upperBoundSum() (float64, error) {
+	if err := e.checkStop(); err != nil {
+		return 0, err
+	}
 	ac := e.cfg.Alpha * e.cfg.C
 	k := float64(e.round)
 	ack := math.Pow(ac, k)
@@ -454,6 +524,9 @@ func (e *dirEngine) upperBoundSum() float64 {
 		e.rowSum = make([]float64, e.n1)
 	}
 	e.forRows(1, e.n1, func(w, lo, hi int) {
+		if e.checkStop() != nil {
+			return
+		}
 		for v1 := lo; v1 < hi; v1++ {
 			var sum float64
 			for v2 := 1; v2 < e.n2; v2++ {
@@ -485,11 +558,14 @@ func (e *dirEngine) upperBoundSum() float64 {
 			e.rowSum[v1] = sum
 		}
 	})
+	if err := e.stopErr(); err != nil {
+		return 0, err
+	}
 	var sum float64
 	for v1 := 1; v1 < e.n1; v1++ {
 		sum += e.rowSum[v1]
 	}
-	return sum
+	return sum, nil
 }
 
 // realMatrix extracts the similarity matrix restricted to real events

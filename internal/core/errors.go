@@ -1,0 +1,32 @@
+package core
+
+import "errors"
+
+// ErrStopped matches (via errors.Is) every StopError returned by a
+// computation that was aborted through Config.Stop. Use it to distinguish
+// cooperative cancellation from genuine engine failures; the concrete cause
+// (e.g. context.Canceled or context.DeadlineExceeded) remains reachable
+// through errors.Is as well, because StopError unwraps to it.
+var ErrStopped = errors.New("core: computation stopped")
+
+// StopError is the typed error an aborted computation returns: the stop hook
+// of Config.Stop reported a non-nil cause, the engine unwound within the
+// current round, and no result was produced.
+type StopError struct {
+	// Cause is the value the stop hook returned, typically a context error.
+	Cause error
+}
+
+// Error describes the abort including its cause.
+func (e *StopError) Error() string {
+	if e.Cause != nil {
+		return "core: computation stopped: " + e.Cause.Error()
+	}
+	return "core: computation stopped"
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *StopError) Unwrap() error { return e.Cause }
+
+// Is reports true for ErrStopped, so callers need not know the struct type.
+func (e *StopError) Is(target error) bool { return target == ErrStopped }

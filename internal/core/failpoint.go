@@ -1,0 +1,34 @@
+package core
+
+import "sync/atomic"
+
+// failpointFn is the testing-only per-round hook; see SetFailpoint.
+var failpointFn atomic.Pointer[func(round int)]
+
+// SetFailpoint installs a callback invoked at the start of every iteration
+// round of every direction engine with the 1-based round number. It exists
+// solely so tests can deterministically stall (sleep or block) or crash
+// (panic) the engine mid-computation and exercise the cancellation, deadline
+// and panic-containment paths; production code must never install one. The
+// returned function restores the previous hook; pass nil to clear.
+//
+// With Direction Both, or several computations in flight, the callback runs
+// concurrently from multiple goroutines and must be safe for concurrent use.
+func SetFailpoint(fn func(round int)) (restore func()) {
+	var p *func(round int)
+	if fn != nil {
+		p = &fn
+	}
+	old := failpointFn.Swap(p)
+	return func() { failpointFn.Store(old) }
+}
+
+// fireFailpoint invokes the installed failpoint, if any. It is called once
+// per round on each engine's coordinating goroutine, before the round's stop
+// check — so a stalling failpoint models a slow round that cancellation then
+// interrupts at the next check.
+func fireFailpoint(round int) {
+	if p := failpointFn.Load(); p != nil {
+		(*p)(round)
+	}
+}

@@ -1,15 +1,46 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// EnginePanic is the value re-panicked on the computation's caller goroutine
+// when a pool worker or direction goroutine panics. It preserves the original
+// panic value and the stack of the goroutine that actually failed, so a
+// recovering caller (e.g. the emsd job runner) can contain the fault and log
+// its true origin. Without this hand-off a panic on a pool goroutine would
+// crash the whole process before any caller-side recover could run.
+type EnginePanic struct {
+	// Val is the original panic value.
+	Val any
+	// Stack is the stack of the panicking goroutine, captured at recovery.
+	Stack []byte
+}
+
+// String renders the panic value followed by its originating stack.
+func (p *EnginePanic) String() string { return fmt.Sprintf("%v\n%s", p.Val, p.Stack) }
+
+// asEnginePanic wraps a recovered value, keeping an existing EnginePanic (and
+// with it the original stack) intact across nested hand-offs.
+func asEnginePanic(r any) *EnginePanic {
+	if ep, ok := r.(*EnginePanic); ok {
+		return ep
+	}
+	return &EnginePanic{Val: r, Stack: debug.Stack()}
+}
 
 // rowTask is one contiguous row range [lo, hi) handed to a pool worker.
 type rowTask struct {
 	fn     func(w, lo, hi int)
 	lo, hi int
 	wg     *sync.WaitGroup
+	// panicked collects the first panic of the submitting run call so it can
+	// be re-raised on the submitter's goroutine.
+	panicked *atomic.Pointer[EnginePanic]
 }
 
 // rowPool is a reusable set of worker goroutines that execute row-range
@@ -40,8 +71,7 @@ func newRowPool(workers int) *rowPool {
 		// finalizer below can run once the pool itself is unreachable.
 		go func(w int, tasks <-chan rowTask) {
 			for t := range tasks {
-				t.fn(w, t.lo, t.hi)
-				t.wg.Done()
+				runRowTask(w, t)
 			}
 		}(w, p.tasks)
 	}
@@ -49,9 +79,24 @@ func newRowPool(workers int) *rowPool {
 	return p
 }
 
+// runRowTask executes one chunk, converting a panic into a hand-off to the
+// submitting goroutine instead of crashing the process. The worker goroutine
+// itself survives, keeping the pool usable for the remaining chunks and
+// later rounds.
+func runRowTask(w int, t rowTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked.CompareAndSwap(nil, asEnginePanic(r))
+		}
+		t.wg.Done()
+	}()
+	t.fn(w, t.lo, t.hi)
+}
+
 // run partitions [lo, hi) into at most p.workers contiguous chunks and
 // blocks until every chunk has been processed. Chunk boundaries depend only
-// on the range and the worker count, never on scheduling.
+// on the range and the worker count, never on scheduling. A panic inside any
+// chunk is re-raised here, on the submitting goroutine, as an *EnginePanic.
 func (p *rowPool) run(lo, hi int, fn func(w, lo, hi int)) {
 	n := hi - lo
 	if n <= 0 {
@@ -62,11 +107,15 @@ func (p *rowPool) run(lo, hi int, fn func(w, lo, hi int)) {
 		chunks = n
 	}
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[EnginePanic]
 	wg.Add(chunks)
 	for i := 0; i < chunks; i++ {
-		p.tasks <- rowTask{fn: fn, lo: lo + i*n/chunks, hi: lo + (i+1)*n/chunks, wg: &wg}
+		p.tasks <- rowTask{fn: fn, lo: lo + i*n/chunks, hi: lo + (i+1)*n/chunks, wg: &wg, panicked: &panicked}
 	}
 	wg.Wait()
+	if ep := panicked.Load(); ep != nil {
+		panic(ep)
+	}
 }
 
 // autoParallelMinPairs is the matrix size (vertex pairs) below which

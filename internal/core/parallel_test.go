@@ -179,8 +179,14 @@ func TestParallelBitIdenticalSeeded(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewComputation workers=%d: %v", workers, err)
 		}
-		comp.Run()
-		return comp.Result()
+		if err := comp.Run(); err != nil {
+			t.Fatalf("Run workers=%d: %v", workers, err)
+		}
+		r, err := comp.Result()
+		if err != nil {
+			t.Fatalf("Result workers=%d: %v", workers, err)
+		}
+		return r
 	}
 	serial := run(1)
 	for _, workers := range []int{2, 8} {
@@ -206,11 +212,23 @@ func TestParallelStepwiseBitIdentical(t *testing.T) {
 		t.Fatalf("NewComputation parallel: %v", err)
 	}
 	for round := 1; round <= 100; round++ {
-		ds, dp := cs.Step(), cp.Step()
+		ds, errS := cs.Step()
+		dp, errP := cp.Step()
+		if errS != nil || errP != nil {
+			t.Fatalf("round %d: Step errors %v / %v", round, errS, errP)
+		}
 		if ds != dp {
 			t.Fatalf("round %d: done %v != serial %v", round, dp, ds)
 		}
-		if us, up := cs.AvgUpperBound(), cp.AvgUpperBound(); us != up {
+		us, err := cs.AvgUpperBound()
+		if err != nil {
+			t.Fatalf("round %d: serial AvgUpperBound: %v", round, err)
+		}
+		up, err := cp.AvgUpperBound()
+		if err != nil {
+			t.Fatalf("round %d: parallel AvgUpperBound: %v", round, err)
+		}
+		if us != up {
 			t.Fatalf("round %d: AvgUpperBound %x != serial %x", round, up, us)
 		}
 		if cs.Evaluations() != cp.Evaluations() {
@@ -220,7 +238,15 @@ func TestParallelStepwiseBitIdentical(t *testing.T) {
 			break
 		}
 	}
-	requireBitIdentical(t, cs.Result(), cp.Result(), "stepwise")
+	rs, err := cs.Result()
+	if err != nil {
+		t.Fatalf("serial Result: %v", err)
+	}
+	rp, err := cp.Result()
+	if err != nil {
+		t.Fatalf("parallel Result: %v", err)
+	}
+	requireBitIdentical(t, rs, rp, "stepwise")
 }
 
 // TestParallelWithoutAgreementCache forces the uncached edge-agreement

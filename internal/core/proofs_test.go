@@ -120,8 +120,13 @@ func TestTheorem1UniquenessFromDifferentStarts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp.Run()
-	r := comp.Result()
+	if err := comp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := comp.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range r.Sim {
 		if math.Abs(r.Sim[i]-exact.Sim[i]) > 1e-3 {
 			t.Fatalf("seeded fixpoint differs at %d: %g vs %g", i, r.Sim[i], exact.Sim[i])
@@ -196,7 +201,11 @@ func TestUpperBoundDominatesPairwise(t *testing.T) {
 				}
 			}
 		}
-		if comp.Step() {
+		done, err := comp.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
 			break
 		}
 	}

@@ -4,20 +4,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 )
 
-// maxBodyBytes bounds a submission body (inline logs included).
-const maxBodyBytes = 64 << 20
-
 // Handler returns the HTTP API:
 //
-//	POST /v1/jobs             submit a match job
-//	GET  /v1/jobs/{id}        poll job status
-//	GET  /v1/jobs/{id}/result fetch the finished result
-//	GET  /v1/stats            service metrics
-//	GET  /healthz             liveness probe
+//	POST   /v1/jobs             submit a match job
+//	GET    /v1/jobs/{id}        poll job status
+//	GET    /v1/jobs/{id}/result fetch the finished result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/stats            service metrics
+//	GET    /healthz             liveness probe (503 while shutting down)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -25,6 +22,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	return mux
 }
 
@@ -41,13 +39,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	status, code := "ok", http.StatusOK
 	s.mu.Lock()
 	if s.closed {
-		status = "shutting-down"
+		// Draining: load balancers should stop routing here while in-flight
+		// jobs finish.
+		status, code = "shutting-down", http.StatusServiceUnavailable
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, code, map[string]string{"status": status})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -56,10 +56,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	// MaxBytesReader (unlike a plain LimitReader) yields a typed error on
+	// overrun and closes the connection, so oversized uploads get a clean
+	// 413 instead of being silently truncated into a JSON parse error.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.metrics.Rejected()
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
 		return
 	}
@@ -67,6 +77,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.View())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case IsRequestError(err):
@@ -74,6 +87,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	// A running job finishes asynchronously (within about one iteration
+	// round); the returned view may still say "running". Pollers observe the
+	// terminal "cancelled" state shortly after.
+	writeJSON(w, http.StatusOK, job.View())
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

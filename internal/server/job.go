@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -51,6 +52,11 @@ type JobOptions struct {
 	Threshold *float64 `json:"threshold,omitempty"`
 	MinFreq   *float64 `json:"min_freq,omitempty"`
 	Delta     *float64 `json:"delta,omitempty"`
+	// TimeoutMS overrides the server's default per-job wall-clock deadline
+	// in milliseconds, clamped to the server's maximum. An explicit 0 asks
+	// for no deadline (still subject to the server maximum). Deadlines never
+	// change results, so they are deliberately not part of the cache key.
+	TimeoutMS *float64 `json:"timeout_ms,omitempty"`
 }
 
 // JobRequest is the body of POST /v1/jobs.
@@ -181,6 +187,14 @@ type Job struct {
 	pair      ems.PairInput
 	opts      []ems.Option
 	composite bool
+	// timeout is this job's wall-clock budget, armed when a worker picks the
+	// job up (not at submission, so queue time does not count against it).
+	timeout time.Duration
+	// ctx and cancel are set for fresh (leader) jobs only: ctx is derived
+	// from the server's base context, cancel carries the cancellation cause
+	// (client cancel vs shutdown). Both are immutable after Submit.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
 }
 
 func newJob(id string) *Job {

@@ -14,6 +14,9 @@ type Metrics struct {
 	failed     uint64
 	cancelled  uint64
 	rejected   uint64
+	shed       uint64
+	panics     uint64
+	timeouts   uint64
 	cacheHits  uint64
 	cacheMiss  uint64
 	totalWall  time.Duration
@@ -31,6 +34,9 @@ type Stats struct {
 	Failed         uint64  `json:"jobs_failed"`
 	Cancelled      uint64  `json:"jobs_cancelled"`
 	Rejected       uint64  `json:"jobs_rejected"`
+	Shed           uint64  `json:"jobs_shed"`
+	Panicked       uint64  `json:"jobs_panicked"`
+	TimedOut       uint64  `json:"jobs_deadline_exceeded"`
 	QueueDepth     int     `json:"queue_depth"`
 	Running        int     `json:"jobs_running"`
 	CacheHits      uint64  `json:"cache_hits"`
@@ -54,6 +60,28 @@ func (m *Metrics) Submitted() {
 func (m *Metrics) Rejected() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// Shed records a submission turned away because the job queue was full.
+func (m *Metrics) Shed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// Panicked records a job whose computation panicked; the panic was contained
+// and the job failed, the daemon kept serving.
+func (m *Metrics) Panicked() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// TimedOut records a job aborted by its wall-clock deadline.
+func (m *Metrics) TimedOut() {
+	m.mu.Lock()
+	m.timeouts++
 	m.mu.Unlock()
 }
 
@@ -107,6 +135,9 @@ func (m *Metrics) Snapshot() Stats {
 		Failed:      m.failed,
 		Cancelled:   m.cancelled,
 		Rejected:    m.rejected,
+		Shed:        m.shed,
+		Panicked:    m.panics,
+		TimedOut:    m.timeouts,
 		CacheHits:   m.cacheHits,
 		CacheMisses: m.cacheMiss,
 	}

@@ -10,22 +10,28 @@ import (
 // has begun.
 var ErrShuttingDown = errors.New("server: shutting down")
 
+// ErrQueueFull is returned for submissions shed because the job queue has
+// reached its configured depth bound; clients should retry later.
+var ErrQueueFull = errors.New("server: job queue is full")
+
 // pool is a bounded worker pool over a FIFO job queue. Shutdown is
 // two-phase: Close stops intake and hands back the still-queued jobs (so
 // the server can mark them cancelled), Wait drains the in-flight ones.
 type pool struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*Job
-	closed  bool
-	running int
-	wg      sync.WaitGroup
-	run     func(*Job)
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	maxDepth int
+	closed   bool
+	running  int
+	wg       sync.WaitGroup
+	run      func(*Job)
 }
 
-// newPool starts workers goroutines executing run on queued jobs.
-func newPool(workers int, run func(*Job)) *pool {
-	p := &pool{run: run}
+// newPool starts workers goroutines executing run on queued jobs. maxDepth
+// bounds the number of queued (not yet running) jobs; <= 0 is unbounded.
+func newPool(workers, maxDepth int, run func(*Job)) *pool {
+	p := &pool{maxDepth: maxDepth, run: run}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -34,12 +40,16 @@ func newPool(workers int, run func(*Job)) *pool {
 	return p
 }
 
-// Enqueue appends a job to the queue.
+// Enqueue appends a job to the queue, shedding it with ErrQueueFull when the
+// depth bound is reached.
 func (p *pool) Enqueue(j *Job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrShuttingDown
+	}
+	if p.maxDepth > 0 && len(p.queue) >= p.maxDepth {
+		return ErrQueueFull
 	}
 	p.queue = append(p.queue, j)
 	p.cond.Signal()

@@ -12,7 +12,7 @@ import (
 func TestPoolCancelsQueuedOnClose(t *testing.T) {
 	started := make(chan *Job, 1)
 	release := make(chan struct{})
-	p := newPool(1, func(j *Job) {
+	p := newPool(1, 0, func(j *Job) {
 		started <- j
 		<-release
 	})
@@ -54,7 +54,7 @@ func TestPoolCancelsQueuedOnClose(t *testing.T) {
 
 func TestPoolRunsAllJobs(t *testing.T) {
 	done := make(chan string, 8)
-	p := newPool(3, func(j *Job) { done <- j.ID })
+	p := newPool(3, 0, func(j *Job) { done <- j.ID })
 	ids := []string{"j1", "j2", "j3", "j4", "j5"}
 	for _, id := range ids {
 		if err := p.Enqueue(newJob(id)); err != nil {

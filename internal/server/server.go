@@ -6,20 +6,27 @@
 // Request flow: POST /v1/jobs parses the two logs and options, computes the
 // content key, and either (a) answers from the cache, (b) coalesces onto an
 // identical in-flight job, or (c) enqueues a fresh computation on the pool.
-// Clients poll GET /v1/jobs/{id} and fetch GET /v1/jobs/{id}/result.
-// Shutdown drains running jobs and cancels queued ones.
+// Clients poll GET /v1/jobs/{id}, fetch GET /v1/jobs/{id}/result, and may
+// abort with DELETE /v1/jobs/{id}. Jobs run under per-job wall-clock
+// deadlines, panics inside a computation fail only that job, and a full
+// queue sheds new submissions instead of accepting unbounded work. Shutdown
+// drains running jobs within a grace period, then interrupts the stragglers
+// in-engine.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"sync"
 
 	"repro/ems"
+	"repro/internal/core"
 )
 
 // Config sizes a Server.
@@ -45,6 +52,26 @@ type Config struct {
 	// filesystem). Off by default: inline-only keeps the service safe to
 	// expose beyond localhost.
 	AllowPaths bool
+	// JobTimeout is the default per-job wall-clock deadline, counted from
+	// the moment a worker picks the job up. 0 means no default deadline.
+	// Requests can override it via options.timeout_ms, clamped to
+	// MaxJobTimeout. A job that exceeds its deadline fails with a
+	// "deadline exceeded" error; it does not count as cancelled.
+	JobTimeout time.Duration
+	// MaxJobTimeout caps every effective job deadline, including requests
+	// that ask for no deadline at all. 0 means no cap.
+	MaxJobTimeout time.Duration
+	// MaxQueueDepth bounds the number of queued-but-not-running jobs; a
+	// submission that would exceed it is shed with ErrQueueFull (HTTP 503 +
+	// Retry-After) instead of growing the queue without bound. <= 0 is
+	// unbounded. Cache hits and coalesced submissions are always served.
+	MaxQueueDepth int
+	// MaxBodyBytes bounds a submission body (inline logs included); 0 uses
+	// the default 64 MiB. Oversized requests get HTTP 413.
+	MaxBodyBytes int64
+	// Log receives operational messages (currently: contained job panics
+	// with their stack). nil uses the process-default logger.
+	Log *log.Logger
 }
 
 // requestError marks a client-side (HTTP 400) submission failure.
@@ -101,6 +128,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 10000
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -111,8 +144,28 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
-	s.pool = newPool(cfg.Workers, s.runJob)
+	s.pool = newPool(cfg.Workers, cfg.MaxQueueDepth, s.runJob)
 	return s
+}
+
+// errCancelledByClient is the cancellation cause installed by Cancel; runJob
+// uses it to distinguish a client abort from shutdown or a deadline.
+var errCancelledByClient = errors.New("server: job cancelled by client")
+
+// resolveTimeout derives a job's effective deadline from the server default
+// and the request override, clamping to the configured maximum.
+func (s *Server) resolveTimeout(overrideMS *float64) (time.Duration, error) {
+	d := s.cfg.JobTimeout
+	if overrideMS != nil {
+		if *overrideMS < 0 {
+			return 0, fmt.Errorf("options: timeout_ms must be >= 0, got %g", *overrideMS)
+		}
+		d = time.Duration(*overrideMS * float64(time.Millisecond))
+	}
+	if max := s.cfg.MaxJobTimeout; max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	return d, nil
 }
 
 // Submit validates a request and returns its job handle. The job may
@@ -134,6 +187,11 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		return nil, &requestError{err}
 	}
 	opts, optKey, err := req.Options.build()
+	if err != nil {
+		s.metrics.Rejected()
+		return nil, &requestError{err}
+	}
+	timeout, err := s.resolveTimeout(req.Options.TimeoutMS)
 	if err != nil {
 		s.metrics.Rejected()
 		return nil, &requestError{err}
@@ -175,10 +233,17 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	job.pair = ems.PairInput{Name: job.ID, Log1: l1, Log2: l2}
 	job.opts = opts
 	job.composite = req.Options.Composite
+	job.timeout = timeout
+	job.ctx, job.cancel = context.WithCancelCause(s.ctx)
 	s.inflight[key] = job
 	s.mu.Unlock()
 	s.metrics.CacheMiss()
 	if err := s.pool.Enqueue(job); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.Shed()
+			s.completeJob(job, StatusCancelled, nil, "job queue is full", 0, false)
+			return nil, ErrQueueFull
+		}
 		s.completeJob(job, StatusCancelled, nil, "server shutting down", 0, false)
 		return nil, ErrShuttingDown
 	}
@@ -205,21 +270,64 @@ func (s *Server) registerLocked(j *Job) {
 	}
 }
 
-// runJob is the pool callback: compute one pair and complete the job.
+// runJob is the pool callback: compute one pair and complete the job. The
+// computation runs under the job's cancellable context plus its wall-clock
+// deadline (armed here, so queue time does not count), and a panic anywhere
+// in it — including inside engine worker goroutines, which hand their panics
+// back to this goroutine — fails only this job while the daemon keeps
+// serving.
 func (s *Server) runJob(j *Job) {
 	if !j.setRunning() {
 		return
 	}
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = s.ctx
+	}
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	out := ems.MatchAllContext(s.ctx, []ems.PairInput{j.pair}, 1, j.composite, j.opts...)[0]
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Panicked()
+			val, stack := r, debug.Stack()
+			if ep, ok := r.(*core.EnginePanic); ok {
+				val, stack = ep.Val, ep.Stack
+			}
+			s.cfg.Log.Printf("emsd: job %s panicked (contained): %v\n%s", j.ID, val, stack)
+			s.completeJob(j, StatusFailed, nil,
+				fmt.Sprintf("internal error: computation panicked: %v", val), time.Since(start), false)
+		}
+	}()
+	opts := append(append(make([]ems.Option, 0, len(j.opts)+1), j.opts...), ems.WithContext(ctx))
+	var res *ems.Result
+	var err error
+	if j.composite {
+		res, err = ems.MatchComposite(j.pair.Log1, j.pair.Log2, opts...)
+	} else {
+		res, err = ems.Match(j.pair.Log1, j.pair.Log2, opts...)
+	}
 	wall := time.Since(start)
 	switch {
-	case out.Err == nil:
-		s.completeJob(j, StatusDone, out.Result, "", wall, true)
-	case errors.Is(out.Err, context.Canceled) || errors.Is(out.Err, context.DeadlineExceeded):
-		s.completeJob(j, StatusCancelled, nil, "server shutting down", wall, false)
+	case err == nil:
+		s.completeJob(j, StatusDone, res, "", wall, true)
+	case errors.Is(err, ems.ErrStopped) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(cause, errCancelledByClient):
+			s.completeJob(j, StatusCancelled, nil, "cancelled by client", wall, false)
+		case errors.Is(cause, context.DeadlineExceeded):
+			s.metrics.TimedOut()
+			s.completeJob(j, StatusFailed, nil,
+				fmt.Sprintf("deadline exceeded: job ran longer than its %v budget", j.timeout), wall, false)
+		default:
+			s.completeJob(j, StatusCancelled, nil, "server shutting down", wall, false)
+		}
 	default:
-		s.completeJob(j, StatusFailed, nil, out.Err.Error(), wall, false)
+		s.completeJob(j, StatusFailed, nil, err.Error(), wall, false)
 	}
 }
 
@@ -243,6 +351,39 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 		f.finish(status, res, errMsg, 0, true)
 		s.metrics.JobDone(status, 0, false)
 	}
+	if j.cancel != nil {
+		// Terminal either way: release the job context's resources. runJob
+		// has already read the cancellation cause it cares about.
+		j.cancel(nil)
+	}
+}
+
+// Cancel aborts a job by ID: a queued job is finished as cancelled without
+// running, a running job's computation is interrupted in-engine (within one
+// iteration round) and finishes as cancelled shortly after. Cancelling a
+// terminal job is a no-op. Cancelling a coalesced (follower) job detaches
+// only that job; the leader computation keeps running for the others.
+// ok is false when the ID is unknown.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if j.cancel != nil {
+		// Cancel the context before the status check: if a worker picks the
+		// job up concurrently, its computation starts already-cancelled and
+		// aborts on the first round.
+		j.cancel(errCancelledByClient)
+	}
+	if j.Status() == StatusQueued {
+		// Not picked up yet (fresh job still queued, or a follower): finish
+		// it now so pollers see the cancellation immediately; the worker
+		// skips it later because setRunning fails on terminal jobs.
+		s.completeJob(j, StatusCancelled, nil, "cancelled by client", 0, false)
+	}
+	return j, true
 }
 
 // Job looks up a job by ID.
@@ -262,8 +403,13 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Shutdown stops intake, cancels queued jobs, and waits for running jobs to
-// drain (bounded by ctx). It is idempotent.
+// Shutdown stops intake, cancels queued jobs, and drains running jobs in
+// two bounded phases: first it waits up to ctx's deadline for them to finish
+// on their own, then it cancels the base context — which aborts the
+// remaining computations in-engine within one iteration round — and waits
+// for the workers to observe that. It returns ctx's error when the grace
+// period expired (some jobs were interrupted rather than drained), nil when
+// everything finished in time. It is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closed
@@ -278,6 +424,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Release the base context only after the drain, so running jobs
 		// were given the chance to finish.
 		s.cancel()
+	}
+	if err != nil {
+		// Grace expired: the base-context cancellation above interrupts the
+		// stragglers inside the iteration engine, so this final wait returns
+		// within about one round rather than one job.
+		_ = s.pool.Wait(context.Background())
 	}
 	return err
 }
