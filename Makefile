@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core crash-test
 
 all: check
 
@@ -41,6 +41,13 @@ check: vet lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Crash-safety suite under the race detector: journal torn-tail recovery,
+# engine checkpoint/resume equivalence, and the emsd kill-and-restart tests.
+crash-test:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/journal
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Checkpoint|Restore' ./internal/core ./ems
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'KillAndRestart|Restart|Retry|CrashLoop|StatsExpose' ./internal/server
 
 # Short fuzz runs over every fuzz target; CI uses this as a smoke test.
 # Each target needs its own invocation: `go test -fuzz` accepts exactly one.

@@ -6,6 +6,7 @@
 //
 //	emsd [-addr :8484] [-workers N] [-engine-workers N] [-cache N] [-allow-paths]
 //	     [-job-timeout D] [-max-job-timeout D] [-max-queue-depth N]
+//	     [-data-dir DIR] [-checkpoint-every N] [-job-retries N]
 //
 // Submit a job, poll it, fetch the result:
 //
@@ -48,6 +49,9 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job wall-clock deadline (0 = none); requests may override via options.timeout_ms")
 		maxTimeout = flag.Duration("max-job-timeout", 0, "hard cap on every job deadline, including requests that ask for none (0 = no cap)")
 		maxQueue   = flag.Int("max-queue-depth", 0, "shed submissions once this many jobs are queued (0 = unbounded)")
+		dataDir    = flag.String("data-dir", "", "persist jobs, checkpoints and results here; on restart unfinished jobs are recovered (empty = in-memory only)")
+		ckpEvery   = flag.Int("checkpoint-every", 0, "engine rounds between persisted checkpoints of a running job (0 = default 16; needs -data-dir)")
+		jobRetries = flag.Int("job-retries", 0, "retries (with backoff, from the last checkpoint) for jobs whose computation panicked (needs -data-dir)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,7 +69,10 @@ func main() {
 		AllowPaths:    *allowPaths,
 		JobTimeout:    *jobTimeout,
 		MaxJobTimeout: *maxTimeout,
-		MaxQueueDepth: *maxQueue,
+		MaxQueueDepth:   *maxQueue,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckpEvery,
+		JobRetries:      *jobRetries,
 	}
 	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "emsd:", err)
@@ -80,7 +87,10 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.D
 	if cfg.Log == nil {
 		cfg.Log = log.New(logw, "", log.LstdFlags)
 	}
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

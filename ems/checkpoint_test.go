@@ -1,0 +1,101 @@
+package ems_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/ems"
+)
+
+// TestMatchCheckpointResume captures checkpoints during a match, then
+// resumes a fresh match from each of them and requires the exact same
+// similarity matrix as the uninterrupted run.
+func TestMatchCheckpointResume(t *testing.T) {
+	l1, l2 := paperLogs()
+	baseline, err := ems.Match(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cps []*ems.EngineCheckpoint
+	checkpointed, err := ems.Match(l1, l2,
+		ems.WithCheckpoints(1, func(cp *ems.EngineCheckpoint) { cps = append(cps, cp) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range baseline.Sim {
+		if baseline.Sim[i] != checkpointed.Sim[i] {
+			t.Fatalf("checkpointed run differs at %d: %v vs %v", i, checkpointed.Sim[i], baseline.Sim[i])
+		}
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+
+	for k, cp := range cps {
+		data, err := cp.MarshalBinary()
+		if err != nil {
+			t.Fatalf("checkpoint %d: marshal: %v", k, err)
+		}
+		var decoded ems.EngineCheckpoint
+		if err := decoded.UnmarshalBinary(data); err != nil {
+			t.Fatalf("checkpoint %d: unmarshal: %v", k, err)
+		}
+		resumed, err := ems.Match(l1, l2, ems.WithResume(&decoded))
+		if err != nil {
+			t.Fatalf("checkpoint %d: resume: %v", k, err)
+		}
+		for i := range baseline.Sim {
+			if baseline.Sim[i] != resumed.Sim[i] {
+				t.Fatalf("checkpoint %d: resumed sim differs at %d: %v vs %v",
+					k, i, resumed.Sim[i], baseline.Sim[i])
+			}
+		}
+	}
+}
+
+// TestResumeRejectsDifferentOptions checks the fingerprint guard: a
+// checkpoint resumes only under the configuration it was taken from.
+func TestResumeRejectsDifferentOptions(t *testing.T) {
+	l1, l2 := paperLogs()
+	var cp *ems.EngineCheckpoint
+	if _, err := ems.Match(l1, l2,
+		ems.WithCheckpoints(1, func(c *ems.EngineCheckpoint) {
+			if cp == nil {
+				cp = c
+			}
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	_, err := ems.Match(l1, l2, ems.WithResume(cp), ems.WithDecay(0.5))
+	if !errors.Is(err, ems.ErrCheckpointMismatch) {
+		t.Fatalf("resume under different decay: got %v, want ErrCheckpointMismatch", err)
+	}
+	// Corrupt checkpoint bytes are reported as such.
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 1
+	var bad ems.EngineCheckpoint
+	if err := bad.UnmarshalBinary(data); !errors.Is(err, ems.ErrCorruptCheckpoint) {
+		t.Fatalf("corrupt bytes: got %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+// TestCompositeRejectsDurabilityOptions: composite matching drives many
+// short computations and supports neither checkpointing nor resume.
+func TestCompositeRejectsDurabilityOptions(t *testing.T) {
+	l1, l2 := paperLogs()
+	if _, err := ems.MatchComposite(l1, l2,
+		ems.WithCheckpoints(1, func(*ems.EngineCheckpoint) {})); err == nil {
+		t.Fatal("MatchComposite accepted WithCheckpoints")
+	}
+	var cp ems.EngineCheckpoint
+	if _, err := ems.MatchComposite(l1, l2, ems.WithResume(&cp)); err == nil {
+		t.Fatal("MatchComposite accepted WithResume")
+	}
+}

@@ -15,6 +15,7 @@
 package ems
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -202,7 +203,19 @@ func Match(log1, log2 *Log, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cr, err := core.Compute(g1, g2, o.sim)
+	c, err := core.NewComputation(g1, g2, o.sim, nil)
+	if err != nil {
+		return nil, err
+	}
+	if o.resume != nil {
+		if err := c.Restore(o.resume); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return nil, err
+	}
+	cr, err := c.Result()
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +231,12 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	if o.resume != nil {
+		return nil, fmt.Errorf("ems: WithResume is not supported for composite matching")
+	}
+	if o.sim.Checkpoint != nil {
+		return nil, fmt.Errorf("ems: WithCheckpoints is not supported for composite matching")
 	}
 	defer o.armStop()()
 	c1 := composite.Discover(log1, o.discover)

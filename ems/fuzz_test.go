@@ -17,6 +17,11 @@ func FuzzReadResultJSON(f *testing.F) {
 	f.Add(`{`)
 	f.Add(``)
 	f.Add(`{"names1":["a+b"],"names2":["x"],"sim":[1],"composites1":[["a","b"]]}`)
+	// Mapping groups referencing names absent from the matrix: rejected.
+	f.Add(`{"names1":["a"],"names2":["x"],"sim":[1],"mapping":[{"left":["ghost"],"right":["x"],"score":1}]}`)
+	f.Add(`{"names1":["a"],"names2":["x"],"sim":[1],"mapping":[{"left":["a"],"right":["ghost"],"score":1}]}`)
+	// Composite constituents are legal mapping names for a merged node.
+	f.Add(`{"names1":["a\u001db"],"names2":["x"],"sim":[1],"mapping":[{"left":["a","b"],"right":["x"],"score":1}]}`)
 	f.Fuzz(func(t *testing.T, in string) {
 		r, err := ReadResultJSON(strings.NewReader(in))
 		if err != nil {

@@ -20,6 +20,8 @@ type options struct {
 	// cancellation
 	ctx     context.Context
 	timeout time.Duration
+	// durability: non-nil resumes the iteration from a checkpoint
+	resume *EngineCheckpoint
 	// composite matching
 	discover      composite.DiscoverOptions
 	delta         float64

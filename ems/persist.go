@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/composite"
 	"repro/internal/matching"
 )
 
@@ -60,6 +61,22 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		return nil, fmt.Errorf("ems: read result: matrix size %d does not match %dx%d",
 			len(in.Sim), len(in.Names1), len(in.Names2))
 	}
+	// Mapping groups must only reference events of this result. Composite
+	// node names contribute both the joined name and its constituents, since
+	// correspondences store expanded event names.
+	known1, known2 := knownNames(in.Names1), knownNames(in.Names2)
+	for i, c := range in.Mapping {
+		for _, n := range c.Left {
+			if !known1[n] {
+				return nil, fmt.Errorf("ems: read result: mapping %d references unknown log-1 event %q", i, n)
+			}
+		}
+		for _, n := range c.Right {
+			if !known2[n] {
+				return nil, fmt.Errorf("ems: read result: mapping %d references unknown log-2 event %q", i, n)
+			}
+		}
+	}
 	r := &Result{
 		Names1:      in.Names1,
 		Names2:      in.Names2,
@@ -73,4 +90,18 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		r.Mapping = append(r.Mapping, matching.NewCorrespondence(c.Left, c.Right, c.Score))
 	}
 	return r, nil
+}
+
+// knownNames collects every event name a mapping group may legally use: the
+// matrix names themselves plus, for merged composite nodes, their
+// constituent events.
+func knownNames(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+		for _, part := range composite.SplitName(n) {
+			set[part] = true
+		}
+	}
+	return set
 }

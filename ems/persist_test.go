@@ -99,6 +99,10 @@ func TestReadResultJSONWrongShapes(t *testing.T) {
 		{"top level array", `[1,2,3]`},
 		{"matrix larger than names", `{"names1":["a"],"names2":["b"],"sim":[1,2,3,4]}`},
 		{"matrix smaller than names", `{"names1":["a","b"],"names2":["c","d"],"sim":[1]}`},
+		{"mapping references unknown left event",
+			`{"names1":["a"],"names2":["x"],"sim":[1],"mapping":[{"left":["ghost"],"right":["x"],"score":1}]}`},
+		{"mapping references unknown right event",
+			`{"names1":["a"],"names2":["x"],"sim":[1],"mapping":[{"left":["a"],"right":["ghost"],"score":1}]}`},
 	}
 	for _, c := range cases {
 		if _, err := ems.ReadResultJSON(strings.NewReader(c.doc)); err == nil {
@@ -108,5 +112,12 @@ func TestReadResultJSONWrongShapes(t *testing.T) {
 	// Empty-but-consistent is fine: a result with no events.
 	if _, err := ems.ReadResultJSON(strings.NewReader(`{"names1":[],"names2":[],"sim":[]}`)); err != nil {
 		t.Errorf("empty result rejected: %v", err)
+	}
+	// Mapping groups may reference the constituents of a merged composite
+	// node even though only the joined name appears in the matrix.
+	compositeDoc := `{"names1":["a\u001db"],"names2":["x"],"sim":[1],` +
+		`"mapping":[{"left":["a","b"],"right":["x"],"score":1}],"composites1":[["a","b"]]}`
+	if _, err := ems.ReadResultJSON(strings.NewReader(compositeDoc)); err != nil {
+		t.Errorf("composite constituents rejected: %v", err)
 	}
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckpointedRunBitIdenticalAndResumable(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"both-prune", func(c *Config) {}},
+		{"forward", func(c *Config) { c.Direction = Forward }},
+		{"both-noprune", func(c *Config) { c.Prune = false }},
+		{"estimate3", func(c *Config) { c.EstimateI = 3 }},
+		{"workers4", func(c *Config) { c.Workers = 4 }},
+		{"labels", func(c *Config) { c.Alpha = 0.7; c.Labels = testLabelSim }},
+	}
+	g1, g2 := procgenGraphs(t, 7, 12, 40)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			baseline, err := Compute(g1, g2, cfg)
+			if err != nil {
+				t.Fatalf("baseline Compute: %v", err)
+			}
+
+			// The checkpointed (lockstep) run must produce the same bits as
+			// the plain (concurrent) run.
+			var cps []*Checkpoint
+			ccfg := cfg
+			ccfg.CheckpointEvery = 2
+			ccfg.Checkpoint = func(cp *Checkpoint) { cps = append(cps, cp) }
+			checkpointed, err := Compute(g1, g2, ccfg)
+			if err != nil {
+				t.Fatalf("checkpointed Compute: %v", err)
+			}
+			requireBitIdentical(t, baseline, checkpointed, tc.name+"/checkpointed-run")
+			if len(cps) == 0 {
+				t.Fatalf("no checkpoints emitted")
+			}
+
+			// Resuming from every captured checkpoint — after a serialization
+			// round-trip, under a different worker budget, with and without
+			// further checkpointing — must reproduce the baseline exactly.
+			for k, cp := range cps {
+				data, err := cp.MarshalBinary()
+				if err != nil {
+					t.Fatalf("checkpoint %d: MarshalBinary: %v", k, err)
+				}
+				var decoded Checkpoint
+				if err := decoded.UnmarshalBinary(data); err != nil {
+					t.Fatalf("checkpoint %d: UnmarshalBinary: %v", k, err)
+				}
+				rcfg := cfg
+				if rcfg.Workers == 4 {
+					rcfg.Workers = 1 // resume under a different budget
+				} else {
+					rcfg.Workers = 4
+				}
+				c, err := NewComputation(g1, g2, rcfg, nil)
+				if err != nil {
+					t.Fatalf("checkpoint %d: NewComputation: %v", k, err)
+				}
+				if err := c.Restore(&decoded); err != nil {
+					t.Fatalf("checkpoint %d: Restore: %v", k, err)
+				}
+				if err := c.Run(); err != nil {
+					t.Fatalf("checkpoint %d: resumed Run: %v", k, err)
+				}
+				resumed, err := c.Result()
+				if err != nil {
+					t.Fatalf("checkpoint %d: resumed Result: %v", k, err)
+				}
+				requireBitIdentical(t, baseline, resumed, tc.name+"/resume")
+			}
+		})
+	}
+}
+
+// testLabelSim is a deterministic non-trivial label similarity.
+func testLabelSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	if len(a) == len(b) {
+		return 0.5
+	}
+	return 0.25
+}
+
+func TestCheckpointCadence(t *testing.T) {
+	g1, g2 := procgenGraphs(t, 11, 10, 30)
+	cfg := DefaultConfig()
+	cfg.Epsilon = 1e-12 // force many rounds
+	var rounds []int
+	cfg.CheckpointEvery = 3
+	cfg.Checkpoint = func(cp *Checkpoint) { rounds = append(rounds, cp.Round()) }
+	if _, err := Compute(g1, g2, cfg); err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if len(rounds) == 0 {
+		t.Fatalf("no checkpoints for a long run")
+	}
+	for i, r := range rounds {
+		if want := 3 * (i + 1); r != want {
+			t.Fatalf("checkpoint %d taken at round %d, want %d (all: %v)", i, r, want, rounds)
+		}
+	}
+}
+
+func TestCheckpointUnmarshalRejectsCorruption(t *testing.T) {
+	g1, g2 := procgenGraphs(t, 5, 8, 20)
+	cfg := DefaultConfig()
+	var cp *Checkpoint
+	cfg.CheckpointEvery = 1
+	cfg.Checkpoint = func(c *Checkpoint) {
+		if cp == nil {
+			cp = c
+		}
+	}
+	if _, err := Compute(g1, g2, cfg); err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if cp == nil {
+		t.Fatalf("no checkpoint captured")
+	}
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+
+	var clean Checkpoint
+	if err := clean.UnmarshalBinary(data); err != nil {
+		t.Fatalf("clean UnmarshalBinary: %v", err)
+	}
+
+	// Any single flipped byte must be caught by the CRC.
+	for off := 0; off < len(data); off += 7 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		var out Checkpoint
+		if err := out.UnmarshalBinary(mut); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("flip at %d: got %v, want ErrCorruptCheckpoint", off, err)
+		}
+	}
+	// Truncation at any length must be caught too.
+	for cut := 0; cut < len(data); cut += 5 {
+		var out Checkpoint
+		if err := out.UnmarshalBinary(data[:cut]); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("truncate to %d: got %v, want ErrCorruptCheckpoint", cut, err)
+		}
+	}
+}
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	g1, g2 := procgenGraphs(t, 5, 8, 20)
+	cfg := DefaultConfig()
+	var cp *Checkpoint
+	ccfg := cfg
+	ccfg.CheckpointEvery = 1
+	ccfg.Checkpoint = func(c *Checkpoint) {
+		if cp == nil {
+			cp = c
+		}
+	}
+	if _, err := Compute(g1, g2, ccfg); err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if cp == nil {
+		t.Fatalf("no checkpoint captured")
+	}
+
+	// Different numeric configuration.
+	other := cfg
+	other.C = 0.6
+	c, err := NewComputation(g1, g2, other, nil)
+	if err != nil {
+		t.Fatalf("NewComputation: %v", err)
+	}
+	if err := c.Restore(cp); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("different C: got %v, want ErrCheckpointMismatch", err)
+	}
+
+	// Different graphs.
+	h1, h2 := procgenGraphs(t, 99, 8, 20)
+	c, err = NewComputation(h1, h2, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewComputation: %v", err)
+	}
+	if err := c.Restore(cp); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("different graphs: got %v, want ErrCheckpointMismatch", err)
+	}
+
+	// Restore after iteration has started.
+	c, err = NewComputation(g1, g2, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewComputation: %v", err)
+	}
+	if _, err := c.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if err := c.Restore(cp); err == nil {
+		t.Fatalf("Restore after Step succeeded, want error")
+	}
+
+	// Nil checkpoint.
+	c, err = NewComputation(g1, g2, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewComputation: %v", err)
+	}
+	if err := c.Restore(nil); err == nil {
+		t.Fatalf("Restore(nil) succeeded, want error")
+	}
+}
+
+func TestCheckpointMarshalRejectsInconsistent(t *testing.T) {
+	bad := &Checkpoint{}
+	if _, err := bad.MarshalBinary(); err == nil {
+		t.Fatalf("marshal of empty checkpoint succeeded")
+	}
+	bad = &Checkpoint{Dirs: []DirCheckpoint{{N1: 2, N2: 2, Cur: make([]float64, 3), Prev: make([]float64, 4)}}}
+	if _, err := bad.MarshalBinary(); err == nil {
+		t.Fatalf("marshal of inconsistent dims succeeded")
+	}
+}

@@ -129,6 +129,10 @@ type Computation struct {
 	// single engine for Forward or Backward directions.
 	names1, names2 []string
 	realPairs      int
+
+	// fpOnce/fp lazily cache the checkpoint fingerprint (see Fingerprint).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NewComputation prepares a similarity computation between two graphs with
@@ -254,7 +258,13 @@ func (c *Computation) Finish() error {
 // Direction == Both they run concurrently. A panic on a direction goroutine
 // is re-raised here as an *EnginePanic so callers can contain it; a stop
 // requested through Config.Stop surfaces as an error wrapping ErrStopped.
+// When Config.Checkpoint is set, Run instead drives the directions in
+// lockstep so it can hand out consistent round snapshots — the numbers are
+// identical either way (Jacobi rounds depend only on the previous matrix).
 func (c *Computation) Run() error {
+	if c.cfg.Checkpoint != nil {
+		return c.runCheckpointed()
+	}
 	engines := c.engines()
 	if len(engines) == 1 {
 		return engines[0].run()

@@ -98,6 +98,17 @@ type Config struct {
 	// never alters the numbers of runs it does not abort: uncancelled
 	// computations stay bit-identical at every worker count.
 	Stop func() error
+	// Checkpoint, when non-nil, makes Run drive the direction engines in
+	// lockstep and deliver a consistent snapshot of the iteration state every
+	// CheckpointEvery rounds. The hook runs synchronously between rounds on
+	// the Run goroutine; the snapshot is a deep copy the hook may retain,
+	// serialize or persist. A computation restored from such a snapshot (see
+	// Computation.Restore) finishes with bit-identical output. Like Stop and
+	// Workers, the hook never changes the computed numbers.
+	Checkpoint func(*Checkpoint)
+	// CheckpointEvery is the number of iteration rounds between Checkpoint
+	// calls; values <= 0 mean every round. Ignored when Checkpoint is nil.
+	CheckpointEvery int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

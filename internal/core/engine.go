@@ -399,7 +399,9 @@ func (e *dirEngine) run() error {
 	if e.cfg.EstimateI >= 0 && e.cfg.EstimateI < limit {
 		limit = e.cfg.EstimateI
 	}
-	for e.round < limit {
+	// A checkpoint-restored engine may already be converged with round <
+	// limit; stepping it again would perturb the converged values.
+	for !e.converged && e.round < limit {
 		delta, err := e.step()
 		if err != nil {
 			return err

@@ -35,13 +35,21 @@ func WriteCSV(w io.Writer, l *Log) error {
 
 // ReadCSV parses a two-column caseID,event CSV (with header) into a log.
 // Events of the same case are grouped into one trace in row order; traces
-// are emitted in order of first appearance of their case id.
+// are emitted in order of first appearance of their case id. Lines longer
+// than MaxLineBytes and fields longer than MaxFieldBytes are rejected with a
+// *LimitError before they can be buffered whole.
 func ReadCSV(r io.Reader, name string) (*Log, error) {
-	cr := csv.NewReader(bufio.NewReader(r))
+	cr := csv.NewReader(bufio.NewReader(limitLines(r)))
 	cr.FieldsPerRecord = 2
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("eventlog: read csv: %w", err)
+	}
+	for _, row := range rows {
+		if len(row[0]) > MaxFieldBytes || len(row[1]) > MaxFieldBytes {
+			return nil, fmt.Errorf("eventlog: read csv: %w",
+				&LimitError{Format: "csv", What: "field", Limit: MaxFieldBytes})
+		}
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("eventlog: read csv: empty input")
@@ -101,10 +109,11 @@ func WriteXML(w io.Writer, l *Log) error {
 	return nil
 }
 
-// ReadXML parses a log written by WriteXML.
+// ReadXML parses a log written by WriteXML. Oversized tags and event names
+// are rejected with a *LimitError (see MaxFieldBytes).
 func ReadXML(r io.Reader) (*Log, error) {
 	var x xmlLog
-	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+	if err := xml.NewDecoder(limitXMLRuns(r, "xml")).Decode(&x); err != nil {
 		return nil, fmt.Errorf("eventlog: read xml: %w", err)
 	}
 	l := New(x.Name)
@@ -113,6 +122,10 @@ func ReadXML(r io.Reader) (*Log, error) {
 		for i, xe := range xt.Events {
 			if xe.Name == "" {
 				return nil, fmt.Errorf("eventlog: read xml: trace %d event %d has empty name", len(l.Traces), i)
+			}
+			if len(xe.Name) > MaxFieldBytes {
+				return nil, fmt.Errorf("eventlog: read xml: %w",
+					&LimitError{Format: "xml", What: "event name", Limit: MaxFieldBytes})
 			}
 			t[i] = xe.Name
 		}

@@ -1,0 +1,80 @@
+package eventlog
+
+import (
+	"fmt"
+	"io"
+)
+
+// Size caps for the log readers. Adversarial input — a CSV "line" of
+// gigabytes without a newline, an XES attribute value of arbitrary length —
+// would otherwise make the underlying parsers buffer the whole run in
+// memory. Legitimate logs sit orders of magnitude below these limits.
+const (
+	// MaxLineBytes caps one physical CSV line.
+	MaxLineBytes = 1 << 20
+	// MaxFieldBytes caps one CSV field or XML/XES event name.
+	MaxFieldBytes = 64 << 10
+	// maxXMLRunBytes caps the distance between consecutive '<' bytes in an
+	// XML document, which bounds how much any single tag (and therefore any
+	// attribute value) or text run can make the decoder buffer. It leaves
+	// room for a maximum-size name plus attribute syntax around it.
+	maxXMLRunBytes = MaxFieldBytes * 2
+)
+
+// LimitError reports input that exceeds one of the reader size caps.
+type LimitError struct {
+	// Format is the reader that hit the cap: "csv", "xml" or "xes".
+	Format string
+	// What names the capped unit: "line", "field", "event name" or "tag".
+	What string
+	// Limit is the cap in bytes.
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("eventlog: %s %s exceeds %d bytes", e.Format, e.What, e.Limit)
+}
+
+// delimLimitReader passes the stream through until more than limit bytes
+// arrive without the delimiter byte, then fails with lerr. It runs in front
+// of the parser's own buffering, so the parser never gets the chance to
+// accumulate an unbounded run.
+type delimLimitReader struct {
+	r     io.Reader
+	delim byte
+	limit int
+	lerr  *LimitError
+	run   int
+}
+
+func (d *delimLimitReader) Read(p []byte) (int, error) {
+	n, err := d.r.Read(p)
+	for i, b := range p[:n] {
+		if b == d.delim {
+			d.run = 0
+			continue
+		}
+		if d.run++; d.run > d.limit {
+			// Hand the parser the bytes up to the offending one along with
+			// the error; it aborts either way.
+			return i, d.lerr
+		}
+	}
+	return n, err
+}
+
+// limitLines caps physical line length for the CSV reader.
+func limitLines(r io.Reader) io.Reader {
+	return &delimLimitReader{
+		r: r, delim: '\n', limit: MaxLineBytes,
+		lerr: &LimitError{Format: "csv", What: "line", Limit: MaxLineBytes},
+	}
+}
+
+// limitXMLRuns caps tag/text runs for the XML-based readers.
+func limitXMLRuns(r io.Reader, format string) io.Reader {
+	return &delimLimitReader{
+		r: r, delim: '<', limit: maxXMLRunBytes,
+		lerr: &LimitError{Format: format, What: "tag", Limit: maxXMLRunBytes},
+	}
+}

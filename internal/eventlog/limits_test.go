@@ -1,0 +1,99 @@
+package eventlog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func requireLimitError(t *testing.T, err error, format, what string) {
+	t.Helper()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("got %v, want *LimitError", err)
+	}
+	if le.Format != format || le.What != what {
+		t.Fatalf("got LimitError{%s,%s}, want {%s,%s}", le.Format, le.What, format, what)
+	}
+}
+
+func TestReadCSVRejectsGiantLine(t *testing.T) {
+	// One unterminated "line" past the cap; the reader must fail without
+	// buffering the run whole.
+	in := "case,event\nc1," + strings.Repeat("a", MaxLineBytes+100)
+	_, err := ReadCSV(strings.NewReader(in), "L")
+	requireLimitError(t, err, "csv", "line")
+}
+
+func TestReadCSVRejectsGiantField(t *testing.T) {
+	// Quoted newlines keep every physical line under the line cap while one
+	// logical field exceeds the field cap.
+	field := strings.Repeat("b\n", MaxFieldBytes/2+64)
+	in := "case,event\nc1,\"" + field + "\"\n"
+	_, err := ReadCSV(strings.NewReader(in), "L")
+	requireLimitError(t, err, "csv", "field")
+}
+
+func TestReadCSVAcceptsLargeButLegalInput(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString("case,event\n")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("c1,")
+		b.WriteString(strings.Repeat("e", 100))
+		b.WriteString("\n")
+	}
+	l, err := ReadCSV(&b, "L")
+	if err != nil {
+		t.Fatalf("legal input rejected: %v", err)
+	}
+	if l.Len() != 1 || len(l.Traces[0]) != 2000 {
+		t.Fatalf("unexpected shape: %d traces", l.Len())
+	}
+}
+
+func TestReadXMLRejectsGiantAttribute(t *testing.T) {
+	in := `<log name="L"><trace><event name="` +
+		strings.Repeat("a", maxXMLRunBytes+100) + `"/></trace></log>`
+	_, err := ReadXML(strings.NewReader(in))
+	requireLimitError(t, err, "xml", "tag")
+}
+
+func TestReadXMLRejectsOversizedName(t *testing.T) {
+	// Entity expansion sneaks a name past the raw-run cap while the decoded
+	// value still exceeds the field cap.
+	long := strings.Repeat("a", MaxFieldBytes/2) + "&amp;" + strings.Repeat("b", MaxFieldBytes/2+50)
+	in := `<log name="L"><trace><event name="` + long + `"/></trace></log>`
+	_, err := ReadXML(strings.NewReader(in))
+	requireLimitError(t, err, "xml", "event name")
+}
+
+func TestReadXESRejectsGiantAttribute(t *testing.T) {
+	in := `<log><trace><event><string key="concept:name" value="` +
+		strings.Repeat("a", maxXMLRunBytes+100) + `"/></event></trace></log>`
+	_, err := ReadXES(strings.NewReader(in))
+	requireLimitError(t, err, "xes", "tag")
+}
+
+func TestReadXESRejectsOversizedName(t *testing.T) {
+	long := strings.Repeat("a", MaxFieldBytes/2) + "&amp;" + strings.Repeat("b", MaxFieldBytes/2+50)
+	in := `<log><trace><event><string key="concept:name" value="` + long + `"/></event></trace></log>`
+	_, err := ReadXES(strings.NewReader(in))
+	requireLimitError(t, err, "xes", "event name")
+}
+
+func TestReadXESAcceptsNormalDocument(t *testing.T) {
+	l := New("L")
+	l.Append(Trace{"a", "b"})
+	var b bytes.Buffer
+	if err := WriteXES(&b, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXES(&b)
+	if err != nil {
+		t.Fatalf("normal document rejected: %v", err)
+	}
+	if back.Len() != 1 {
+		t.Fatalf("unexpected trace count %d", back.Len())
+	}
+}

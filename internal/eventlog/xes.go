@@ -42,10 +42,11 @@ func attrValue(attrs []xesAttr, key string) (string, bool) {
 
 // ReadXES parses an XES document, extracting each event's concept:name.
 // Events without a concept:name attribute are rejected — without a name
-// there is nothing to match on.
+// there is nothing to match on. Oversized tags and event names are rejected
+// with a *LimitError (see MaxFieldBytes).
 func ReadXES(r io.Reader) (*Log, error) {
 	var x xesLog
-	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+	if err := xml.NewDecoder(limitXMLRuns(r, "xes")).Decode(&x); err != nil {
 		return nil, fmt.Errorf("eventlog: read xes: %w", err)
 	}
 	name, _ := attrValue(x.Attrs, "concept:name")
@@ -56,6 +57,10 @@ func ReadXES(r io.Reader) (*Log, error) {
 			n, ok := attrValue(xe.Attrs, "concept:name")
 			if !ok || n == "" {
 				return nil, fmt.Errorf("eventlog: read xes: trace %d event %d has no concept:name", ti, ei)
+			}
+			if len(n) > MaxFieldBytes {
+				return nil, fmt.Errorf("eventlog: read xes: %w",
+					&LimitError{Format: "xes", What: "event name", Limit: MaxFieldBytes})
 			}
 			t = append(t, n)
 		}

@@ -1,0 +1,49 @@
+package journal
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Op names a journal operation a failpoint can intercept.
+type Op string
+
+const (
+	// OpWrite fires before a record frame is written to the active segment.
+	OpWrite Op = "write"
+	// OpSync fires before an fsync — of the active segment after an append,
+	// and of the temporary file inside WriteFileAtomic.
+	OpSync Op = "sync"
+)
+
+// ErrShortWrite, returned by a failpoint for OpWrite, makes Append write
+// only half of the frame bytes before failing — a deterministic torn tail,
+// as left behind by a crash mid-write.
+var ErrShortWrite = errors.New("journal: injected short write")
+
+// failpointFn is the testing-only hook; see SetFailpoint.
+var failpointFn atomic.Pointer[func(op Op) error]
+
+// SetFailpoint installs a hook consulted before journal writes and syncs. A
+// non-nil return fails the operation with that error; returning ErrShortWrite
+// from OpWrite additionally leaves a torn half-written frame behind. It
+// exists solely so tests can drive kill-and-restart recovery
+// deterministically; production code must never install one. The returned
+// function restores the previous hook; pass nil to clear. The hook may be
+// called from multiple goroutines and must be safe for concurrent use.
+func SetFailpoint(fn func(op Op) error) (restore func()) {
+	var p *func(op Op) error
+	if fn != nil {
+		p = &fn
+	}
+	old := failpointFn.Swap(p)
+	return func() { failpointFn.Store(old) }
+}
+
+// firePoint consults the installed failpoint, if any.
+func firePoint(op Op) error {
+	if p := failpointFn.Load(); p != nil {
+		return (*p)(op)
+	}
+	return nil
+}

@@ -41,6 +41,11 @@ type resultCache struct {
 	cap     int
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
+	// onEvict, when set, is called (outside the lock) with the key of every
+	// entry dropped by the LRU bound. The persisting server hooks it to delete
+	// the on-disk result, so disk usage tracks the cache bound. Must be set
+	// before the cache is shared.
+	onEvict func(key string)
 }
 
 type cacheEntry struct {
@@ -77,18 +82,28 @@ func (c *resultCache) Put(key string, res *ems.Result) {
 	if c.cap <= 0 || res == nil {
 		return
 	}
+	var evicted []string
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
+		k := last.Value.(*cacheEntry).key
+		delete(c.entries, k)
+		evicted = append(evicted, k)
+	}
+	onEvict := c.onEvict
+	c.mu.Unlock()
+	if onEvict != nil {
+		for _, k := range evicted {
+			onEvict(k)
+		}
 	}
 }
 

@@ -195,6 +195,14 @@ type Job struct {
 	// (client cancel vs shutdown). Both are immutable after Submit.
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+
+	// durability fields, set only on journaled jobs (DataDir configured):
+	// seq is the journal sequence number (0 = not journaled: cache hits and
+	// followers are never journaled), attempt counts worker pickups across
+	// restarts, resume is the persisted engine checkpoint to restart from.
+	seq     uint64
+	attempt int
+	resume  *ems.EngineCheckpoint
 }
 
 func newJob(id string) *Job {
@@ -253,6 +261,19 @@ func (j *Job) setRunning() bool {
 		return false
 	}
 	j.status = StatusRunning
+	return true
+}
+
+// setQueued transitions running → queued for a retry re-enqueue; it reports
+// whether the transition happened (false when the job went terminal, e.g.
+// was cancelled while failing).
+func (j *Job) setQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return false
+	}
+	j.status = StatusQueued
 	return true
 }
 

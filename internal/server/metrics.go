@@ -19,6 +19,10 @@ type Metrics struct {
 	timeouts   uint64
 	cacheHits  uint64
 	cacheMiss  uint64
+	recovered  uint64
+	resumed    uint64
+	retried    uint64
+	ckpWritten uint64
 	totalWall  time.Duration
 	maxWall    time.Duration
 	timedJobs  uint64
@@ -46,6 +50,13 @@ type Stats struct {
 	AvgWallMillis  float64 `json:"avg_wall_ms"`
 	MaxWallMillis  float64 `json:"max_wall_ms"`
 	LastWallMillis float64 `json:"last_wall_ms"`
+
+	// Durability counters; all zero on a server without a data directory.
+	Recovered    uint64 `json:"jobs_recovered"`
+	Resumed      uint64 `json:"jobs_resumed_from_checkpoint"`
+	Retried      uint64 `json:"jobs_retried"`
+	Checkpoints  uint64 `json:"checkpoints_written"`
+	JournalBytes int64  `json:"journal_bytes"`
 }
 
 // Submitted records an accepted job submission.
@@ -100,6 +111,35 @@ func (m *Metrics) CacheMiss() {
 	m.mu.Unlock()
 }
 
+// Recovered records a non-terminal job re-enqueued from the journal at boot.
+func (m *Metrics) Recovered() {
+	m.mu.Lock()
+	m.recovered++
+	m.mu.Unlock()
+}
+
+// ResumedFromCheckpoint records a recovered job that restarted from a
+// persisted engine checkpoint instead of round 0.
+func (m *Metrics) ResumedFromCheckpoint() {
+	m.mu.Lock()
+	m.resumed++
+	m.mu.Unlock()
+}
+
+// Retried records a job re-enqueued after a transient in-process failure.
+func (m *Metrics) Retried() {
+	m.mu.Lock()
+	m.retried++
+	m.mu.Unlock()
+}
+
+// CheckpointWritten records one engine checkpoint persisted to disk.
+func (m *Metrics) CheckpointWritten() {
+	m.mu.Lock()
+	m.ckpWritten++
+	m.mu.Unlock()
+}
+
 // JobDone records a finished job: its terminal state and, for jobs that
 // actually computed, the wall time of the computation.
 func (m *Metrics) JobDone(status Status, wall time.Duration, computed bool) {
@@ -140,6 +180,10 @@ func (m *Metrics) Snapshot() Stats {
 		TimedOut:    m.timeouts,
 		CacheHits:   m.cacheHits,
 		CacheMisses: m.cacheMiss,
+		Recovered:   m.recovered,
+		Resumed:     m.resumed,
+		Retried:     m.retried,
+		Checkpoints: m.ckpWritten,
 	}
 	if total := m.cacheHits + m.cacheMiss; total > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(total)

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/ems"
+	"repro/internal/journal"
+)
+
+// On-disk layout under Config.DataDir:
+//
+//	journal/              write-ahead job journal (wal-*.log + snap-*.bin)
+//	requests/<id>.json    submitted request body of every live job
+//	checkpoints/<id>.bin  latest engine checkpoint of a running job
+//	results/<key>.json    finished results, content-addressed by cache key
+//
+// Journal discipline: the request body is written (and fsynced) before the
+// submit record, the submit record before the job is enqueued, and the
+// result file before the done record — so every committed record only ever
+// references files that exist. Replay therefore reconstructs a consistent
+// queue after a crash at any instant; an uncommitted torn tail loses at most
+// the operation that was being written.
+
+// walRecord is one journal entry. Type is "submit" (a fresh job entered the
+// queue), "start" (a worker picked it up; Attempt counts pickups across
+// restarts) or "done" (terminal state reached).
+type walRecord struct {
+	Type      string `json:"t"`
+	ID        string `json:"id"`
+	Seq       uint64 `json:"seq,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Composite bool   `json:"composite,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Status    Status `json:"status,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// jobState is the replayed state of one journaled job.
+type jobState struct {
+	ID        string `json:"id"`
+	Seq       uint64 `json:"seq"`
+	Key       string `json:"key"`
+	Composite bool   `json:"composite,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Status    Status `json:"status"`
+	Error     string `json:"error,omitempty"`
+}
+
+// walSnapshot is the compaction image: the full journaled state at the
+// moment of compaction.
+type walSnapshot struct {
+	NextSeq uint64     `json:"next_seq"`
+	Jobs    []jobState `json:"jobs"`
+}
+
+const (
+	// compactEvery bounds journal growth: after this many terminal records
+	// the live state is folded into a snapshot and old segments deleted.
+	compactEvery = 256
+	// maxTerminalStates bounds how many terminal jobs the snapshot retains
+	// (so their status outlives a restart); older ones are forgotten.
+	maxTerminalStates = 1000
+	// maxCrashAttempts caps how often a recovered running job is restarted:
+	// a job that was mid-run at this many crashes is presumed to be the
+	// crash trigger and fails instead of crash-looping the daemon.
+	maxCrashAttempts = 3
+)
+
+// persister owns everything under DataDir: the job journal plus the
+// request, checkpoint and result files. Safe for concurrent use.
+type persister struct {
+	dir string
+	log *log.Logger
+
+	mu       sync.Mutex
+	j        *journal.Journal
+	seq      uint64 // highest seq ever journaled
+	jobs     map[string]*jobState
+	terminal int // terminal records since the last compaction
+}
+
+// openPersister opens (or initializes) a data directory and replays the
+// journal into the returned persister's job-state map.
+func openPersister(dir string, logger *log.Logger) (*persister, error) {
+	for _, sub := range []string{"journal", "requests", "checkpoints", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("server: data dir: %w", err)
+		}
+	}
+	j, rec, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	p := &persister{dir: dir, log: logger, j: j, jobs: make(map[string]*jobState)}
+	if rec.SnapshotLost {
+		logger.Printf("emsd: journal snapshot was unreadable; recovering from segments alone")
+	}
+	if rec.Torn {
+		logger.Printf("emsd: journal had a torn tail (%d bytes dropped); committed records are intact", rec.DroppedBytes)
+	}
+	if len(rec.Snapshot) > 0 {
+		var snap walSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			logger.Printf("emsd: journal snapshot undecodable, ignoring: %v", err)
+		} else {
+			p.seq = snap.NextSeq
+			for i := range snap.Jobs {
+				st := snap.Jobs[i]
+				p.jobs[st.ID] = &st
+			}
+		}
+	}
+	for _, raw := range rec.Records {
+		var r walRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			logger.Printf("emsd: undecodable journal record ignored: %v", err)
+			continue
+		}
+		p.applyLocked(r)
+	}
+	// Fold the replayed state into a fresh snapshot so the next boot starts
+	// from one image instead of re-replaying ever-longer history.
+	if len(rec.Records) > 0 || rec.Torn {
+		if err := p.compactLocked(); err != nil {
+			logger.Printf("emsd: journal compaction failed: %v", err)
+		}
+	}
+	return p, nil
+}
+
+// applyLocked folds one record into the state map.
+func (p *persister) applyLocked(r walRecord) {
+	switch r.Type {
+	case "submit":
+		if r.Seq > p.seq {
+			p.seq = r.Seq
+		}
+		p.jobs[r.ID] = &jobState{
+			ID: r.ID, Seq: r.Seq, Key: r.Key, Composite: r.Composite, Status: StatusQueued,
+		}
+	case "start":
+		if st, ok := p.jobs[r.ID]; ok {
+			st.Status = StatusRunning
+			st.Attempt = r.Attempt
+		}
+	case "done":
+		if st, ok := p.jobs[r.ID]; ok {
+			st.Status = r.Status
+			st.Error = r.Error
+		}
+	}
+}
+
+// states returns every journaled job ordered by submission.
+func (p *persister) states() []jobState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]jobState, 0, len(p.jobs))
+	for _, st := range p.jobs {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return out
+}
+
+// nextSeq returns the highest journaled sequence number.
+func (p *persister) nextSeq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// recordSubmit journals a fresh job. The request file must already be on
+// disk (see saveRequest) so replay never resurrects a job it cannot rebuild.
+func (p *persister) recordSubmit(st jobState) error {
+	rec, err := json.Marshal(walRecord{
+		Type: "submit", ID: st.ID, Seq: st.Seq, Key: st.Key, Composite: st.Composite,
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.j.Append(rec); err != nil {
+		return err
+	}
+	if st.Seq > p.seq {
+		p.seq = st.Seq
+	}
+	st.Status = StatusQueued
+	p.jobs[st.ID] = &st
+	return nil
+}
+
+// recordStart journals a worker picking the job up for its attempt-th run.
+func (p *persister) recordStart(id string, attempt int) error {
+	rec, err := json.Marshal(walRecord{Type: "start", ID: id, Attempt: attempt})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.j.Append(rec); err != nil {
+		return err
+	}
+	if st, ok := p.jobs[id]; ok {
+		st.Status = StatusRunning
+		st.Attempt = attempt
+	}
+	return nil
+}
+
+// recordDone journals a terminal state, removes the job's request and
+// checkpoint files (no longer needed for recovery), and compacts the journal
+// once enough terminal records have accumulated.
+func (p *persister) recordDone(id string, status Status, errMsg string) error {
+	rec, err := json.Marshal(walRecord{Type: "done", ID: id, Status: status, Error: errMsg})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if err := p.j.Append(rec); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if st, ok := p.jobs[id]; ok {
+		st.Status = status
+		st.Error = errMsg
+	}
+	p.pruneTerminalLocked()
+	p.terminal++
+	var cerr error
+	if p.terminal >= compactEvery {
+		cerr = p.compactLocked()
+	}
+	p.mu.Unlock()
+	os.Remove(p.requestPath(id))
+	os.Remove(p.checkpointPath(id))
+	return cerr
+}
+
+// pruneTerminalLocked forgets the oldest terminal jobs beyond the retention
+// bound so snapshots stay bounded.
+func (p *persister) pruneTerminalLocked() {
+	var term []*jobState
+	for _, st := range p.jobs {
+		switch st.Status {
+		case StatusDone, StatusFailed, StatusCancelled:
+			term = append(term, st)
+		}
+	}
+	if len(term) < maxTerminalStates {
+		return
+	}
+	sort.Slice(term, func(i, k int) bool { return term[i].Seq < term[k].Seq })
+	for _, st := range term[:len(term)-maxTerminalStates+1] {
+		delete(p.jobs, st.ID)
+	}
+}
+
+// compactLocked folds the current state into a journal snapshot.
+func (p *persister) compactLocked() error {
+	jobs := make([]jobState, 0, len(p.jobs))
+	for _, st := range p.jobs {
+		jobs = append(jobs, *st)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Seq < jobs[k].Seq })
+	snap, err := json.Marshal(walSnapshot{NextSeq: p.seq, Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	if err := p.j.Compact(snap); err != nil {
+		return err
+	}
+	p.terminal = 0
+	return nil
+}
+
+// journalBytes reports the journal's on-disk size (the journal_bytes gauge).
+func (p *persister) journalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.j.Size()
+}
+
+// Close flushes and closes the journal.
+func (p *persister) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.j.Close()
+}
+
+func (p *persister) requestPath(id string) string {
+	return filepath.Join(p.dir, "requests", id+".json")
+}
+
+func (p *persister) checkpointPath(id string) string {
+	return filepath.Join(p.dir, "checkpoints", id+".bin")
+}
+
+func (p *persister) resultPath(key string) string {
+	return filepath.Join(p.dir, "results", key+".json")
+}
+
+// saveRequest persists the submitted request body so the job can be rebuilt
+// after a restart.
+func (p *persister) saveRequest(id string, req JobRequest) error {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(p.requestPath(id), data)
+}
+
+// loadRequest reloads a persisted request body.
+func (p *persister) loadRequest(id string) (JobRequest, error) {
+	var req JobRequest
+	data, err := os.ReadFile(p.requestPath(id))
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(data, &req); err != nil {
+		return req, fmt.Errorf("undecodable request file: %w", err)
+	}
+	return req, nil
+}
+
+// saveCheckpoint atomically replaces the job's engine checkpoint.
+func (p *persister) saveCheckpoint(id string, cp *ems.EngineCheckpoint) error {
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(p.checkpointPath(id), data)
+}
+
+// loadCheckpoint returns the job's persisted checkpoint, or nil when there
+// is none or it fails validation (a corrupt checkpoint simply restarts the
+// computation from round 0).
+func (p *persister) loadCheckpoint(id string) *ems.EngineCheckpoint {
+	data, err := os.ReadFile(p.checkpointPath(id))
+	if err != nil {
+		return nil
+	}
+	var cp ems.EngineCheckpoint
+	if err := cp.UnmarshalBinary(data); err != nil {
+		p.log.Printf("emsd: job %s: discarding unusable checkpoint: %v", id, err)
+		return nil
+	}
+	return &cp
+}
+
+// saveResult persists a finished result, content-addressed by cache key.
+func (p *persister) saveResult(key string, res *ems.Result) error {
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(p.resultPath(key), buf.Bytes())
+}
+
+// loadResult reloads a persisted result; ok is false when the file is
+// missing or unreadable.
+func (p *persister) loadResult(key string) (*ems.Result, bool) {
+	f, err := os.Open(p.resultPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	res, err := ems.ReadResultJSON(f)
+	if err != nil {
+		p.log.Printf("emsd: discarding unusable result file %s: %v", key, err)
+		return nil, false
+	}
+	return res, true
+}
+
+// deleteResult removes a persisted result; wired as the cache's eviction
+// hook so disk usage tracks the LRU bound.
+func (p *persister) deleteResult(key string) {
+	os.Remove(p.resultPath(key))
+}

@@ -56,6 +56,20 @@ func (p *pool) Enqueue(j *Job) error {
 	return nil
 }
 
+// EnqueueForce appends a job regardless of the depth bound. Recovery and
+// retry re-enqueues use it: those jobs were already admitted once and must
+// not be shed by load that arrived after them.
+func (p *pool) EnqueueForce(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	p.queue = append(p.queue, j)
+	p.cond.Signal()
+	return nil
+}
+
 func (p *pool) worker() {
 	defer p.wg.Done()
 	for {

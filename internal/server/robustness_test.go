@@ -317,7 +317,7 @@ func TestSubmitBodyTooLarge(t *testing.T) {
 // TestHealthzDuringDrain: once shutdown begins, the liveness probe flips to
 // 503 "shutting-down" so load balancers stop routing new work here.
 func TestHealthzDuringDrain(t *testing.T) {
-	s := New(quietConfig(Config{Workers: 1}))
+	s := mustNew(t, quietConfig(Config{Workers: 1}))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	started, release, restore := blockFirstRound()
@@ -374,7 +374,7 @@ func TestHealthzDuringDrain(t *testing.T) {
 // expires — Shutdown returns promptly (within about one round, not one job)
 // and the job ends cancelled with the shutdown diagnostic.
 func TestShutdownInterruptsLongJob(t *testing.T) {
-	s := New(quietConfig(Config{Workers: 1}))
+	s := mustNew(t, quietConfig(Config{Workers: 1}))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	// Every round stalls 10ms: the job would take far longer than the 30ms

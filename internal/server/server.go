@@ -12,6 +12,13 @@
 // queue sheds new submissions instead of accepting unbounded work. Shutdown
 // drains running jobs within a grace period, then interrupts the stragglers
 // in-engine.
+//
+// With Config.DataDir set the server is additionally crash-safe: jobs are
+// journaled to a write-ahead log, running computations persist periodic
+// engine checkpoints, and results are stored on disk. A restart on the same
+// directory replays the journal, re-enqueues unfinished jobs (resuming from
+// their last checkpoint), and serves persisted results under the original
+// job IDs.
 package server
 
 import (
@@ -69,6 +76,27 @@ type Config struct {
 	// MaxBodyBytes bounds a submission body (inline logs included); 0 uses
 	// the default 64 MiB. Oversized requests get HTTP 413.
 	MaxBodyBytes int64
+	// DataDir enables crash-safe persistence: submitted jobs are journaled
+	// to a write-ahead log under this directory together with their request
+	// bodies, periodic engine checkpoints, and finished results. On the next
+	// start with the same directory, the journal is replayed: unfinished jobs
+	// are re-enqueued (running ones resume from their last checkpoint) and
+	// persisted results are served again. Empty disables persistence.
+	DataDir string
+	// CheckpointEvery is the engine-round interval between persisted
+	// checkpoints of a running job; <= 0 uses the default (16). Only
+	// meaningful with DataDir. Smaller values lose less work on a crash but
+	// cost more I/O per round.
+	CheckpointEvery int
+	// JobRetries bounds in-process retries of a job whose computation
+	// panicked: such a failure is not a property of the input (deterministic
+	// input errors are never retried), so the job is re-enqueued with backoff
+	// up to this many times before failing. 0 disables retries. Only
+	// meaningful with DataDir (the retry resumes from the last checkpoint).
+	JobRetries int
+	// RetryBackoff is the delay before the first retry, doubling with each
+	// further attempt; <= 0 uses the default (50ms).
+	RetryBackoff time.Duration
 	// Log receives operational messages (currently: contained job panics
 	// with their stack). nil uses the process-default logger.
 	Log *log.Logger
@@ -94,6 +122,7 @@ type Server struct {
 	metrics *Metrics
 	cache   *resultCache
 	pool    *pool
+	persist *persister // nil without DataDir
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -106,8 +135,11 @@ type Server struct {
 	closed   bool
 }
 
-// New creates a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New creates a Server and starts its worker pool. With Config.DataDir set
+// it also opens (or recovers) the data directory: the job journal is
+// replayed, unfinished jobs are re-enqueued — running ones resume from their
+// last persisted checkpoint — and persisted results are reloaded on demand.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -134,18 +166,38 @@ func New(cfg Config) *Server {
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 16
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	var p *persister
+	if cfg.DataDir != "" {
+		var err error
+		if p, err = openPersister(cfg.DataDir, cfg.Log); err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		metrics:  &Metrics{},
 		cache:    newResultCache(cfg.CacheSize),
+		persist:  p,
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	if p != nil {
+		s.cache.onEvict = p.deleteResult
+	}
 	s.pool = newPool(cfg.Workers, cfg.MaxQueueDepth, s.runJob)
-	return s
+	if p != nil {
+		s.recoverJobs()
+	}
+	return s, nil
 }
 
 // errCancelledByClient is the cancellation cause installed by Cancel; runJob
@@ -168,39 +220,55 @@ func (s *Server) resolveTimeout(overrideMS *float64) (time.Duration, error) {
 	return d, nil
 }
 
-// Submit validates a request and returns its job handle. The job may
-// already be terminal (cache hit). Errors satisfying IsRequestError are the
-// client's fault; ErrShuttingDown means the server no longer accepts work.
-func (s *Server) Submit(req JobRequest) (*Job, error) {
+// preparedJob is a validated, resolved request: everything a worker needs
+// to run the computation. Submit builds one per submission; recovery builds
+// one from each persisted request body.
+type preparedJob struct {
+	l1, l2  *ems.Log
+	opts    []ems.Option
+	key     string
+	timeout time.Duration
+}
+
+// prepare validates a request and resolves it into a preparedJob. Errors are
+// the client's fault (the request is malformed or disallowed).
+func (s *Server) prepare(req JobRequest) (*preparedJob, error) {
 	if (req.Log1.Path != "" || req.Log2.Path != "") && !s.cfg.AllowPaths {
-		s.metrics.Rejected()
-		return nil, &requestError{fmt.Errorf("log paths are disabled on this server (start emsd with -allow-paths)")}
+		return nil, fmt.Errorf("log paths are disabled on this server (start emsd with -allow-paths)")
 	}
 	l1, err := req.Log1.resolve("log1")
 	if err != nil {
-		s.metrics.Rejected()
-		return nil, &requestError{err}
+		return nil, err
 	}
 	l2, err := req.Log2.resolve("log2")
 	if err != nil {
-		s.metrics.Rejected()
-		return nil, &requestError{err}
+		return nil, err
 	}
 	opts, optKey, err := req.Options.build()
 	if err != nil {
-		s.metrics.Rejected()
-		return nil, &requestError{err}
+		return nil, err
 	}
 	timeout, err := s.resolveTimeout(req.Options.TimeoutMS)
 	if err != nil {
-		s.metrics.Rejected()
-		return nil, &requestError{err}
+		return nil, err
 	}
 	// The engine-worker budget is appended after the cache key is derived:
 	// worker counts never change results, so jobs submitted under different
 	// budgets still coalesce and share cache entries.
 	opts = append(opts, ems.WithWorkers(s.cfg.EngineWorkers))
-	key := CacheKey(l1, l2, optKey)
+	return &preparedJob{l1: l1, l2: l2, opts: opts, key: CacheKey(l1, l2, optKey), timeout: timeout}, nil
+}
+
+// Submit validates a request and returns its job handle. The job may
+// already be terminal (cache hit). Errors satisfying IsRequestError are the
+// client's fault; ErrShuttingDown means the server no longer accepts work.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	pj, err := s.prepare(req)
+	if err != nil {
+		s.metrics.Rejected()
+		return nil, &requestError{err}
+	}
+	key := pj.key
 
 	s.mu.Lock()
 	if s.closed {
@@ -230,14 +298,32 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	}
 	// (c) Fresh computation.
 	job.key = key
-	job.pair = ems.PairInput{Name: job.ID, Log1: l1, Log2: l2}
-	job.opts = opts
+	job.pair = ems.PairInput{Name: job.ID, Log1: pj.l1, Log2: pj.l2}
+	job.opts = pj.opts
 	job.composite = req.Options.Composite
-	job.timeout = timeout
+	job.timeout = pj.timeout
 	job.ctx, job.cancel = context.WithCancelCause(s.ctx)
+	seq := s.nextID
 	s.inflight[key] = job
 	s.mu.Unlock()
 	s.metrics.CacheMiss()
+	if s.persist != nil {
+		// Request file before submit record before enqueue: a job is only
+		// ever journaled once its request body can outlive the process, and
+		// only ever enqueued once its journal record is committed.
+		job.seq = seq
+		perr := s.persist.saveRequest(job.ID, req)
+		if perr == nil {
+			perr = s.persist.recordSubmit(jobState{
+				ID: job.ID, Seq: seq, Key: key, Composite: job.composite,
+			})
+		}
+		if perr != nil {
+			s.cfg.Log.Printf("emsd: job %s: persistence failed: %v", job.ID, perr)
+			s.completeJob(job, StatusFailed, nil, "persistence failure: "+perr.Error(), 0, false)
+			return nil, fmt.Errorf("server: persist job: %w", perr)
+		}
+	}
 	if err := s.pool.Enqueue(job); err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.Shed()
@@ -280,6 +366,12 @@ func (s *Server) runJob(j *Job) {
 	if !j.setRunning() {
 		return
 	}
+	j.attempt++
+	if s.persist != nil && j.seq != 0 {
+		if err := s.persist.recordStart(j.ID, j.attempt); err != nil {
+			s.cfg.Log.Printf("emsd: job %s: journaling start failed: %v", j.ID, err)
+		}
+	}
 	ctx := j.ctx
 	if ctx == nil {
 		ctx = s.ctx
@@ -298,11 +390,33 @@ func (s *Server) runJob(j *Job) {
 				val, stack = ep.Val, ep.Stack
 			}
 			s.cfg.Log.Printf("emsd: job %s panicked (contained): %v\n%s", j.ID, val, stack)
+			// A panic is not a property of the input (those fail with an
+			// error), so it is worth a bounded retry when configured — from
+			// the last persisted checkpoint, not from scratch.
+			if s.persist != nil && j.seq != 0 && j.attempt <= s.cfg.JobRetries {
+				j.resume = s.persist.loadCheckpoint(j.ID)
+				s.metrics.Retried()
+				s.requeueWithBackoff(j)
+				return
+			}
 			s.completeJob(j, StatusFailed, nil,
 				fmt.Sprintf("internal error: computation panicked: %v", val), time.Since(start), false)
 		}
 	}()
-	opts := append(append(make([]ems.Option, 0, len(j.opts)+1), j.opts...), ems.WithContext(ctx))
+	opts := append(append(make([]ems.Option, 0, len(j.opts)+3), j.opts...), ems.WithContext(ctx))
+	if s.persist != nil && j.seq != 0 && !j.composite {
+		id := j.ID
+		opts = append(opts, ems.WithCheckpoints(s.cfg.CheckpointEvery, func(cp *ems.EngineCheckpoint) {
+			if err := s.persist.saveCheckpoint(id, cp); err != nil {
+				s.cfg.Log.Printf("emsd: job %s: writing checkpoint failed: %v", id, err)
+				return
+			}
+			s.metrics.CheckpointWritten()
+		}))
+		if j.resume != nil {
+			opts = append(opts, ems.WithResume(j.resume))
+		}
+	}
 	var res *ems.Result
 	var err error
 	if j.composite {
@@ -337,6 +451,18 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 	if status == StatusDone && res != nil {
 		s.cache.Put(j.key, res)
 	}
+	if s.persist != nil && j.seq != 0 {
+		// Result file before the done record, so a committed "done" always
+		// finds its result on the next boot.
+		if status == StatusDone && res != nil && computed {
+			if err := s.persist.saveResult(j.key, res); err != nil {
+				s.cfg.Log.Printf("emsd: job %s: persisting result failed: %v", j.ID, err)
+			}
+		}
+		if err := s.persist.recordDone(j.ID, status, errMsg); err != nil {
+			s.cfg.Log.Printf("emsd: job %s: journaling completion failed: %v", j.ID, err)
+		}
+	}
 	s.mu.Lock()
 	if j.key != "" && s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
@@ -348,6 +474,13 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 	j.finish(status, res, errMsg, wall, false)
 	s.metrics.JobDone(status, wall, computed)
 	for _, f := range followers {
+		// Followers coalesced at recovery are journaled jobs of their own and
+		// need their terminal record too (seq != 0 only for those).
+		if s.persist != nil && f.seq != 0 {
+			if err := s.persist.recordDone(f.ID, status, errMsg); err != nil {
+				s.cfg.Log.Printf("emsd: job %s: journaling completion failed: %v", f.ID, err)
+			}
+		}
 		f.finish(status, res, errMsg, 0, true)
 		s.metrics.JobDone(status, 0, false)
 	}
@@ -356,6 +489,22 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 		// has already read the cancellation cause it cares about.
 		j.cancel(nil)
 	}
+}
+
+// requeueWithBackoff puts a failed job back in the queue after an
+// exponential delay. The queue-depth bound is bypassed: the job was already
+// admitted once. If the job is cancelled while waiting, the later enqueue is
+// harmless — workers skip terminal jobs.
+func (s *Server) requeueWithBackoff(j *Job) {
+	if !j.setQueued() {
+		return
+	}
+	delay := s.cfg.RetryBackoff << uint(j.attempt-1)
+	time.AfterFunc(delay, func() {
+		if err := s.pool.EnqueueForce(j); err != nil {
+			s.completeJob(j, StatusCancelled, nil, "server shutting down", 0, false)
+		}
+	})
 }
 
 // Cancel aborts a job by ID: a queued job is finished as cancelled without
@@ -400,6 +549,9 @@ func (s *Server) Stats() Stats {
 	st.QueueDepth = s.pool.Depth()
 	st.Running = s.pool.Running()
 	st.CacheSize = s.cache.Len()
+	if s.persist != nil {
+		st.JournalBytes = s.persist.journalBytes()
+	}
 	return st
 }
 
@@ -431,5 +583,112 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// within about one round rather than one job.
 		_ = s.pool.Wait(context.Background())
 	}
+	if !already && s.persist != nil {
+		// Workers are done; no more journal writes are coming.
+		if cerr := s.persist.Close(); cerr != nil {
+			s.cfg.Log.Printf("emsd: closing journal: %v", cerr)
+		}
+	}
 	return err
+}
+
+// recoverJobs replays the journaled job states into the fresh server:
+// terminal jobs get their status (and, for done jobs, their persisted
+// result) back; queued and running jobs are rebuilt from their persisted
+// request bodies and re-enqueued, running ones resuming from their last
+// checkpoint. Called from New before the server is shared, but after the
+// pool has started — re-enqueued jobs begin computing immediately.
+func (s *Server) recoverJobs() {
+	p := s.persist
+	states := p.states()
+	s.mu.Lock()
+	if n := p.nextSeq(); n > s.nextID {
+		// Never reuse a journaled job ID.
+		s.nextID = n
+	}
+	s.mu.Unlock()
+	for _, st := range states {
+		switch st.Status {
+		case StatusDone:
+			j := newJob(st.ID)
+			j.seq = st.Seq
+			s.mu.Lock()
+			s.registerLocked(j)
+			s.mu.Unlock()
+			if res, ok := p.loadResult(st.Key); ok {
+				s.cache.Put(st.Key, res)
+				j.finish(StatusDone, res, "", 0, true)
+			} else {
+				j.finish(StatusFailed, nil, "result no longer available after restart", 0, false)
+			}
+		case StatusFailed, StatusCancelled:
+			j := newJob(st.ID)
+			j.seq = st.Seq
+			s.mu.Lock()
+			s.registerLocked(j)
+			s.mu.Unlock()
+			j.finish(st.Status, nil, st.Error, 0, false)
+		default: // queued or running: the job never finished
+			s.recoverActiveJob(st)
+		}
+	}
+}
+
+// recoverActiveJob rebuilds one unfinished job from its persisted request
+// and puts it back in the queue.
+func (s *Server) recoverActiveJob(st jobState) {
+	p := s.persist
+	j := newJob(st.ID)
+	j.seq, j.attempt, j.key, j.composite = st.Seq, st.Attempt, st.Key, st.Composite
+	s.mu.Lock()
+	s.registerLocked(j)
+	s.mu.Unlock()
+	if st.Status == StatusRunning && st.Attempt >= maxCrashAttempts {
+		// This job was mid-run at several consecutive crashes: presume it is
+		// the crash trigger and stop retrying it rather than crash-loop.
+		s.completeJob(j, StatusFailed, nil,
+			fmt.Sprintf("abandoned after %d attempts that ended in a crash", st.Attempt), 0, false)
+		return
+	}
+	req, err := p.loadRequest(st.ID)
+	if err != nil {
+		s.completeJob(j, StatusFailed, nil, "request no longer available after restart", 0, false)
+		return
+	}
+	pj, err := s.prepare(req)
+	if err != nil {
+		// E.g. AllowPaths was turned off between runs.
+		s.completeJob(j, StatusFailed, nil, err.Error(), 0, false)
+		return
+	}
+	if res, ok := s.cache.Get(pj.key); ok {
+		// An identical job finished before the crash; serve its result.
+		s.metrics.Recovered()
+		s.completeJob(j, StatusDone, res, "", 0, false)
+		return
+	}
+	s.mu.Lock()
+	if leader, ok := s.inflight[pj.key]; ok {
+		// Identical unfinished job already re-enqueued: coalesce onto it.
+		leader.followers = append(leader.followers, j)
+		s.mu.Unlock()
+		s.metrics.Recovered()
+		return
+	}
+	j.key = pj.key
+	j.pair = ems.PairInput{Name: j.ID, Log1: pj.l1, Log2: pj.l2}
+	j.opts = pj.opts
+	j.timeout = pj.timeout
+	j.ctx, j.cancel = context.WithCancelCause(s.ctx)
+	s.inflight[pj.key] = j
+	s.mu.Unlock()
+	if st.Status == StatusRunning && !j.composite {
+		if j.resume = p.loadCheckpoint(st.ID); j.resume != nil {
+			s.metrics.ResumedFromCheckpoint()
+		}
+	}
+	s.metrics.Recovered()
+	if err := s.pool.EnqueueForce(j); err != nil {
+		s.completeJob(j, StatusCancelled, nil, "server shutting down", 0, false)
+	}
 }

@@ -128,9 +128,18 @@ func fetchResult(t *testing.T, ts *httptest.Server, id string) *ems.Result {
 	return res
 }
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -470,17 +479,17 @@ func writeLogFile(t *testing.T, path string, l *ems.Log) {
 // parallelism compose instead of multiplying.
 func TestEngineWorkersBudget(t *testing.T) {
 	procs := runtime.GOMAXPROCS(0)
-	s := New(Config{Workers: procs})
+	s := mustNew(t, Config{Workers: procs})
 	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
 	if s.cfg.EngineWorkers != 1 {
 		t.Errorf("EngineWorkers = %d with a saturated job pool, want 1", s.cfg.EngineWorkers)
 	}
-	s2 := New(Config{Workers: 1})
+	s2 := mustNew(t, Config{Workers: 1})
 	t.Cleanup(func() { _ = s2.Shutdown(context.Background()) })
 	if s2.cfg.EngineWorkers != procs {
 		t.Errorf("EngineWorkers = %d with a single-job pool, want %d", s2.cfg.EngineWorkers, procs)
 	}
-	s3 := New(Config{Workers: 2, EngineWorkers: -1})
+	s3 := mustNew(t, Config{Workers: 2, EngineWorkers: -1})
 	t.Cleanup(func() { _ = s3.Shutdown(context.Background()) })
 	if s3.cfg.EngineWorkers != 1 {
 		t.Errorf("EngineWorkers = %d with forced serial, want 1", s3.cfg.EngineWorkers)
