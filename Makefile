@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core crash-test
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core crash-test profile metrics-check
 
 all: check
 
@@ -65,3 +65,30 @@ fuzz-smoke:
 # synthetic pair, written as a machine-readable trajectory point.
 bench-core:
 	$(GO) run ./cmd/emsbench -json BENCH_core.json
+
+# CPU and heap profiles of the core benchmark, ready for `go tool pprof`:
+#   go tool pprof profiles/cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/emsbench -json profiles/bench.json -bench-reps 1 \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/heap.pprof
+	@echo "profiles written to ./profiles (inspect with: go tool pprof profiles/cpu.pprof)"
+
+# Scrape gate: boot emsd, run one job, then validate every line of the live
+# /metrics exposition with the binary's own checker. Fails on any malformed
+# line or if a whole instrument kind (counter/gauge/histogram) is missing.
+METRICS_ADDR ?= 127.0.0.1:18484
+
+metrics-check:
+	@tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/emsd ./cmd/emsd || exit 1; \
+	$$tmp/emsd -addr $(METRICS_ADDR) >$$tmp/emsd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(METRICS_ADDR)/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	curl -sf -X POST http://$(METRICS_ADDR)/v1/jobs \
+		-d '{"log1":{"csv":"case,event\nc1,A\nc1,C\n"},"log2":{"csv":"case,event\nc1,1\nc1,2\n"}}' \
+		>/dev/null || { cat $$tmp/emsd.log; exit 1; }; \
+	sleep 1; \
+	$$tmp/emsd -check-metrics http://$(METRICS_ADDR)/metrics || { cat $$tmp/emsd.log; exit 1; }

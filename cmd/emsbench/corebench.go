@@ -32,7 +32,32 @@ type coreBenchReport struct {
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	SerialMS   float64 `json:"serial_wall_ms"`
 
-	Runs []coreBenchRun `json:"runs"`
+	Runs        []coreBenchRun     `json:"runs"`
+	Convergence *convergenceReport `json:"convergence"`
+}
+
+// convergenceReport is the iteration telemetry of the benchmark pair,
+// gathered from an instrumented (observer-armed) run that is excluded from
+// the timings. It freezes the convergence trajectory — how many rounds the
+// fixpoint takes, how the per-round delta decays, and what Proposition-2
+// pruning saves — alongside the wall-clock numbers.
+type convergenceReport struct {
+	// Rounds to converge and the delta of the final round, against the
+	// configured epsilon.
+	Rounds     int     `json:"rounds"`
+	FinalDelta float64 `json:"final_delta"`
+	Epsilon    float64 `json:"epsilon"`
+	// PerRoundDelta is the worst per-direction delta of each round, in
+	// round order: the decay curve the Epsilon test watches.
+	PerRoundDelta []float64 `json:"per_round_delta"`
+	// PrunedPairSkips counts pair evaluations skipped by Proposition 2
+	// across all rounds and directions.
+	PrunedPairSkips int `json:"pruned_pair_skips"`
+	// EvalsNoPruning is the evaluation count of a pruning-disabled run of
+	// the same pair; EvalsSavedByPruning is the difference to the pruned
+	// run (results are bit-identical either way).
+	EvalsNoPruning      int `json:"evals_no_pruning"`
+	EvalsSavedByPruning int `json:"evals_saved_by_pruning"`
 }
 
 // coreBenchRun is one measured worker configuration.
@@ -150,6 +175,11 @@ func runCoreBench(path string, events, traces, reps int, workerCounts []int) err
 		}
 		report.Runs = append(report.Runs, benchRun(w, wall, serialWall, serial, res))
 	}
+	conv, err := measureConvergence(g1, g2, cfg, serial)
+	if err != nil {
+		return err
+	}
+	report.Convergence = conv
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -170,8 +200,56 @@ func runCoreBench(path string, events, traces, reps int, workerCounts []int) err
 		fmt.Printf("  workers=%d  wall=%8.2fms  evals/s=%12.0f  speedup=%.2fx  bit_identical=%v\n",
 			r.Workers, r.WallMS, r.EvalsPerSec, r.Speedup, r.BitIdentical)
 	}
+	fmt.Printf("convergence: %d rounds to delta=%.2e (eps=%.0e); pruning skipped %d pair-rounds, saving %d of %d evals\n",
+		conv.Rounds, conv.FinalDelta, conv.Epsilon, conv.PrunedPairSkips,
+		conv.EvalsSavedByPruning, conv.EvalsNoPruning)
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// measureConvergence reruns the pair serially with the engine's round
+// observer armed (pruned), then once with pruning disabled, and reconciles
+// both against the timed serial result.
+func measureConvergence(g1, g2 *depgraph.Graph, cfg core.Config, serial *core.Result) (*convergenceReport, error) {
+	c := cfg
+	c.Workers = 1
+	conv := &convergenceReport{Epsilon: c.Epsilon}
+	c.Observer = func(ob core.RoundObservation) {
+		delta := 0.0
+		pruned := 0
+		for _, d := range ob.Dirs {
+			// Only directions that stepped this round contribute to its
+			// delta; a converged engine keeps reporting its final state.
+			if d.Round == ob.Round {
+				if d.Delta > delta {
+					delta = d.Delta
+				}
+			}
+			pruned += d.TotalPruned
+		}
+		conv.PerRoundDelta = append(conv.PerRoundDelta, delta)
+		conv.FinalDelta = delta
+		conv.PrunedPairSkips = pruned
+	}
+	observed, err := core.Compute(g1, g2, c)
+	if err != nil {
+		return nil, err
+	}
+	if observed.Rounds != serial.Rounds || observed.Evaluations != serial.Evaluations {
+		return nil, fmt.Errorf("observer changed the run: %d rounds / %d evals vs %d / %d",
+			observed.Rounds, observed.Evaluations, serial.Rounds, serial.Evaluations)
+	}
+	conv.Rounds = observed.Rounds
+	noPrune := cfg
+	noPrune.Workers = 1
+	noPrune.Prune = false
+	unpruned, err := core.Compute(g1, g2, noPrune)
+	if err != nil {
+		return nil, err
+	}
+	conv.EvalsNoPruning = unpruned.Evaluations
+	conv.EvalsSavedByPruning = unpruned.Evaluations - serial.Evaluations
+	return conv, nil
 }
 
 // benchRun assembles one run record, checking the result against the serial

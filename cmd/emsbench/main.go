@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -31,30 +33,62 @@ func main() {
 		benchTraces = flag.Int("bench-traces", 200, "traces per benchmark log (with -json)")
 		benchReps   = flag.Int("bench-reps", 3, "repetitions per worker count, fastest kept (with -json)")
 		benchW      = flag.String("bench-workers", "2,4,8", "comma-separated worker counts to compare against serial (with -json)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if *benchJSON != "" {
-		counts, err := parseWorkerCounts(*benchW)
-		if err == nil {
-			err = runCoreBench(*benchJSON, *benchEvents, *benchTraces, *benchReps, counts)
+	err := withProfiles(*cpuProfile, *memProfile, func() error {
+		if *benchJSON != "" {
+			counts, err := parseWorkerCounts(*benchW)
+			if err != nil {
+				return err
+			}
+			return runCoreBench(*benchJSON, *benchEvents, *benchTraces, *benchReps, counts)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "emsbench:", err)
-			os.Exit(1)
+		if *ablations || *robustness {
+			return runExtras(*full, *ablations, *robustness)
 		}
-		return
-	}
-	if *ablations || *robustness {
-		if err := runExtras(*full, *ablations, *robustness); err != nil {
-			fmt.Fprintln(os.Stderr, "emsbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*full, *fig); err != nil {
+		return run(*full, *fig)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "emsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles brackets fn with the optional CPU and heap profiles, so the
+// Makefile's `profile` target (and ad-hoc runs) can feed `go tool pprof`
+// without a separate harness.
+func withProfiles(cpu, mem string, fn func() error) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if mem != "" {
+		defer func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "emsbench: heap profile:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "emsbench: heap profile:", err)
+			}
+			f.Close()
+		}()
+	}
+	return fn()
 }
 
 // parseWorkerCounts parses the -bench-workers list ("2,4,8").

@@ -7,6 +7,7 @@
 //	emsd [-addr :8484] [-workers N] [-engine-workers N] [-cache N] [-allow-paths]
 //	     [-job-timeout D] [-max-job-timeout D] [-max-queue-depth N]
 //	     [-data-dir DIR] [-checkpoint-every N] [-job-retries N]
+//	     [-log-format text|json] [-slow-job D] [-debug-addr ADDR]
 //
 // Submit a job, poll it, fetch the result:
 //
@@ -18,22 +19,33 @@
 //	curl -s localhost:8484/v1/jobs/job-000001
 //	curl -s localhost:8484/v1/jobs/job-000001/result
 //
+// Observability: GET /metrics serves the Prometheus exposition,
+// GET /v1/jobs/{id}/progress streams a running job's per-round convergence,
+// and -debug-addr opens a separate admin listener with net/http/pprof and
+// expvar (keep it off public interfaces). Logs are structured (slog);
+// -log-format json emits one JSON object per line.
+//
 // SIGINT/SIGTERM drain in-flight jobs and cancel queued ones before exit.
 package main
 
 import (
+	"bufio"
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -52,8 +64,25 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "persist jobs, checkpoints and results here; on restart unfinished jobs are recovered (empty = in-memory only)")
 		ckpEvery   = flag.Int("checkpoint-every", 0, "engine rounds between persisted checkpoints of a running job (0 = default 16; needs -data-dir)")
 		jobRetries = flag.Int("job-retries", 0, "retries (with backoff, from the last checkpoint) for jobs whose computation panicked (needs -data-dir)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		slowJob    = flag.Duration("slow-job", 0, "dump a job's span timeline to the log when its wall time reaches this threshold (0 = never)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this extra admin address (empty = off; do not expose publicly)")
+		checkURL   = flag.String("check-metrics", "", "fetch this /metrics URL, validate the Prometheus exposition, and exit (CI scrape gate)")
 	)
 	flag.Parse()
+	if *checkURL != "" {
+		if err := checkExposition(*checkURL); err != nil {
+			fmt.Fprintln(os.Stderr, "emsd: check-metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics exposition ok")
+		return
+	}
+	logger, err := newLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emsd:", err)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ln, err := net.Listen("tcp", *addr)
@@ -61,18 +90,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emsd:", err)
 		os.Exit(1)
 	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emsd: debug listener:", err)
+			os.Exit(1)
+		}
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, debugMux()); err != nil {
+				logger.Warn("debug listener stopped", "error", err)
+			}
+		}()
+	}
 	cfg := server.Config{
-		Workers:       *workers,
-		EngineWorkers: *engWorkers,
-		CacheSize:     *cacheSize,
-		MaxJobs:       *maxJobs,
-		AllowPaths:    *allowPaths,
-		JobTimeout:    *jobTimeout,
-		MaxJobTimeout: *maxTimeout,
-		MaxQueueDepth:   *maxQueue,
-		DataDir:         *dataDir,
-		CheckpointEvery: *ckpEvery,
-		JobRetries:      *jobRetries,
+		Workers:          *workers,
+		EngineWorkers:    *engWorkers,
+		CacheSize:        *cacheSize,
+		MaxJobs:          *maxJobs,
+		AllowPaths:       *allowPaths,
+		JobTimeout:       *jobTimeout,
+		MaxJobTimeout:    *maxTimeout,
+		MaxQueueDepth:    *maxQueue,
+		DataDir:          *dataDir,
+		CheckpointEvery:  *ckpEvery,
+		JobRetries:       *jobRetries,
+		SlowJobThreshold: *slowJob,
+		Log:              logger,
 	}
 	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "emsd:", err)
@@ -80,12 +124,85 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger writing to w in the chosen format.
+func newLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// checkExposition is the CI scrape gate: it fetches a live /metrics
+// endpoint, fails on the first malformed exposition line, and requires all
+// three instrument kinds (counter, gauge, histogram) to be present so a
+// half-wired registry cannot pass.
+func checkExposition(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	kinds := map[string]int{}
+	lines, bad := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if !obs.ValidExpositionLine(line) {
+			bad++
+			if bad <= 5 {
+				fmt.Fprintf(os.Stderr, "emsd: malformed exposition line %d: %q\n", lines, line)
+			}
+			continue
+		}
+		if f := strings.Fields(line); len(f) == 4 && f[0] == "#" && f[1] == "TYPE" {
+			kinds[f[3]]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d lines malformed", bad, lines)
+	}
+	for _, kind := range []string{"counter", "gauge", "histogram"} {
+		if kinds[kind] == 0 {
+			return fmt.Errorf("no %s families in the exposition (%d lines)", kind, lines)
+		}
+	}
+	fmt.Printf("emsd: %d exposition lines, %d counter / %d gauge / %d histogram families\n",
+		lines, kinds["counter"], kinds["gauge"], kinds["histogram"])
+	return nil
+}
+
+// debugMux is the admin surface of -debug-addr: the pprof profile family
+// plus expvar. It is a separate mux (not http.DefaultServeMux) so importing
+// net/http/pprof never leaks profiles onto the public API listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
 // serve runs the service on ln until ctx is cancelled, then drains: job
 // intake stops, queued jobs are cancelled, running jobs get up to the drain
 // timeout to finish while the HTTP listener keeps answering polls.
 func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.Duration, logw io.Writer) error {
 	if cfg.Log == nil {
-		cfg.Log = log.New(logw, "", log.LstdFlags)
+		cfg.Log, _ = newLogger(logw, "text")
 	}
 	s, err := server.New(cfg)
 	if err != nil {
@@ -94,21 +211,21 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.D
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "emsd listening on %s (workers=%d cache=%d)\n", ln.Addr(), cfg.Workers, cfg.CacheSize)
+	cfg.Log.Info("emsd listening", "addr", ln.Addr().String(), "workers", cfg.Workers, "cache", cfg.CacheSize)
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(logw, "emsd: draining")
+	cfg.Log.Info("emsd: draining")
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	serr := s.Shutdown(dctx)
 	herr := hs.Shutdown(dctx)
 	<-errc // http.ErrServerClosed from the Serve goroutine
 	st := s.Stats()
-	fmt.Fprintf(logw, "emsd: stopped (completed=%d failed=%d cancelled=%d)\n",
-		st.Completed, st.Failed, st.Cancelled)
+	cfg.Log.Info("emsd: stopped",
+		"completed", st.Completed, "failed", st.Failed, "cancelled", st.Cancelled)
 	if serr != nil {
 		return fmt.Errorf("drain: %w", serr)
 	}

@@ -195,11 +195,15 @@ func Match(log1, log2 *Log, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	defer o.armStop()()
+	o.armTrace()
+	endGraph := o.span("graph-build")
 	g1, err := buildGraph(log1, o)
 	if err != nil {
+		endGraph()
 		return nil, err
 	}
 	g2, err := buildGraph(log2, o)
+	endGraph()
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +223,7 @@ func Match(log1, log2 *Log, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer o.span("select")()
 	return assemble(cr, nil, nil, o)
 }
 
@@ -239,8 +244,11 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 		return nil, fmt.Errorf("ems: WithCheckpoints is not supported for composite matching")
 	}
 	defer o.armStop()()
+	o.armTrace()
+	endDiscover := o.span("discover")
 	c1 := composite.Discover(log1, o.discover)
 	c2 := composite.Discover(log2, o.discover)
+	endDiscover()
 	ccfg := composite.Config{
 		Sim:          o.sim,
 		Delta:        o.delta,
@@ -249,7 +257,14 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 		UseUnchanged: o.useUnchanged,
 		UseBounds:    o.useBounds,
 	}
+	// The greedy merge loop runs one short similarity computation per
+	// candidate; per-round observation and per-computation spans would be
+	// noise, so only the facade-level composite span survives into it.
+	ccfg.Sim.Observer = nil
+	ccfg.Sim.Span = nil
+	endComposite := o.span("composite")
 	gr, err := composite.Greedy(log1, log2, c1, c2, ccfg)
+	endComposite()
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +275,9 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 	for _, c := range gr.Merged2 {
 		comp2 = append(comp2, append([]string(nil), c.Events...))
 	}
+	endSelect := o.span("select")
 	res, err := assemble(gr.Final, comp1, comp2, o)
+	endSelect()
 	if err != nil {
 		return nil, err
 	}

@@ -64,11 +64,15 @@ func (m *Matcher) Rematch() (*Result, error) {
 		return nil, err
 	}
 	defer o.armStop()()
+	o.armTrace()
+	endGraph := o.span("graph-build")
 	g1, err := buildGraph(m.log1, o)
 	if err != nil {
+		endGraph()
 		return nil, err
 	}
 	g2, err := buildGraph(m.log2, o)
+	endGraph()
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +95,7 @@ func (m *Matcher) Rematch() (*Result, error) {
 		return nil, err
 	}
 	m.prev = cr
+	defer o.span("select")()
 	return assemble(cr, nil, nil, o)
 }
 

@@ -348,12 +348,14 @@ func (c *Computation) Restore(cp *Checkpoint) error {
 	return nil
 }
 
-// runCheckpointed drives the computation in lockstep rounds, invoking the
-// Checkpoint hook with a consistent snapshot every CheckpointEvery rounds.
+// runLockstep drives the computation in lockstep rounds on behalf of the
+// Checkpoint and Observer hooks: the Observer sees every round boundary,
+// the Checkpoint hook a consistent snapshot every CheckpointEvery rounds.
 // Lockstep is required so both direction engines are at a round boundary
-// when the snapshot is taken; rounds are Jacobi updates, so the lockstep
-// schedule produces exactly the same numbers as the concurrent one.
-func (c *Computation) runCheckpointed() error {
+// when state is read; rounds are Jacobi updates, so the lockstep schedule
+// produces exactly the same numbers as the concurrent one.
+func (c *Computation) runLockstep() error {
+	defer c.span("iterate:lockstep")()
 	every := c.cfg.CheckpointEvery
 	if every <= 0 {
 		every = 1
@@ -364,11 +366,16 @@ func (c *Computation) runCheckpointed() error {
 		if err != nil {
 			return err
 		}
+		if c.cfg.Observer != nil {
+			c.observeRound()
+		}
 		if done {
 			break
 		}
-		if steps++; steps%every == 0 {
-			c.cfg.Checkpoint(c.checkpointNow())
+		if c.cfg.Checkpoint != nil {
+			if steps++; steps%every == 0 {
+				c.cfg.Checkpoint(c.checkpointNow())
+			}
 		}
 	}
 	return c.Finish()

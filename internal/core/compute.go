@@ -258,15 +258,18 @@ func (c *Computation) Finish() error {
 // Direction == Both they run concurrently. A panic on a direction goroutine
 // is re-raised here as an *EnginePanic so callers can contain it; a stop
 // requested through Config.Stop surfaces as an error wrapping ErrStopped.
-// When Config.Checkpoint is set, Run instead drives the directions in
-// lockstep so it can hand out consistent round snapshots — the numbers are
-// identical either way (Jacobi rounds depend only on the previous matrix).
+// When Config.Checkpoint or Config.Observer is set, Run instead drives the
+// directions in lockstep so it can hand out consistent round snapshots and
+// observations — the numbers are identical either way (Jacobi rounds depend
+// only on the previous matrix).
 func (c *Computation) Run() error {
-	if c.cfg.Checkpoint != nil {
-		return c.runCheckpointed()
+	if c.cfg.Checkpoint != nil || c.cfg.Observer != nil {
+		return c.runLockstep()
 	}
 	engines := c.engines()
+	dirs := c.directions()
 	if len(engines) == 1 {
+		defer c.span("direction:" + dirs[0].String())()
 		return engines[0].run()
 	}
 	var wg sync.WaitGroup
@@ -281,6 +284,7 @@ func (c *Computation) Run() error {
 					panicked.CompareAndSwap(nil, asEnginePanic(r))
 				}
 			}()
+			defer c.span("direction:" + dirs[i].String())()
 			errs[i] = e.run()
 		}(i, e)
 	}
@@ -370,6 +374,15 @@ func (c *Computation) Result() (*Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// span opens a tracing span via the Config.Span hook; a no-op func when the
+// hook is unarmed.
+func (c *Computation) span(name string) func() {
+	if c.cfg.Span == nil {
+		return func() {}
+	}
+	return c.cfg.Span(name)
 }
 
 func (c *Computation) engines() []*dirEngine {

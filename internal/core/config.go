@@ -109,6 +109,22 @@ type Config struct {
 	// CheckpointEvery is the number of iteration rounds between Checkpoint
 	// calls; values <= 0 mean every round. Ignored when Checkpoint is nil.
 	CheckpointEvery int
+	// Observer, when non-nil, receives a RoundObservation after every
+	// iteration round of Run: per-direction delta, evaluation count and
+	// pruned-pair count — the live view of the paper's §5 convergence and
+	// evaluation-savings behavior. Like Checkpoint it forces Run to drive
+	// the direction engines in lockstep (so every observation is a
+	// consistent round boundary across directions) and runs synchronously on
+	// the Run goroutine; nil costs nothing and armed it never changes the
+	// computed numbers. Stepwise drivers (composite matching) bypass it.
+	Observer func(RoundObservation)
+	// Span, when non-nil, is the tracing hook: the engine calls it at the
+	// start of a named internal phase (label-matrix build, agreement-cache
+	// build, each matching direction) and invokes the returned func at the
+	// phase's end. It is called from multiple goroutines and must be safe
+	// for concurrent use; nil costs nothing and armed it never changes the
+	// computed numbers. obs.Trace.Span has exactly this shape.
+	Span func(name string) func()
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

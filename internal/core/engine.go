@@ -64,6 +64,16 @@ type dirEngine struct {
 	evals     int // number of formula-(1) evaluations performed
 	converged bool
 	estimated bool
+	// roundEvals and roundPruned are the latest round's evaluation and
+	// prune-skip counts, surfaced through Config.Observer; totalPruned
+	// accumulates the skips. activePairs caches the non-frozen pair count
+	// (computed lazily at the first step, after seeding settles): every
+	// active pair is either evaluated or prune-skipped in a round, so
+	// pruned = activePairs - roundEvals without touching the hot loop.
+	roundEvals  int
+	roundPruned int
+	totalPruned int
+	activePairs int
 	// lastDelta is the maximum pair increment observed in the latest round.
 	// Lemma 5's induction step shows increments contract by alpha*c per
 	// round, so all future growth is bounded by lastDelta*ac/(1-ac) — a
@@ -96,6 +106,7 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 		n1: g1.N(), n2: g2.N(),
 		l1: l1, l2: l2,
 		pool: pool, workers: 1,
+		activePairs: -1,
 	}
 	if pool != nil {
 		e.workers = pool.workers
@@ -106,6 +117,7 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 	e.lab = make([]float64, e.n1*e.n2)
 	sim := cfg.labels()
 	if cfg.Alpha < 1 {
+		endSpan := e.span("label-matrix")
 		e.forRows(1, e.n1, func(w, lo, hi int) {
 			if e.checkStop() != nil {
 				return
@@ -116,6 +128,7 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 				}
 			}
 		})
+		endSpan()
 	}
 	e.cur = make([]float64, e.n1*e.n2)
 	e.prev = make([]float64, e.n1*e.n2)
@@ -130,7 +143,9 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 		e.frozen[i*e.n2] = true
 	}
 	e.bound = convergenceBound(l1, l2)
+	endSpan := e.span("agreement-cache")
 	e.buildAgreementCache()
+	endSpan()
 	if err := e.stopErr(); err != nil {
 		return nil, err
 	}
@@ -155,6 +170,15 @@ func (e *dirEngine) checkStop() error {
 		return e.stopped.Load()
 	}
 	return nil
+}
+
+// span opens a tracing span via the Config.Span hook; a no-op func when the
+// hook is unarmed.
+func (e *dirEngine) span(name string) func() {
+	if e.cfg.Span == nil {
+		return func() {}
+	}
+	return e.cfg.Span(name)
 }
 
 // stopErr returns the latched stop error without consulting the hook.
@@ -370,9 +394,25 @@ func (e *dirEngine) step() (float64, error) {
 			maxDelta = d
 		}
 	}
+	roundEvals := 0
 	for _, n := range e.evalW {
-		e.evals += n
+		roundEvals += n
 	}
+	e.evals += roundEvals
+	e.roundEvals = roundEvals
+	if e.activePairs < 0 {
+		// First round: the frozen set is final now (seeding happens before
+		// iteration), so count the active pairs once.
+		n := 0
+		for _, f := range e.frozen {
+			if !f {
+				n++
+			}
+		}
+		e.activePairs = n
+	}
+	e.roundPruned = e.activePairs - roundEvals
+	e.totalPruned += e.roundPruned
 	e.lastDelta = maxDelta
 	return maxDelta, nil
 }

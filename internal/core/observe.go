@@ -1,0 +1,69 @@
+package core
+
+// DirRoundStats is one direction engine's state at a round boundary, as
+// delivered to Config.Observer. Counters are engine-lifetime totals except
+// RoundEvals/RoundPruned, which cover only the latest round.
+type DirRoundStats struct {
+	// Direction identifies the engine (Forward or Backward; a Both
+	// computation reports two entries).
+	Direction Direction
+	// Round is the number of iteration rounds this direction has performed.
+	Round int
+	// Delta is the maximum pair increment of the latest round — the
+	// quantity the Epsilon convergence test watches.
+	Delta float64
+	// RoundEvals is the number of formula-(1) evaluations in the latest
+	// round; TotalEvals accumulates them across rounds.
+	RoundEvals int
+	TotalEvals int
+	// RoundPruned is the number of active (non-frozen) pairs the latest
+	// round skipped as provably converged (Proposition 2); TotalPruned
+	// accumulates them. Zero when pruning is disabled.
+	RoundPruned int
+	TotalPruned int
+	// Converged reports whether this direction has stopped iterating.
+	Converged bool
+}
+
+// RoundObservation is delivered to Config.Observer after every lockstep
+// round: one entry per direction engine, in Forward, Backward order. A
+// direction that converged in an earlier round keeps reporting its final
+// state with Converged set.
+type RoundObservation struct {
+	// Round is the lockstep round index — the maximum per-direction round.
+	Round int
+	// Dirs holds the per-direction stats.
+	Dirs []DirRoundStats
+}
+
+// directions returns the Direction of each engine in engines() order.
+func (c *Computation) directions() []Direction {
+	if c.cfg.Direction == Both {
+		return []Direction{Forward, Backward}
+	}
+	return []Direction{c.cfg.Direction}
+}
+
+// observeRound assembles and delivers one RoundObservation. Called from the
+// lockstep Run loop only, so no engine goroutine is mutating state.
+func (c *Computation) observeRound() {
+	engines := c.engines()
+	dirs := c.directions()
+	ob := RoundObservation{Dirs: make([]DirRoundStats, len(engines))}
+	for i, e := range engines {
+		ob.Dirs[i] = DirRoundStats{
+			Direction:   dirs[i],
+			Round:       e.round,
+			Delta:       e.lastDelta,
+			RoundEvals:  e.roundEvals,
+			TotalEvals:  e.evals,
+			RoundPruned: e.roundPruned,
+			TotalPruned: e.totalPruned,
+			Converged:   e.converged,
+		}
+		if e.round > ob.Round {
+			ob.Round = e.round
+		}
+	}
+	c.cfg.Observer(ob)
+}

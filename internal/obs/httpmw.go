@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers: request counts by route, method
+// and status class; a latency histogram by route; and an in-flight gauge.
+// Routes are explicit strings (the mux pattern), not raw URLs, so the label
+// cardinality stays bounded no matter what clients request.
+type HTTPMetrics struct {
+	inFlight *Gauge
+	requests *CounterVec
+	latency  *HistogramVec
+}
+
+// NewHTTPMetrics registers the HTTP metric families on r under the given
+// namespace prefix (e.g. "emsd" → emsd_http_requests_total).
+func NewHTTPMetrics(r *Registry, namespace string) *HTTPMetrics {
+	return &HTTPMetrics{
+		inFlight: r.Gauge(namespace+"_http_in_flight_requests",
+			"Requests currently being served."),
+		requests: r.CounterVec(namespace+"_http_requests_total",
+			"HTTP requests served, by route, method and status code.",
+			"route", "method", "code"),
+		latency: r.HistogramVec(namespace+"_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.",
+			DefBuckets(), "route"),
+	}
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+// Wrap instruments one route's handler. The route string becomes the
+// "route" label value.
+func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			m.inFlight.Dec()
+			code := rec.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			m.requests.With(route, r.Method, strconv.Itoa(code)).Inc()
+			m.latency.With(route).Observe(time.Since(start).Seconds())
+		}()
+		h.ServeHTTP(rec, r)
+	})
+}
+
+// RequestIDHeader is the header a client sets to correlate its request with
+// the job's trace; responses echo it back.
+const RequestIDHeader = "X-Request-ID"
+
+// TraceMiddleware attaches a Trace to every request's context: the ID is
+// taken from the X-Request-ID header when present (truncated to 128 bytes)
+// or generated, and echoed back on the response so clients learn generated
+// IDs.
+func TraceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		tr := NewTrace(id)
+		w.Header().Set(RequestIDHeader, tr.ID())
+		next.ServeHTTP(w, r.WithContext(ContextWithTrace(r.Context(), tr)))
+	})
+}

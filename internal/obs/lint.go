@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ValidExpositionLine reports whether one line is well-formed Prometheus
+// text exposition: empty, a HELP/TYPE (or free-form) comment, or a sample
+// `name{label="value",...} value [timestamp]`. It is the check behind the
+// CI scrape gate (cmd/emsd -check-metrics) and the registry's own format
+// tests; it validates syntax only, not cross-line consistency.
+func ValidExpositionLine(line string) bool {
+	if line == "" {
+		return true
+	}
+	if strings.HasPrefix(line, "#") {
+		rest := strings.TrimPrefix(line, "#")
+		if !strings.HasPrefix(rest, " ") {
+			return false
+		}
+		fields := strings.SplitN(rest[1:], " ", 3)
+		if len(fields) >= 2 && (fields[0] == "HELP" || fields[0] == "TYPE") {
+			if !validName(fields[1]) {
+				return false
+			}
+			if fields[0] == "TYPE" {
+				if len(fields) != 3 {
+					return false
+				}
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return false
+				}
+			}
+		}
+		return true // other comments are legal and ignored by scrapers
+	}
+	// Sample line: metric name, optional label block, value, optional
+	// timestamp.
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return false
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := scanLabels(rest)
+		if end < 0 {
+			return false
+		}
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return false
+	}
+	fields := strings.Split(rest[1:], " ")
+	if len(fields) < 1 || len(fields) > 2 {
+		return false
+	}
+	if !validSampleValue(fields[0]) {
+		return false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	return alpha || (!first && c >= '0' && c <= '9')
+}
+
+// scanLabels consumes a {name="value",...} block starting at s[0] == '{'
+// and returns the index just past the closing brace, or -1 when malformed.
+func scanLabels(s string) int {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start || i >= len(s) || s[i] != '=' {
+			return -1
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return -1
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++ // escaped char: skip it whatever it is
+			}
+			i++
+		}
+		if i >= len(s) {
+			return -1
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1
+		}
+		return -1
+	}
+}
+
+func validSampleValue(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN", "Inf":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden freezes the text exposition format: family order,
+// HELP/TYPE comments, label rendering, histogram expansion. Any format
+// drift fails here before it breaks a real scraper.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_jobs_total", "Jobs processed.")
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "Queued jobs.")
+	g.Set(2)
+	v := r.CounterVec("test_http_requests_total", "Requests.", "route", "code")
+	v.With("/v1/jobs", "200").Inc()
+	v.With("/v1/jobs", "400").Add(2)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("test_live", "Live value.", func() float64 { return 7.5 })
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_jobs_total Jobs processed.
+# TYPE test_jobs_total counter
+test_jobs_total 3
+# HELP test_queue_depth Queued jobs.
+# TYPE test_queue_depth gauge
+test_queue_depth 2
+# HELP test_http_requests_total Requests.
+# TYPE test_http_requests_total counter
+test_http_requests_total{route="/v1/jobs",code="200"} 1
+test_http_requests_total{route="/v1/jobs",code="400"} 2
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 5.55
+test_latency_seconds_count 3
+# HELP test_live Live value.
+# TYPE test_live gauge
+test_live 7.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpositionWellFormed scrapes via ServeHTTP and checks every line
+// against the exposition grammar — the same property the CI scrape job
+// enforces on a live emsd.
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Inc()
+	r.Histogram("b_seconds", "B with\nnewline and \\ backslash.", nil).Observe(0.2)
+	r.CounterVec("c_total", "C.", "x").With("weird\"value\nwith\\stuff").Inc()
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if !ValidExpositionLine(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+// TestHistogramBuckets table-tests bucket boundary behavior: values on a
+// boundary land in that bucket (le is inclusive), below in the lower,
+// above in the next, and beyond the last bound only in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets []float64
+		obs     []float64
+		wantCum []uint64 // cumulative, one per bucket then +Inf
+		wantSum float64
+	}{
+		{
+			name:    "boundary inclusive",
+			buckets: []float64{1, 2},
+			obs:     []float64{1, 2},
+			wantCum: []uint64{1, 2, 2},
+			wantSum: 3,
+		},
+		{
+			name:    "below first",
+			buckets: []float64{1, 2},
+			obs:     []float64{0.5},
+			wantCum: []uint64{1, 1, 1},
+			wantSum: 0.5,
+		},
+		{
+			name:    "between",
+			buckets: []float64{1, 2},
+			obs:     []float64{1.5},
+			wantCum: []uint64{0, 1, 1},
+			wantSum: 1.5,
+		},
+		{
+			name:    "overflow",
+			buckets: []float64{1, 2},
+			obs:     []float64{3, 100},
+			wantCum: []uint64{0, 0, 2},
+			wantSum: 103,
+		},
+		{
+			name:    "unsorted input sorted",
+			buckets: []float64{2, 1},
+			obs:     []float64{1.5},
+			wantCum: []uint64{0, 1, 1},
+			wantSum: 1.5,
+		},
+		{
+			name:    "explicit +Inf dropped",
+			buckets: []float64{1, math.Inf(1)},
+			obs:     []float64{0.5, 7},
+			wantCum: []uint64{1, 2},
+			wantSum: 7.5,
+		},
+		{
+			name:    "zero and negative",
+			buckets: []float64{0, 1},
+			obs:     []float64{-1, 0, 0.5},
+			wantCum: []uint64{2, 3, 3},
+			wantSum: -0.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.buckets)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			cum, count, sum := h.snapshot()
+			if len(cum) != len(tc.wantCum) {
+				t.Fatalf("got %d cumulative buckets, want %d", len(cum), len(tc.wantCum))
+			}
+			for i := range cum {
+				if cum[i] != tc.wantCum[i] {
+					t.Errorf("bucket %d: got %d, want %d", i, cum[i], tc.wantCum[i])
+				}
+			}
+			if count != tc.wantCum[len(tc.wantCum)-1] {
+				t.Errorf("count = %d, want %d", count, tc.wantCum[len(tc.wantCum)-1])
+			}
+			if math.Abs(sum-tc.wantSum) > 1e-12 {
+				t.Errorf("sum = %g, want %g", sum, tc.wantSum)
+			}
+		})
+	}
+}
+
+// TestRegistryConcurrentScrape hammers every metric kind from many
+// goroutines while scraping concurrently; run under -race this is the
+// registry's thread-safety proof, and the final counts check that no
+// increment was lost.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "H.")
+	g := r.Gauge("hammer_gauge", "H.")
+	v := r.CounterVec("hammer_vec_total", "H.", "worker")
+	h := r.Histogram("hammer_seconds", "H.", []float64{0.5})
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				v.With(lbl).Inc()
+				h.Observe(float64(i%2) * 0.9)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				var b strings.Builder
+				if _, err := r.WriteTo(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %g, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != perWorker {
+			t.Errorf("vec[%d] = %g, want %d", w, got, perWorker)
+		}
+	}
+	if _, count, _ := h.snapshot(); count != total {
+		t.Errorf("histogram count = %d, want %d", count, total)
+	}
+}
+
+func TestInvalidRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "x")
+	expectPanic("duplicate", func() { r.Counter("ok_total", "x") })
+	expectPanic("bad name", func() { r.Counter("0bad", "x") })
+	expectPanic("bad label", func() { r.CounterVec("v_total", "x", "bad-label") })
+	expectPanic("label arity", func() {
+		v := r.CounterVec("w_total", "x", "a", "b")
+		v.With("only-one")
+	})
+	expectPanic("counter decrease", func() { r.Counter("dec_total", "x").Add(-1) })
+}

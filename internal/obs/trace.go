@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one request's in-process trace: an ID (client-supplied via
+// X-Request-ID or generated) plus the spans recorded while the request's
+// job moved through the pipeline — parse, graph build, iteration,
+// selection. Spans are wall-clock only and kept in memory; the point is a
+// per-job time breakdown in the job metadata and the slow-job log, not
+// distributed tracing. All methods are safe for concurrent use: the match
+// engine starts spans from its direction goroutines.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Span is one named, timed phase of a trace. End it exactly once; End is
+// idempotent.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	dur   time.Duration
+	ended bool
+}
+
+// NewTrace starts a trace. An empty id generates a fresh one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// NewTraceID returns a 16-byte random hex ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// constant rather than panicking inside request handling.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() string { return t.id }
+
+// StartSpan opens a span; call End on the returned span when the phase
+// finishes.
+func (t *Trace) StartSpan(name string) *Span {
+	s := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span opens a span and returns its End function — the shape the core
+// engine's Config.Span hook wants, so a Trace can be handed to the engine
+// as `cfg.Span = trace.Span`.
+func (t *Trace) Span(name string) func() {
+	return t.StartSpan(name).End
+}
+
+// End closes the span; safe to call more than once (later calls are
+// ignored) and from a different goroutine than StartSpan.
+func (s *Span) End() {
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SpanView is the JSON-friendly snapshot of one span, offsets relative to
+// the trace start.
+type SpanView struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	// DurationMS is the span length; for a still-open span it is the time
+	// elapsed so far and Open is true.
+	DurationMS float64 `json:"duration_ms"`
+	Open       bool    `json:"open,omitempty"`
+}
+
+// Snapshot returns the spans recorded so far in start order.
+func (t *Trace) Snapshot() []SpanView {
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanView, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		d, ended := s.dur, s.ended
+		s.mu.Unlock()
+		if !ended {
+			d = time.Since(s.start)
+		}
+		out = append(out, SpanView{
+			Name:       s.name,
+			StartMS:    durMS(s.start.Sub(t.start)),
+			DurationMS: durMS(d),
+			Open:       !ended,
+		})
+	}
+	return out
+}
+
+// Timeline renders the spans as a one-line-per-span text block for the
+// slow-job log:
+//
+//	parse            +0.0ms      1.2ms
+//	graph-build      +1.3ms      4.0ms
+//	iterate          +5.4ms    310.9ms
+func (t *Trace) Timeline() string {
+	views := t.Snapshot()
+	var b strings.Builder
+	for _, v := range views {
+		open := ""
+		if v.Open {
+			open = " (open)"
+		}
+		fmt.Fprintf(&b, "%-24s +%9.1fms %10.1fms%s\n", v.Name, v.StartMS, v.DurationMS, open)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// traceKey carries a *Trace through a context.
+type traceKey struct{}
+
+// ContextWithTrace attaches the trace to the context; the ems facade picks
+// it up and arms the engine's span hook from it.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the trace from a context; nil when none (or when ctx
+// itself is nil, so callers can pass an optional context straight through).
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc")
+	if tr.ID() != "abc" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	s1 := tr.StartSpan("parse")
+	time.Sleep(time.Millisecond)
+	s1.End()
+	s1.End() // idempotent
+	end := tr.Span("iterate")
+	end()
+	open := tr.StartSpan("never-ends")
+	_ = open
+
+	views := tr.Snapshot()
+	if len(views) != 3 {
+		t.Fatalf("got %d spans, want 3", len(views))
+	}
+	if views[0].Name != "parse" || views[0].DurationMS <= 0 {
+		t.Errorf("parse span = %+v", views[0])
+	}
+	if views[1].Name != "iterate" || views[1].Open {
+		t.Errorf("iterate span = %+v", views[1])
+	}
+	if !views[2].Open {
+		t.Errorf("open span not marked open: %+v", views[2])
+	}
+	tl := tr.Timeline()
+	for _, want := range []string{"parse", "iterate", "never-ends", "(open)"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+}
+
+func TestTraceGeneratedIDsDistinct(t *testing.T) {
+	a, b := NewTrace(""), NewTrace("")
+	if a.ID() == "" || a.ID() == b.ID() {
+		t.Errorf("IDs %q and %q", a.ID(), b.ID())
+	}
+	if len(a.ID()) != 32 {
+		t.Errorf("ID length %d, want 32 hex chars", len(a.ID()))
+	}
+}
+
+// TestTraceConcurrent opens and ends spans from many goroutines while
+// snapshotting; -race is the actual assertion.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Span("work")()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 8*200 {
+		t.Errorf("got %d spans, want %d", got, 8*200)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if TraceFrom(nil) != nil {
+		t.Error("TraceFrom(nil) != nil")
+	}
+	tr := NewTrace("x")
+	ctx := ContextWithTrace(t.Context(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("trace not carried through context")
+	}
+}
+
+func TestTraceMiddleware(t *testing.T) {
+	var seen *Trace
+	h := TraceMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceFrom(r.Context())
+	}))
+
+	// Client-supplied ID is used and echoed.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "client-id-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen == nil || seen.ID() != "client-id-1" {
+		t.Fatalf("trace = %v", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "client-id-1" {
+		t.Errorf("echoed ID = %q", got)
+	}
+
+	// Absent header: generated and returned.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if seen == nil || seen.ID() == "" || seen.ID() == "client-id-1" {
+		t.Fatalf("generated trace = %v", seen)
+	}
+	if rec.Header().Get(RequestIDHeader) != seen.ID() {
+		t.Errorf("response header %q != trace ID %q", rec.Header().Get(RequestIDHeader), seen.ID())
+	}
+
+	// Oversized client IDs are truncated, not rejected.
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, strings.Repeat("x", 300))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if len(seen.ID()) != 128 {
+		t.Errorf("oversized ID length = %d, want 128", len(seen.ID()))
+	}
+}
+
+func TestHTTPMetricsWrap(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "t")
+	h := m.Wrap("/v1/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/jobs", nil))
+	}
+	// Implicit 200 via Write without WriteHeader.
+	m.Wrap("/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+
+	if got := m.requests.With("/v1/jobs", "POST", "202").Value(); got != 3 {
+		t.Errorf("requests{202} = %g, want 3", got)
+	}
+	if got := m.requests.With("/healthz", "GET", "200").Value(); got != 1 {
+		t.Errorf("requests{200} = %g, want 1", got)
+	}
+	if got := m.inFlight.Value(); got != 0 {
+		t.Errorf("in-flight = %g, want 0", got)
+	}
+	if _, count, _ := m.latency.With("/v1/jobs").snapshot(); count != 3 {
+		t.Errorf("latency count = %d, want 3", count)
+	}
+}

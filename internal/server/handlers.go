@@ -5,25 +5,40 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the HTTP API:
 //
-//	POST   /v1/jobs             submit a match job
-//	GET    /v1/jobs/{id}        poll job status
-//	GET    /v1/jobs/{id}/result fetch the finished result
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/stats            service metrics
-//	GET    /healthz             liveness probe (503 while shutting down)
+//	POST   /v1/jobs               submit a match job
+//	GET    /v1/jobs/{id}          poll job status
+//	GET    /v1/jobs/{id}/result   fetch the finished result
+//	GET    /v1/jobs/{id}/progress live engine progress and span timeline
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/stats              service metrics (JSON)
+//	GET    /v1/version            build identity of the binary
+//	GET    /metrics               Prometheus exposition
+//	GET    /healthz               liveness probe (503 while shutting down)
+//
+// Every route runs behind the trace middleware (X-Request-ID in, echoed
+// back out) and records per-route request counts, latency histograms, and
+// an in-flight gauge into the /metrics registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	return mux
+	handle := func(pattern, route string, h http.Handler) {
+		mux.Handle(pattern, s.obs.http.Wrap(route, h))
+	}
+	handle("GET /healthz", "/healthz", http.HandlerFunc(s.handleHealth))
+	handle("GET /metrics", "/metrics", s.obs.reg)
+	handle("GET /v1/stats", "/v1/stats", http.HandlerFunc(s.handleStats))
+	handle("GET /v1/version", "/v1/version", http.HandlerFunc(s.handleVersion))
+	handle("POST /v1/jobs", "/v1/jobs", http.HandlerFunc(s.handleSubmit))
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", http.HandlerFunc(s.handleJob))
+	handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", http.HandlerFunc(s.handleResult))
+	handle("GET /v1/jobs/{id}/progress", "/v1/jobs/{id}/progress", http.HandlerFunc(s.handleProgress))
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", http.HandlerFunc(s.handleCancel))
+	return obs.TraceMiddleware(mux)
 }
 
 type errorBody struct {
@@ -54,6 +69,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Version())
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Progress())
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	// MaxBytesReader (unlike a plain LimitReader) yields a typed error on
@@ -73,7 +101,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
 		return
 	}
-	job, err := s.Submit(req)
+	job, err := s.SubmitContext(r.Context(), req)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.View())

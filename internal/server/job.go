@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/ems"
+	"repro/internal/obs"
 )
 
 // Status is the lifecycle state of a match job.
@@ -187,6 +188,14 @@ type Job struct {
 	pair      ems.PairInput
 	opts      []ems.Option
 	composite bool
+	// trace and prog are the job's observability handles, both set before
+	// the job is shared and immutable afterwards: trace collects the span
+	// timeline (always present on jobs created via Submit), prog accumulates
+	// the engine's per-round observations (leader jobs that drive the
+	// iteration engine only — nil for composite jobs, cache hits, and
+	// followers).
+	trace *obs.Trace
+	prog  *progress
 	// timeout is this job's wall-clock budget, armed when a worker picks the
 	// job up (not at submission, so queue time does not count against it).
 	timeout time.Duration
@@ -216,19 +225,25 @@ type JobView struct {
 	CacheHit bool    `json:"cache_hit"`
 	Error    string  `json:"error,omitempty"`
 	WallMS   float64 `json:"wall_ms"`
+	// TraceID identifies the request trace the job belongs to: the client's
+	// X-Request-ID when one was sent, a generated ID otherwise. Empty only
+	// for jobs recovered from a journal written by an older binary.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // View snapshots the job for serialization.
 func (j *Job) View() JobView {
+	v := JobView{ID: j.ID}
+	if j.trace != nil { // immutable once the job is shared
+		v.TraceID = j.trace.ID()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobView{
-		ID:       j.ID,
-		Status:   j.status,
-		CacheHit: j.cacheHit,
-		Error:    j.err,
-		WallMS:   float64(j.wall.Microseconds()) / 1000,
-	}
+	v.Status = j.status
+	v.CacheHit = j.cacheHit
+	v.Error = j.err
+	v.WallMS = float64(j.wall.Microseconds()) / 1000
+	return v
 }
 
 // Status returns the job's current state.

@@ -1,33 +1,40 @@
 package server
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Metrics aggregates service counters. All methods are safe for concurrent
-// use; the zero value is ready.
+// use; the zero value is ready. Every field is an independent atomic — hot
+// increments (submissions, cache probes) never contend on a lock — and
+// Snapshot reads them individually, so a snapshot taken mid-update may mix
+// counters that are one event apart. Each counter is monotonic on its own,
+// which is the consistency Prometheus-style scrapes need.
 type Metrics struct {
-	mu         sync.Mutex
-	submitted  uint64
-	completed  uint64
-	failed     uint64
-	cancelled  uint64
-	rejected   uint64
-	shed       uint64
-	panics     uint64
-	timeouts   uint64
-	cacheHits  uint64
-	cacheMiss  uint64
-	recovered  uint64
-	resumed    uint64
-	retried    uint64
-	ckpWritten uint64
-	totalWall  time.Duration
-	maxWall    time.Duration
-	timedJobs  uint64
-	lastWall   time.Duration
-	lastFinish time.Time
+	submitted  atomic.Uint64
+	completed  atomic.Uint64
+	failed     atomic.Uint64
+	cancelled  atomic.Uint64
+	rejected   atomic.Uint64
+	shed       atomic.Uint64
+	panics     atomic.Uint64
+	timeouts   atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	recovered  atomic.Uint64
+	resumed    atomic.Uint64
+	retried    atomic.Uint64
+	ckpWritten atomic.Uint64
+
+	// Wall-time aggregates, all in nanoseconds (timedJobs counts the jobs
+	// that contributed). totalWall/timedJobs tear at worst by one job between
+	// their two loads in Snapshot; the average is diagnostic, not billing.
+	totalWall  atomic.Int64
+	maxWall    atomic.Int64
+	lastWall   atomic.Int64
+	timedJobs  atomic.Uint64
+	lastFinish atomic.Int64 // unix nanos of the most recent computed job
 }
 
 // Stats is a point-in-time snapshot of the metrics plus the live gauges the
@@ -60,106 +67,63 @@ type Stats struct {
 }
 
 // Submitted records an accepted job submission.
-func (m *Metrics) Submitted() {
-	m.mu.Lock()
-	m.submitted++
-	m.mu.Unlock()
-}
+func (m *Metrics) Submitted() { m.submitted.Add(1) }
 
 // Rejected records a submission refused before queueing (bad request or
 // shutdown).
-func (m *Metrics) Rejected() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
-}
+func (m *Metrics) Rejected() { m.rejected.Add(1) }
 
 // Shed records a submission turned away because the job queue was full.
-func (m *Metrics) Shed() {
-	m.mu.Lock()
-	m.shed++
-	m.mu.Unlock()
-}
+func (m *Metrics) Shed() { m.shed.Add(1) }
 
 // Panicked records a job whose computation panicked; the panic was contained
 // and the job failed, the daemon kept serving.
-func (m *Metrics) Panicked() {
-	m.mu.Lock()
-	m.panics++
-	m.mu.Unlock()
-}
+func (m *Metrics) Panicked() { m.panics.Add(1) }
 
 // TimedOut records a job aborted by its wall-clock deadline.
-func (m *Metrics) TimedOut() {
-	m.mu.Lock()
-	m.timeouts++
-	m.mu.Unlock()
-}
+func (m *Metrics) TimedOut() { m.timeouts.Add(1) }
 
 // CacheHit records a job served from the result cache (or coalesced onto an
 // in-flight computation of the same pair).
-func (m *Metrics) CacheHit() {
-	m.mu.Lock()
-	m.cacheHits++
-	m.mu.Unlock()
-}
+func (m *Metrics) CacheHit() { m.cacheHits.Add(1) }
 
 // CacheMiss records a job that required a fresh computation.
-func (m *Metrics) CacheMiss() {
-	m.mu.Lock()
-	m.cacheMiss++
-	m.mu.Unlock()
-}
+func (m *Metrics) CacheMiss() { m.cacheMiss.Add(1) }
 
 // Recovered records a non-terminal job re-enqueued from the journal at boot.
-func (m *Metrics) Recovered() {
-	m.mu.Lock()
-	m.recovered++
-	m.mu.Unlock()
-}
+func (m *Metrics) Recovered() { m.recovered.Add(1) }
 
 // ResumedFromCheckpoint records a recovered job that restarted from a
 // persisted engine checkpoint instead of round 0.
-func (m *Metrics) ResumedFromCheckpoint() {
-	m.mu.Lock()
-	m.resumed++
-	m.mu.Unlock()
-}
+func (m *Metrics) ResumedFromCheckpoint() { m.resumed.Add(1) }
 
 // Retried records a job re-enqueued after a transient in-process failure.
-func (m *Metrics) Retried() {
-	m.mu.Lock()
-	m.retried++
-	m.mu.Unlock()
-}
+func (m *Metrics) Retried() { m.retried.Add(1) }
 
 // CheckpointWritten records one engine checkpoint persisted to disk.
-func (m *Metrics) CheckpointWritten() {
-	m.mu.Lock()
-	m.ckpWritten++
-	m.mu.Unlock()
-}
+func (m *Metrics) CheckpointWritten() { m.ckpWritten.Add(1) }
 
 // JobDone records a finished job: its terminal state and, for jobs that
 // actually computed, the wall time of the computation.
 func (m *Metrics) JobDone(status Status, wall time.Duration, computed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch status {
 	case StatusDone:
-		m.completed++
+		m.completed.Add(1)
 	case StatusFailed:
-		m.failed++
+		m.failed.Add(1)
 	case StatusCancelled:
-		m.cancelled++
+		m.cancelled.Add(1)
 	}
 	if computed {
-		m.timedJobs++
-		m.totalWall += wall
-		m.lastWall = wall
-		m.lastFinish = time.Now()
-		if wall > m.maxWall {
-			m.maxWall = wall
+		m.timedJobs.Add(1)
+		m.totalWall.Add(int64(wall))
+		m.lastWall.Store(int64(wall))
+		m.lastFinish.Store(time.Now().UnixNano())
+		for {
+			cur := m.maxWall.Load()
+			if int64(wall) <= cur || m.maxWall.CompareAndSwap(cur, int64(wall)) {
+				break
+			}
 		}
 	}
 }
@@ -167,31 +131,29 @@ func (m *Metrics) JobDone(status Status, wall time.Duration, computed bool) {
 // Snapshot returns the current counters. Gauges (queue depth, running,
 // cache size) are zero; the server fills them in.
 func (m *Metrics) Snapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Stats{
-		Submitted:   m.submitted,
-		Completed:   m.completed,
-		Failed:      m.failed,
-		Cancelled:   m.cancelled,
-		Rejected:    m.rejected,
-		Shed:        m.shed,
-		Panicked:    m.panics,
-		TimedOut:    m.timeouts,
-		CacheHits:   m.cacheHits,
-		CacheMisses: m.cacheMiss,
-		Recovered:   m.recovered,
-		Resumed:     m.resumed,
-		Retried:     m.retried,
-		Checkpoints: m.ckpWritten,
+		Submitted:   m.submitted.Load(),
+		Completed:   m.completed.Load(),
+		Failed:      m.failed.Load(),
+		Cancelled:   m.cancelled.Load(),
+		Rejected:    m.rejected.Load(),
+		Shed:        m.shed.Load(),
+		Panicked:    m.panics.Load(),
+		TimedOut:    m.timeouts.Load(),
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMiss.Load(),
+		Recovered:   m.recovered.Load(),
+		Resumed:     m.resumed.Load(),
+		Retried:     m.retried.Load(),
+		Checkpoints: m.ckpWritten.Load(),
 	}
-	if total := m.cacheHits + m.cacheMiss; total > 0 {
-		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(total)
 	}
-	if m.timedJobs > 0 {
-		s.AvgWallMillis = float64(m.totalWall.Microseconds()) / 1000 / float64(m.timedJobs)
+	if timed := m.timedJobs.Load(); timed > 0 {
+		s.AvgWallMillis = float64(m.totalWall.Load()) / float64(time.Millisecond) / float64(timed)
 	}
-	s.MaxWallMillis = float64(m.maxWall.Microseconds()) / 1000
-	s.LastWallMillis = float64(m.lastWall.Microseconds()) / 1000
+	s.MaxWallMillis = float64(m.maxWall.Load()) / float64(time.Millisecond)
+	s.LastWallMillis = float64(m.lastWall.Load()) / float64(time.Millisecond)
 	return s
 }

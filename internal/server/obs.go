@@ -1,0 +1,78 @@
+package server
+
+import (
+	"repro/internal/obs"
+)
+
+// serverObs is the server's Prometheus surface: the registry served at
+// GET /metrics, the HTTP middleware metrics, and the instruments the job
+// path feeds directly. All counter families re-export the atomic Metrics
+// through read-on-scrape functions, so the /v1/stats JSON and the
+// exposition always agree on the same underlying counters.
+type serverObs struct {
+	reg    *obs.Registry
+	http   *obs.HTTPMetrics
+	jobDur *obs.Histogram
+}
+
+// jobDurationBuckets covers the matching workload: sub-millisecond toy pairs
+// through multi-minute warehouse logs.
+func jobDurationBuckets() []float64 {
+	return []float64{.001, .005, .025, .1, .5, 1, 5, 30, 60, 300}
+}
+
+// newServerObs builds the registry over the server's metrics and gauges.
+func newServerObs(s *Server) *serverObs {
+	r := obs.NewRegistry()
+	o := &serverObs{reg: r, http: obs.NewHTTPMetrics(r, "emsd")}
+
+	v := Version()
+	r.GaugeVec("emsd_build_info",
+		"Build identity of the running emsd binary; the value is always 1.",
+		"version", "revision", "go_version").
+		With(v.Version, v.Revision, v.GoVersion).Set(1)
+
+	m := s.metrics
+	counters := []struct {
+		name, help string
+		read       func() uint64
+	}{
+		{"emsd_jobs_submitted_total", "Accepted job submissions.", m.submitted.Load},
+		{"emsd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load},
+		{"emsd_jobs_failed_total", "Jobs that reached the failed state.", m.failed.Load},
+		{"emsd_jobs_cancelled_total", "Jobs cancelled by a client or by shutdown.", m.cancelled.Load},
+		{"emsd_jobs_rejected_total", "Submissions refused before queueing (bad request or shutdown).", m.rejected.Load},
+		{"emsd_jobs_shed_total", "Submissions turned away because the job queue was full.", m.shed.Load},
+		{"emsd_jobs_panicked_total", "Jobs whose computation panicked (contained; the daemon kept serving).", m.panics.Load},
+		{"emsd_jobs_deadline_exceeded_total", "Jobs aborted by their wall-clock deadline.", m.timeouts.Load},
+		{"emsd_cache_hits_total", "Jobs served from the result cache or coalesced onto an in-flight twin.", m.cacheHits.Load},
+		{"emsd_cache_misses_total", "Jobs that required a fresh computation.", m.cacheMiss.Load},
+		{"emsd_jobs_recovered_total", "Unfinished jobs re-enqueued from the journal at boot.", m.recovered.Load},
+		{"emsd_jobs_resumed_total", "Recovered jobs restarted from a persisted engine checkpoint.", m.resumed.Load},
+		{"emsd_jobs_retried_total", "Jobs re-enqueued after a transient in-process failure.", m.retried.Load},
+		{"emsd_checkpoints_written_total", "Engine checkpoints persisted to disk.", m.ckpWritten.Load},
+	}
+	for _, c := range counters {
+		read := c.read
+		r.CounterFunc(c.name, c.help, func() float64 { return float64(read()) })
+	}
+
+	r.GaugeFunc("emsd_queue_depth", "Jobs queued but not yet running.",
+		func() float64 { return float64(s.pool.Depth()) })
+	r.GaugeFunc("emsd_jobs_running", "Jobs currently computing.",
+		func() float64 { return float64(s.pool.Running()) })
+	r.GaugeFunc("emsd_cache_entries", "Entries in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("emsd_journal_bytes", "Size of the job journal on disk; 0 without persistence.",
+		func() float64 {
+			if s.persist == nil {
+				return 0
+			}
+			return float64(s.persist.journalBytes())
+		})
+
+	o.jobDur = r.Histogram("emsd_job_duration_seconds",
+		"Wall time of computed jobs (cache hits and coalesced jobs excluded).",
+		jobDurationBuckets())
+	return o
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsExposition is the acceptance check of GET /metrics: every line
+// is valid Prometheus text exposition, and the three instrument kinds are
+// all represented with live values after one completed job.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig(Config{Workers: 2}))
+	view, code := postJob(t, ts, paperRequest(t))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if final := pollJob(t, ts, view.ID); final.Status != StatusDone {
+		t.Fatalf("job ended %q: %s", final.Status, final.Error)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		if !obs.ValidExpositionLine(sc.Text()) {
+			t.Errorf("malformed exposition line: %q", sc.Text())
+		}
+	}
+	if lines < 20 {
+		t.Fatalf("suspiciously short exposition (%d lines):\n%s", lines, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		// counter (from the job path), gauge, histogram — one of each kind.
+		"emsd_jobs_submitted_total 1",
+		"# TYPE emsd_jobs_running gauge",
+		"# TYPE emsd_job_duration_seconds histogram",
+		"emsd_job_duration_seconds_count 1",
+		`emsd_build_info{version=`,
+		// the middleware saw at least the submit and the polls
+		`emsd_http_requests_total{route="/v1/jobs",method="POST",code="202"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTracePropagation: the client's X-Request-ID becomes the job's trace
+// ID, is echoed on the response, and surfaces in every job view; absent a
+// header, the server generates one.
+func TestTracePropagation(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig(Config{Workers: 2}))
+	body, err := json.Marshal(paperRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clientID = "trace-e2e-0001"
+	req.Header.Set(obs.RequestIDHeader, clientID)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != clientID {
+		t.Errorf("response echoed %q, want %q", got, clientID)
+	}
+	if view.TraceID != clientID {
+		t.Errorf("submit view trace_id = %q, want %q", view.TraceID, clientID)
+	}
+	final := pollJob(t, ts, view.ID)
+	if final.TraceID != clientID {
+		t.Errorf("final view trace_id = %q, want %q", final.TraceID, clientID)
+	}
+
+	// No header: a trace ID is generated, non-empty, and stable across views.
+	v2, code := postJob(t, ts, paperRequest(t))
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit status %d", code)
+	}
+	if v2.TraceID == "" {
+		t.Error("no trace ID generated")
+	}
+	if got := pollJob(t, ts, v2.ID); got.TraceID != v2.TraceID {
+		t.Errorf("trace ID changed between views: %q then %q", v2.TraceID, got.TraceID)
+	}
+}
+
+func getProgress(t *testing.T, ts *httptest.Server, id string) ProgressView {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/progress status %d", resp.StatusCode)
+	}
+	var pv ProgressView
+	if err := json.NewDecoder(resp.Body).Decode(&pv); err != nil {
+		t.Fatal(err)
+	}
+	return pv
+}
+
+// TestProgressEndpoint submits a deliberately slow pair, watches the
+// progress endpoint report advancing rounds with deltas and evaluation
+// counts while the job runs, and checks the final view is complete: both
+// directions, a bounded recent-round history, and the span timeline.
+func TestProgressEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig(Config{Workers: 1}))
+	req := JobRequest{
+		Log1: LogInput{Name: "P1", CSV: logCSV(t, permLog(30, 40, "a", 1))},
+		Log2: LogInput{Name: "P2", CSV: logCSV(t, permLog(30, 40, "b", 2))},
+	}
+	view, code := postJob(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	// Watch it run. The pair is dense enough for tens of rounds, so at least
+	// one poll should catch the engine mid-flight; if the machine is fast
+	// enough to finish first, the terminal view still proves the plumbing.
+	sawLive := false
+	for {
+		pv := getProgress(t, ts, view.ID)
+		if pv.Status == StatusRunning && pv.Round > 0 {
+			sawLive = true
+			if len(pv.Dirs) == 0 {
+				t.Error("running progress without direction stats")
+			}
+			if len(pv.Recent) == 0 {
+				t.Error("running progress without recent rounds")
+			}
+		}
+		if pv.Status == StatusDone || pv.Status == StatusFailed || pv.Status == StatusCancelled {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	final := getProgress(t, ts, view.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("job ended %q: %s", final.Status, final.Error)
+	}
+	if !final.Observable {
+		t.Fatal("leader job not observable")
+	}
+	if final.Round == 0 {
+		t.Error("no rounds reported")
+	}
+	if len(final.Dirs) != 2 {
+		t.Fatalf("%d directions, want 2", len(final.Dirs))
+	}
+	for _, d := range final.Dirs {
+		if !d.Converged {
+			t.Errorf("direction %s not converged in final progress", d.Direction)
+		}
+		if d.Evals == 0 {
+			t.Errorf("direction %s reports zero evaluations", d.Direction)
+		}
+	}
+	if len(final.Recent) == 0 || len(final.Recent) > progressRounds {
+		t.Errorf("recent history has %d entries (cap %d)", len(final.Recent), progressRounds)
+	}
+	last := final.Recent[len(final.Recent)-1]
+	if last.Round != final.Round {
+		t.Errorf("last recent round %d != round %d", last.Round, final.Round)
+	}
+	spans := map[string]bool{}
+	for _, s := range final.Spans {
+		spans[s.Name] = true
+	}
+	for _, want := range []string{"parse", "graph-build", "select"} {
+		if !spans[want] {
+			t.Errorf("span %q missing from progress view (got %v)", want, final.Spans)
+		}
+	}
+	if !sawLive {
+		t.Logf("note: job finished before a live poll; terminal progress verified only")
+	}
+}
+
+// TestProgressOfCacheHit: a cache-hit job is not observable but still
+// reports its status and trace.
+func TestProgressOfCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig(Config{Workers: 2}))
+	v1, _ := postJob(t, ts, paperRequest(t))
+	pollJob(t, ts, v1.ID)
+	v2, _ := postJob(t, ts, paperRequest(t))
+	final := pollJob(t, ts, v2.ID)
+	if !final.CacheHit {
+		t.Fatalf("second job was not a cache hit: %+v", final)
+	}
+	pv := getProgress(t, ts, v2.ID)
+	if pv.Observable {
+		t.Error("cache hit claims engine observability")
+	}
+	if pv.TraceID == "" {
+		t.Error("cache hit lost its trace")
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig(Config{Workers: 1}))
+	resp, err := ts.Client().Get(ts.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Version == "" || v.Revision == "" {
+		t.Errorf("incomplete version info: %+v", v)
+	}
+}
+
+// syncWriter serializes the slog handler's writes against the test's reads.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestSlowJobTimeline: with a threshold of 1ns every computed job is "slow",
+// so completing one must emit the WARN record carrying the span timeline.
+func TestSlowJobTimeline(t *testing.T) {
+	var logw syncWriter
+	cfg := Config{
+		Workers:          1,
+		SlowJobThreshold: time.Nanosecond,
+		Log:              slog.New(slog.NewTextHandler(&logw, nil)),
+	}
+	_, ts := newTestServer(t, cfg)
+	view, _ := postJob(t, ts, paperRequest(t))
+	if final := pollJob(t, ts, view.ID); final.Status != StatusDone {
+		t.Fatalf("job ended %q", final.Status)
+	}
+	out := logw.String()
+	if !strings.Contains(out, "slow job") {
+		t.Fatalf("no slow-job record in log:\n%s", out)
+	}
+	for _, want := range []string{"job_id=" + view.ID, "trace_id=" + view.TraceID, "graph-build", "select"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-job record missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -77,7 +77,7 @@ const (
 // request, checkpoint and result files. Safe for concurrent use.
 type persister struct {
 	dir string
-	log *log.Logger
+	log *slog.Logger
 
 	mu       sync.Mutex
 	j        *journal.Journal
@@ -88,7 +88,7 @@ type persister struct {
 
 // openPersister opens (or initializes) a data directory and replays the
 // journal into the returned persister's job-state map.
-func openPersister(dir string, logger *log.Logger) (*persister, error) {
+func openPersister(dir string, logger *slog.Logger) (*persister, error) {
 	for _, sub := range []string{"journal", "requests", "checkpoints", "results"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("server: data dir: %w", err)
@@ -100,15 +100,15 @@ func openPersister(dir string, logger *log.Logger) (*persister, error) {
 	}
 	p := &persister{dir: dir, log: logger, j: j, jobs: make(map[string]*jobState)}
 	if rec.SnapshotLost {
-		logger.Printf("emsd: journal snapshot was unreadable; recovering from segments alone")
+		logger.Warn("journal snapshot was unreadable; recovering from segments alone")
 	}
 	if rec.Torn {
-		logger.Printf("emsd: journal had a torn tail (%d bytes dropped); committed records are intact", rec.DroppedBytes)
+		logger.Warn("journal had a torn tail; committed records are intact", "dropped_bytes", rec.DroppedBytes)
 	}
 	if len(rec.Snapshot) > 0 {
 		var snap walSnapshot
 		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
-			logger.Printf("emsd: journal snapshot undecodable, ignoring: %v", err)
+			logger.Warn("journal snapshot undecodable, ignoring", "error", err)
 		} else {
 			p.seq = snap.NextSeq
 			for i := range snap.Jobs {
@@ -120,7 +120,7 @@ func openPersister(dir string, logger *log.Logger) (*persister, error) {
 	for _, raw := range rec.Records {
 		var r walRecord
 		if err := json.Unmarshal(raw, &r); err != nil {
-			logger.Printf("emsd: undecodable journal record ignored: %v", err)
+			logger.Warn("undecodable journal record ignored", "error", err)
 			continue
 		}
 		p.applyLocked(r)
@@ -129,7 +129,7 @@ func openPersister(dir string, logger *log.Logger) (*persister, error) {
 	// from one image instead of re-replaying ever-longer history.
 	if len(rec.Records) > 0 || rec.Torn {
 		if err := p.compactLocked(); err != nil {
-			logger.Printf("emsd: journal compaction failed: %v", err)
+			logger.Warn("journal compaction failed", "error", err)
 		}
 	}
 	return p, nil
@@ -351,7 +351,7 @@ func (p *persister) loadCheckpoint(id string) *ems.EngineCheckpoint {
 	}
 	var cp ems.EngineCheckpoint
 	if err := cp.UnmarshalBinary(data); err != nil {
-		p.log.Printf("emsd: job %s: discarding unusable checkpoint: %v", id, err)
+		p.log.Warn("discarding unusable checkpoint", "job_id", id, "error", err)
 		return nil
 	}
 	return &cp
@@ -376,7 +376,7 @@ func (p *persister) loadResult(key string) (*ems.Result, bool) {
 	defer f.Close()
 	res, err := ems.ReadResultJSON(f)
 	if err != nil {
-		p.log.Printf("emsd: discarding unusable result file %s: %v", key, err)
+		p.log.Warn("discarding unusable result file", "key", key, "error", err)
 		return nil, false
 	}
 	return res, true

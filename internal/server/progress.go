@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/ems"
+	"repro/internal/obs"
+)
+
+// progressRounds bounds the per-round history a job retains: enough for a
+// dashboard sparkline, bounded so a slowly-converging job cannot grow
+// without limit.
+const progressRounds = 50
+
+// RoundProgress is one iteration round as exposed by the progress endpoint.
+type RoundProgress struct {
+	Round int `json:"round"`
+	// Delta is the worst per-direction convergence delta of the round.
+	Delta float64 `json:"delta"`
+	// Evals and Pruned sum the directions' per-round counters.
+	Evals  int `json:"evals"`
+	Pruned int `json:"pruned"`
+}
+
+// DirProgress is the cumulative state of one propagation direction.
+type DirProgress struct {
+	Direction string  `json:"direction"`
+	Round     int     `json:"round"`
+	Delta     float64 `json:"delta"`
+	Evals     int     `json:"evals"`
+	Pruned    int     `json:"pruned"`
+	Converged bool    `json:"converged"`
+}
+
+// ProgressView is the JSON body of GET /v1/jobs/{id}/progress.
+type ProgressView struct {
+	ID      string `json:"id"`
+	Status  Status `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Round counters are present only once the iteration engine has reported
+	// a round (composite jobs and cache hits never do).
+	Round      int             `json:"round,omitempty"`
+	Dirs       []DirProgress   `json:"directions,omitempty"`
+	Recent     []RoundProgress `json:"recent_rounds,omitempty"`
+	UpdatedMS  float64         `json:"updated_ms,omitempty"` // ms since the last round report
+	Spans      []obs.SpanView  `json:"spans,omitempty"`
+	CacheHit   bool            `json:"cache_hit,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	WallMS     float64         `json:"wall_ms,omitempty"`
+	Observable bool            `json:"observable"`
+}
+
+// progress accumulates the engine's per-round observations for one job. The
+// observer goroutine writes, HTTP pollers read; a mutex keeps the view
+// coherent (observations arrive at round granularity, so contention is
+// negligible).
+type progress struct {
+	mu      sync.Mutex
+	round   int
+	dirs    []DirProgress
+	recent  []RoundProgress
+	updated time.Time
+}
+
+// observe folds one engine observation into the progress state.
+func (p *progress) observe(ob ems.RoundObservation) {
+	rp := RoundProgress{Round: ob.Round}
+	dirs := make([]DirProgress, len(ob.Dirs))
+	for i, d := range ob.Dirs {
+		dirs[i] = DirProgress{
+			Direction: d.Direction.String(),
+			Round:     d.Round,
+			Delta:     d.Delta,
+			Evals:     d.TotalEvals,
+			Pruned:    d.TotalPruned,
+			Converged: d.Converged,
+		}
+		if !d.Converged || d.Round == ob.Round {
+			rp.Evals += d.RoundEvals
+			rp.Pruned += d.RoundPruned
+			if d.Delta > rp.Delta {
+				rp.Delta = d.Delta
+			}
+		}
+	}
+	p.mu.Lock()
+	p.round = ob.Round
+	p.dirs = dirs
+	p.recent = append(p.recent, rp)
+	if len(p.recent) > progressRounds {
+		p.recent = p.recent[len(p.recent)-progressRounds:]
+	}
+	p.updated = time.Now()
+	p.mu.Unlock()
+}
+
+// fill copies the accumulated state into a view.
+func (p *progress) fill(v *ProgressView) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v.Round = p.round
+	v.Dirs = append([]DirProgress(nil), p.dirs...)
+	v.Recent = append([]RoundProgress(nil), p.recent...)
+	if !p.updated.IsZero() {
+		v.UpdatedMS = float64(time.Since(p.updated).Microseconds()) / 1000
+	}
+}
+
+// Progress snapshots a job's live progress: lifecycle state, the engine's
+// per-round trajectory (when the job drives the iteration engine and has
+// started), and the trace's span timeline so far.
+func (j *Job) Progress() ProgressView {
+	view := j.View()
+	v := ProgressView{
+		ID:       view.ID,
+		Status:   view.Status,
+		TraceID:  view.TraceID,
+		CacheHit: view.CacheHit,
+		Error:    view.Error,
+		WallMS:   view.WallMS,
+	}
+	// trace and prog are immutable once the job is shared; no lock needed.
+	v.Observable = j.prog != nil
+	if j.prog != nil {
+		j.prog.fill(&v)
+	}
+	if j.trace != nil {
+		v.Spans = j.trace.Snapshot()
+	}
+	return v
+}

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -20,7 +20,7 @@ import (
 // quietConfig silences the operational logger so contained-panic stacks do
 // not clutter test output.
 func quietConfig(cfg Config) Config {
-	cfg.Log = log.New(io.Discard, "", 0)
+	cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	return cfg
 }
 

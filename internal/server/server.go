@@ -25,7 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -34,6 +34,7 @@ import (
 
 	"repro/ems"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config sizes a Server.
@@ -97,9 +98,14 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry, doubling with each
 	// further attempt; <= 0 uses the default (50ms).
 	RetryBackoff time.Duration
-	// Log receives operational messages (currently: contained job panics
-	// with their stack). nil uses the process-default logger.
-	Log *log.Logger
+	// SlowJobThreshold arms the slow-job log: a computed job whose wall time
+	// reaches the threshold gets its span timeline dumped at WARN level so
+	// the slow phase is identifiable after the fact. 0 disables the dump.
+	SlowJobThreshold time.Duration
+	// Log receives operational messages as structured records (contained job
+	// panics, persistence failures, slow-job timelines). nil uses
+	// slog.Default.
+	Log *slog.Logger
 }
 
 // requestError marks a client-side (HTTP 400) submission failure.
@@ -123,6 +129,7 @@ type Server struct {
 	cache   *resultCache
 	pool    *pool
 	persist *persister // nil without DataDir
+	obs     *serverObs
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -164,7 +171,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBodyBytes = 64 << 20
 	}
 	if cfg.Log == nil {
-		cfg.Log = log.Default()
+		cfg.Log = slog.Default()
 	}
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 16
@@ -194,11 +201,19 @@ func New(cfg Config) (*Server, error) {
 		s.cache.onEvict = p.deleteResult
 	}
 	s.pool = newPool(cfg.Workers, cfg.MaxQueueDepth, s.runJob)
+	// The registry's gauge closures read the pool/cache/persister, so it is
+	// built only once those exist — and before recovery, whose re-enqueued
+	// jobs already count.
+	s.obs = newServerObs(s)
 	if p != nil {
 		s.recoverJobs()
 	}
 	return s, nil
 }
+
+// Registry exposes the server's Prometheus registry (also served at
+// GET /metrics) so embedders can add their own instruments.
+func (s *Server) Registry() *obs.Registry { return s.obs.reg }
 
 // errCancelledByClient is the cancellation cause installed by Cancel; runJob
 // uses it to distinguish a client abort from shutdown or a deadline.
@@ -263,7 +278,24 @@ func (s *Server) prepare(req JobRequest) (*preparedJob, error) {
 // already be terminal (cache hit). Errors satisfying IsRequestError are the
 // client's fault; ErrShuttingDown means the server no longer accepts work.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
+	return s.SubmitContext(context.Background(), req)
+}
+
+// SubmitContext is Submit with an observability context: a trace carried by
+// ctx (obs.ContextWithTrace, installed by the HTTP middleware from the
+// X-Request-ID header) is attached to the job, spans every phase of its
+// computation, and surfaces in the job's views. A ctx without a trace gets a
+// generated one. The ctx does NOT govern the job's lifetime — cancellation
+// stays with DELETE /v1/jobs/{id} and server shutdown, so a client
+// disconnecting after the 202 does not kill its job.
+func (s *Server) SubmitContext(ctx context.Context, req JobRequest) (*Job, error) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	endParse := tr.Span("parse")
 	pj, err := s.prepare(req)
+	endParse()
 	if err != nil {
 		s.metrics.Rejected()
 		return nil, &requestError{err}
@@ -278,6 +310,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	}
 	s.nextID++
 	job := newJob(fmt.Sprintf("job-%06d", s.nextID))
+	job.trace = tr
 	s.registerLocked(job)
 	s.metrics.Submitted()
 
@@ -301,6 +334,9 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	job.pair = ems.PairInput{Name: job.ID, Log1: pj.l1, Log2: pj.l2}
 	job.opts = pj.opts
 	job.composite = req.Options.Composite
+	if !job.composite {
+		job.prog = &progress{}
+	}
 	job.timeout = pj.timeout
 	job.ctx, job.cancel = context.WithCancelCause(s.ctx)
 	seq := s.nextID
@@ -319,7 +355,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 			})
 		}
 		if perr != nil {
-			s.cfg.Log.Printf("emsd: job %s: persistence failed: %v", job.ID, perr)
+			s.jobLog(job).Error("job persistence failed", "error", perr)
 			s.completeJob(job, StatusFailed, nil, "persistence failure: "+perr.Error(), 0, false)
 			return nil, fmt.Errorf("server: persist job: %w", perr)
 		}
@@ -356,6 +392,16 @@ func (s *Server) registerLocked(j *Job) {
 	}
 }
 
+// jobLog returns the server logger scoped to one job: every record carries
+// the job_id and, when the job is traced, the trace_id.
+func (s *Server) jobLog(j *Job) *slog.Logger {
+	l := s.cfg.Log.With("job_id", j.ID)
+	if j.trace != nil {
+		l = l.With("trace_id", j.trace.ID())
+	}
+	return l
+}
+
 // runJob is the pool callback: compute one pair and complete the job. The
 // computation runs under the job's cancellable context plus its wall-clock
 // deadline (armed here, so queue time does not count), and a panic anywhere
@@ -369,12 +415,18 @@ func (s *Server) runJob(j *Job) {
 	j.attempt++
 	if s.persist != nil && j.seq != 0 {
 		if err := s.persist.recordStart(j.ID, j.attempt); err != nil {
-			s.cfg.Log.Printf("emsd: job %s: journaling start failed: %v", j.ID, err)
+			s.jobLog(j).Warn("journaling job start failed", "phase", "start", "error", err)
 		}
 	}
 	ctx := j.ctx
 	if ctx == nil {
 		ctx = s.ctx
+	}
+	if j.trace != nil {
+		// Carry the trace into the engine: the ems facade arms its span hook
+		// from the context, so graph-build/iterate/select phases land on the
+		// job's timeline.
+		ctx = obs.ContextWithTrace(ctx, j.trace)
 	}
 	if j.timeout > 0 {
 		var cancel context.CancelFunc
@@ -389,7 +441,8 @@ func (s *Server) runJob(j *Job) {
 			if ep, ok := r.(*core.EnginePanic); ok {
 				val, stack = ep.Val, ep.Stack
 			}
-			s.cfg.Log.Printf("emsd: job %s panicked (contained): %v\n%s", j.ID, val, stack)
+			s.jobLog(j).Error("job panicked (contained)", "phase", "compute",
+				"panic", fmt.Sprint(val), "stack", string(stack))
 			// A panic is not a property of the input (those fail with an
 			// error), so it is worth a bounded retry when configured — from
 			// the last persisted checkpoint, not from scratch.
@@ -403,12 +456,16 @@ func (s *Server) runJob(j *Job) {
 				fmt.Sprintf("internal error: computation panicked: %v", val), time.Since(start), false)
 		}
 	}()
-	opts := append(append(make([]ems.Option, 0, len(j.opts)+3), j.opts...), ems.WithContext(ctx))
+	opts := append(append(make([]ems.Option, 0, len(j.opts)+4), j.opts...), ems.WithContext(ctx))
+	if j.prog != nil {
+		opts = append(opts, ems.WithProgress(j.prog.observe))
+	}
 	if s.persist != nil && j.seq != 0 && !j.composite {
 		id := j.ID
+		log := s.jobLog(j)
 		opts = append(opts, ems.WithCheckpoints(s.cfg.CheckpointEvery, func(cp *ems.EngineCheckpoint) {
 			if err := s.persist.saveCheckpoint(id, cp); err != nil {
-				s.cfg.Log.Printf("emsd: job %s: writing checkpoint failed: %v", id, err)
+				log.Warn("writing checkpoint failed", "phase", "checkpoint", "error", err)
 				return
 			}
 			s.metrics.CheckpointWritten()
@@ -425,6 +482,12 @@ func (s *Server) runJob(j *Job) {
 		res, err = ems.Match(j.pair.Log1, j.pair.Log2, opts...)
 	}
 	wall := time.Since(start)
+	if thr := s.cfg.SlowJobThreshold; thr > 0 && wall >= thr && j.trace != nil {
+		s.jobLog(j).Warn("slow job", "phase", "compute",
+			"wall_ms", float64(wall.Microseconds())/1000,
+			"threshold_ms", float64(thr.Microseconds())/1000,
+			"timeline", "\n"+j.trace.Timeline())
+	}
 	switch {
 	case err == nil:
 		s.completeJob(j, StatusDone, res, "", wall, true)
@@ -456,11 +519,11 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 		// finds its result on the next boot.
 		if status == StatusDone && res != nil && computed {
 			if err := s.persist.saveResult(j.key, res); err != nil {
-				s.cfg.Log.Printf("emsd: job %s: persisting result failed: %v", j.ID, err)
+				s.jobLog(j).Warn("persisting result failed", "phase", "complete", "error", err)
 			}
 		}
 		if err := s.persist.recordDone(j.ID, status, errMsg); err != nil {
-			s.cfg.Log.Printf("emsd: job %s: journaling completion failed: %v", j.ID, err)
+			s.jobLog(j).Warn("journaling completion failed", "phase", "complete", "error", err)
 		}
 	}
 	s.mu.Lock()
@@ -473,12 +536,15 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 
 	j.finish(status, res, errMsg, wall, false)
 	s.metrics.JobDone(status, wall, computed)
+	if computed {
+		s.obs.jobDur.Observe(wall.Seconds())
+	}
 	for _, f := range followers {
 		// Followers coalesced at recovery are journaled jobs of their own and
 		// need their terminal record too (seq != 0 only for those).
 		if s.persist != nil && f.seq != 0 {
 			if err := s.persist.recordDone(f.ID, status, errMsg); err != nil {
-				s.cfg.Log.Printf("emsd: job %s: journaling completion failed: %v", f.ID, err)
+				s.jobLog(f).Warn("journaling completion failed", "phase", "complete", "error", err)
 			}
 		}
 		f.finish(status, res, errMsg, 0, true)
@@ -586,7 +652,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !already && s.persist != nil {
 		// Workers are done; no more journal writes are coming.
 		if cerr := s.persist.Close(); cerr != nil {
-			s.cfg.Log.Printf("emsd: closing journal: %v", cerr)
+			s.cfg.Log.Warn("closing journal failed", "error", cerr)
 		}
 	}
 	return err
@@ -640,6 +706,12 @@ func (s *Server) recoverActiveJob(st jobState) {
 	p := s.persist
 	j := newJob(st.ID)
 	j.seq, j.attempt, j.key, j.composite = st.Seq, st.Attempt, st.Key, st.Composite
+	// The original trace died with the previous process; a recovered job gets
+	// a fresh one so its re-run is observable too.
+	j.trace = obs.NewTrace("")
+	if !j.composite {
+		j.prog = &progress{}
+	}
 	s.mu.Lock()
 	s.registerLocked(j)
 	s.mu.Unlock()

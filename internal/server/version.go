@@ -1,0 +1,53 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// VersionInfo describes the running binary, extracted from the build info
+// the Go linker embeds. Fields degrade to "unknown" when the binary was
+// built outside a module or VCS checkout (e.g. plain `go test`).
+type VersionInfo struct {
+	// Version is the main module's version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash the binary was built from.
+	Revision string `json:"revision"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	versionOnce sync.Once
+	versionInfo VersionInfo
+)
+
+// Version returns the binary's build identity; the extraction runs once.
+func Version() VersionInfo {
+	versionOnce.Do(func() {
+		versionInfo = VersionInfo{
+			Version:   "unknown",
+			Revision:  "unknown",
+			GoVersion: runtime.Version(),
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			versionInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				versionInfo.Revision = s.Value
+			case "vcs.modified":
+				versionInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return versionInfo
+}
