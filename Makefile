@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core crash-test profile metrics-check
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core crash-test cluster-test profile metrics-check
 
 all: check
 
@@ -48,6 +48,49 @@ crash-test:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/journal
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Checkpoint|Restore' ./internal/core ./ems
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'KillAndRestart|Restart|Retry|CrashLoop|StatsExpose' ./internal/server
+
+# Clustering suite under the race detector (ring placement, peer forwarding,
+# batch failover), then a live smoke: boot three loopback emsd processes as a
+# full mesh and run a 2x2 POST /v1/batch grid through node-a end to end.
+CLUSTER_A ?= 127.0.0.1:18591
+CLUSTER_B ?= 127.0.0.1:18592
+CLUSTER_C ?= 127.0.0.1:18593
+
+cluster-test:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/jobkey ./internal/cluster
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'TestCluster|TestBatch|TestJobsList' ./internal/server
+	@tmp=$$(mktemp -d); \
+	trap 'kill $$pa $$pb $$pc 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/emsd ./cmd/emsd || exit 1; \
+	$$tmp/emsd -addr $(CLUSTER_A) -node-id node-a -advertise http://$(CLUSTER_A) \
+		-peers node-b=http://$(CLUSTER_B),node-c=http://$(CLUSTER_C) \
+		>$$tmp/a.log 2>&1 & pa=$$!; \
+	$$tmp/emsd -addr $(CLUSTER_B) -node-id node-b -advertise http://$(CLUSTER_B) \
+		-peers node-a=http://$(CLUSTER_A),node-c=http://$(CLUSTER_C) \
+		>$$tmp/b.log 2>&1 & pb=$$!; \
+	$$tmp/emsd -addr $(CLUSTER_C) -node-id node-c -advertise http://$(CLUSTER_C) \
+		-peers node-a=http://$(CLUSTER_A),node-b=http://$(CLUSTER_B) \
+		>$$tmp/c.log 2>&1 & pc=$$!; \
+	for h in $(CLUSTER_A) $(CLUSTER_B) $(CLUSTER_C); do \
+		for i in $$(seq 1 100); do \
+			curl -sf http://$$h/healthz >/dev/null && break; sleep 0.1; \
+		done; \
+	done; \
+	body='{"logs1":[{"csv":"case,event\nc1,A\nc1,C\n"},{"csv":"case,event\nc1,A\nc1,B\nc1,C\n"}],"logs2":[{"csv":"case,event\nc1,1\nc1,2\n"},{"csv":"case,event\nc1,1\nc1,3\n"}]}'; \
+	id=$$(curl -sf -X POST http://$(CLUSTER_A)/v1/batch -d "$$body" \
+		| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "cluster-test: batch submit failed"; cat $$tmp/a.log; exit 1; }; \
+	for i in $$(seq 1 300); do \
+		status=$$(curl -sf http://$(CLUSTER_A)/v1/batch/$$id \
+			| sed -n 's/.*"status": *"\([^"]*\)".*/\1/p' | head -n 1); \
+		case $$status in done) break;; failed|cancelled) break;; esac; sleep 0.1; \
+	done; \
+	if [ "$$status" != done ]; then \
+		echo "cluster-test: batch ended $$status"; cat $$tmp/a.log $$tmp/b.log $$tmp/c.log; exit 1; \
+	fi; \
+	curl -sf http://$(CLUSTER_A)/metrics | grep -q '^emsd_peer_forwards_total' \
+		|| { echo "cluster-test: no per-peer forward counters on /metrics"; exit 1; }; \
+	echo "cluster-test: 3-node batch grid ok (batch $$id done)"
 
 # Short fuzz runs over every fuzz target; CI uses this as a smoke test.
 # Each target needs its own invocation: `go test -fuzz` accepts exactly one.

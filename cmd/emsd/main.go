@@ -8,6 +8,13 @@
 //	     [-job-timeout D] [-max-job-timeout D] [-max-queue-depth N]
 //	     [-data-dir DIR] [-checkpoint-every N] [-job-retries N]
 //	     [-log-format text|json] [-slow-job D] [-debug-addr ADDR]
+//	     [-node-id ID] [-advertise URL] [-peers id=url,id=url,...]
+//
+// Clustering: give every node a unique -node-id and list the other members
+// with -peers. Each node forwards submissions to the consistent-hash owner
+// of the job's content key, POST /v1/batch fans an N×M grid of log pairs
+// across the whole cluster, and job handles stay valid on whichever node a
+// client talks to. See "Clustering emsd" in the README.
 //
 // Submit a job, poll it, fetch the result:
 //
@@ -45,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -68,6 +76,9 @@ func main() {
 		slowJob    = flag.Duration("slow-job", 0, "dump a job's span timeline to the log when its wall time reaches this threshold (0 = never)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this extra admin address (empty = off; do not expose publicly)")
 		checkURL   = flag.String("check-metrics", "", "fetch this /metrics URL, validate the Prometheus exposition, and exit (CI scrape gate)")
+		nodeID     = flag.String("node-id", "", "this node's cluster identity; must be unique per cluster (empty = hostname, falling back to \"emsd\")")
+		advertise  = flag.String("advertise", "", "base URL peers reach this node on, e.g. http://10.0.0.5:8484 (cluster mode)")
+		peers      = flag.String("peers", "", "comma-separated id=url list of the other cluster members (empty = standalone)")
 	)
 	flag.Parse()
 	if *checkURL != "" {
@@ -103,7 +114,20 @@ func main() {
 			}
 		}()
 	}
+	id := *nodeID
+	if id == "" {
+		if id, _ = os.Hostname(); id == "" {
+			id = "emsd"
+		}
+	}
+	ccfg, err := parsePeers(*peers, *advertise)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emsd:", err)
+		os.Exit(2)
+	}
 	cfg := server.Config{
+		NodeID:           id,
+		Cluster:          ccfg,
 		Workers:          *workers,
 		EngineWorkers:    *engWorkers,
 		CacheSize:        *cacheSize,
@@ -122,6 +146,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emsd:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers turns the -peers flag ("n2=http://host:8484,n3=http://...")
+// into a cluster configuration; empty means standalone (nil).
+func parsePeers(list, advertise string) (*server.ClusterConfig, error) {
+	if list == "" {
+		return nil, nil
+	}
+	ccfg := &server.ClusterConfig{Advertise: advertise}
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers: want id=url, got %q", entry)
+		}
+		ccfg.Peers = append(ccfg.Peers, cluster.Node{ID: id, Addr: url})
+	}
+	if len(ccfg.Peers) == 0 {
+		return nil, fmt.Errorf("-peers: no peers in %q", list)
+	}
+	return ccfg, nil
 }
 
 // newLogger builds the process logger writing to w in the chosen format.
@@ -211,7 +259,12 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, drain time.D
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	cfg.Log.Info("emsd listening", "addr", ln.Addr().String(), "workers", cfg.Workers, "cache", cfg.CacheSize)
+	peerCount := 0
+	if cfg.Cluster != nil {
+		peerCount = len(cfg.Cluster.Peers)
+	}
+	cfg.Log.Info("emsd listening", "addr", ln.Addr().String(), "workers", cfg.Workers,
+		"cache", cfg.CacheSize, "node_id", cfg.NodeID, "peers", peerCount)
 	select {
 	case err := <-errc:
 		return err

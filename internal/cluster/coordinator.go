@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/ems"
+)
+
+// Pair is one unit of batch work: a named log pair whose content-addressed
+// job key decides its ring placement. The coordinator never looks at the
+// logs themselves — the Runner carries them — so placement and execution
+// stay decoupled.
+type Pair struct {
+	Name string
+	Key  string
+}
+
+// Runner executes one pair on one node and returns its result. The server
+// injects it: node == self runs through the local job queue (cache,
+// coalescing and all), a remote node goes through the peer client. An
+// *UnavailableError return means the node could not take or finish the
+// work and the pair should fail over; any other error is terminal for the
+// pair.
+type Runner func(ctx context.Context, node Node, pair Pair) (*ems.Result, error)
+
+// PairResult is the outcome of one coordinated pair.
+type PairResult struct {
+	Name string
+	// Node is the ID of the node that produced the terminal outcome.
+	Node string
+	// Attempts counts execution attempts across replicas (1 = no failover).
+	Attempts int
+	Result   *ems.Result
+	Err      error
+}
+
+// Coordinator fans pairs out across the ring: each pair is offered to its
+// key's replicas in ring order, with a bounded number of in-flight pairs
+// per node, failing over to the next replica when a node is unavailable.
+type Coordinator struct {
+	Ring *Ring
+	// Health, when set, lets placement skip known-down nodes without paying
+	// a connection timeout. Down nodes are only skipped while another
+	// replica remains; the last candidate is always tried, so a fully
+	// "down" view (e.g. a stale tracker) degrades to attempts, not to
+	// instant failure.
+	Health *Health
+	Run    Runner
+	// NodeInflight bounds concurrently executing pairs per node (<= 0 means
+	// DefaultNodeInflight). It is the coordinator's backpressure: a 100×100
+	// grid must not dump 10000 submissions onto a 3-node cluster at once.
+	NodeInflight int
+	// OnFailover observes each abandoned attempt (after Run returned
+	// unavailable, or a down node was skipped) — the failover metric hook.
+	OnFailover func(node Node, pair Pair, err error)
+	// OnDone observes each pair's terminal outcome as it happens, in
+	// completion order — the progress hook. Called concurrently.
+	OnDone func(i int, pr PairResult)
+}
+
+// DefaultNodeInflight is the per-node in-flight bound used when the
+// coordinator's NodeInflight is unset.
+const DefaultNodeInflight = 4
+
+// errSkippedDown marks a replica skipped on health information alone.
+var errSkippedDown = fmt.Errorf("cluster: node marked down, skipped")
+
+// Execute runs every pair to a terminal outcome and returns the results in
+// input order. It blocks until all pairs are done or ctx is cancelled;
+// cancelled pairs report ctx's cause. Execute never fails as a whole — a
+// pair that exhausts every replica carries the last error.
+func (c *Coordinator) Execute(ctx context.Context, pairs []Pair) []PairResult {
+	inflight := c.NodeInflight
+	if inflight <= 0 {
+		inflight = DefaultNodeInflight
+	}
+	// One semaphore per node; replicas order is per-pair, so a pair blocked
+	// on a busy owner does not stop other pairs from running elsewhere.
+	sems := make(map[string]chan struct{}, c.Ring.Len())
+	for _, n := range c.Ring.Nodes() {
+		sems[n.ID] = make(chan struct{}, inflight)
+	}
+	out := make([]PairResult, len(pairs))
+	var wg sync.WaitGroup
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = c.executePair(ctx, pairs[i], sems)
+			if c.OnDone != nil {
+				c.OnDone(i, out[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// executePair walks one pair down its replica list.
+func (c *Coordinator) executePair(ctx context.Context, pair Pair, sems map[string]chan struct{}) PairResult {
+	pr := PairResult{Name: pair.Name}
+	replicas := c.Ring.Replicas(pair.Key, 0)
+	var lastErr error
+	for ri, node := range replicas {
+		if err := ctx.Err(); err != nil {
+			pr.Err = fmt.Errorf("cluster: pair %q abandoned: %w", pair.Name, context.Cause(ctx))
+			return pr
+		}
+		last := ri == len(replicas)-1
+		if !last && c.Health != nil && !c.Health.Up(node.ID) {
+			if c.OnFailover != nil {
+				c.OnFailover(node, pair, errSkippedDown)
+			}
+			lastErr = &UnavailableError{Node: node.ID, Op: "placement", Err: errSkippedDown}
+			continue
+		}
+		sem := sems[node.ID]
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			pr.Err = fmt.Errorf("cluster: pair %q abandoned: %w", pair.Name, context.Cause(ctx))
+			return pr
+		}
+		res, err := c.Run(ctx, node, pair)
+		<-sem
+		pr.Attempts++
+		if err != nil && IsUnavailable(err) && ctx.Err() == nil {
+			if c.Health != nil {
+				c.Health.ReportFailure(node.ID, err)
+			}
+			if c.OnFailover != nil {
+				c.OnFailover(node, pair, err)
+			}
+			lastErr = err
+			continue
+		}
+		pr.Node, pr.Result, pr.Err = node.ID, res, err
+		return pr
+	}
+	pr.Err = fmt.Errorf("cluster: pair %q failed on every replica: %w", pair.Name, lastErr)
+	return pr
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/ems"
+)
+
+func testPairs(n int) []Pair {
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{Name: fmt.Sprintf("p%d", i), Key: fmt.Sprintf("key-%d", i)}
+	}
+	return pairs
+}
+
+func TestCoordinatorRunsEveryPairOnItsOwner(t *testing.T) {
+	ring := threeNodeRing(t)
+	pairs := testPairs(20)
+	var mu sync.Mutex
+	ranOn := map[string]string{}
+	c := &Coordinator{
+		Ring: ring,
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			mu.Lock()
+			ranOn[pair.Name] = node.ID
+			mu.Unlock()
+			return &ems.Result{}, nil
+		},
+	}
+	out := c.Execute(context.Background(), pairs)
+	for i, pr := range out {
+		if pr.Err != nil {
+			t.Fatalf("pair %d failed: %v", i, pr.Err)
+		}
+		if pr.Name != pairs[i].Name {
+			t.Fatalf("pair %d out of order: got %q want %q", i, pr.Name, pairs[i].Name)
+		}
+		if pr.Attempts != 1 {
+			t.Fatalf("pair %d took %d attempts without any failure", i, pr.Attempts)
+		}
+		want := ring.Owner(pairs[i].Key).ID
+		if ranOn[pr.Name] != want || pr.Node != want {
+			t.Fatalf("pair %q ran on %s/%s, owner is %s", pr.Name, ranOn[pr.Name], pr.Node, want)
+		}
+	}
+}
+
+func TestCoordinatorBoundsPerNodeInflight(t *testing.T) {
+	ring := threeNodeRing(t)
+	var mu sync.Mutex
+	cur, peak := map[string]int{}, map[string]int{}
+	c := &Coordinator{
+		Ring:         ring,
+		NodeInflight: 2,
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			mu.Lock()
+			cur[node.ID]++
+			if cur[node.ID] > peak[node.ID] {
+				peak[node.ID] = cur[node.ID]
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			mu.Lock()
+			cur[node.ID]--
+			mu.Unlock()
+			return &ems.Result{}, nil
+		},
+	}
+	c.Execute(context.Background(), testPairs(60))
+	for node, p := range peak {
+		if p > 2 {
+			t.Errorf("node %s peaked at %d in-flight pairs, bound is 2", node, p)
+		}
+	}
+}
+
+// TestCoordinatorFailover: a dead owner's pairs land on the next replica,
+// the failover hook fires, and healthy owners are untouched.
+func TestCoordinatorFailover(t *testing.T) {
+	ring := threeNodeRing(t)
+	pairs := testPairs(30)
+	dead := ring.Owner(pairs[0].Key).ID
+	var failovers atomic.Int64
+	c := &Coordinator{
+		Ring: ring,
+		OnFailover: func(node Node, pair Pair, err error) {
+			if node.ID != dead {
+				t.Errorf("failover away from healthy node %s", node.ID)
+			}
+			failovers.Add(1)
+		},
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			if node.ID == dead {
+				return nil, &UnavailableError{Node: node.ID, Op: "test", Err: errors.New("connection refused")}
+			}
+			return &ems.Result{}, nil
+		},
+	}
+	out := c.Execute(context.Background(), pairs)
+	sawFailover := false
+	for i, pr := range out {
+		if pr.Err != nil {
+			t.Fatalf("pair %d failed despite two healthy replicas: %v", i, pr.Err)
+		}
+		if pr.Node == dead {
+			t.Fatalf("pair %d reported success on the dead node", i)
+		}
+		owner := ring.Owner(pairs[i].Key).ID
+		if owner == dead {
+			sawFailover = true
+			if pr.Attempts != 2 {
+				t.Errorf("pair %d owned by dead node finished in %d attempts, want 2", i, pr.Attempts)
+			}
+			if want := ring.Replicas(pairs[i].Key, 2)[1].ID; pr.Node != want {
+				t.Errorf("pair %d failed over to %s, want next replica %s", i, pr.Node, want)
+			}
+		} else if pr.Attempts != 1 {
+			t.Errorf("pair %d with healthy owner took %d attempts", i, pr.Attempts)
+		}
+	}
+	if !sawFailover {
+		t.Fatal("test is vacuous: no sampled pair was owned by the dead node")
+	}
+	if failovers.Load() == 0 {
+		t.Fatal("failover hook never fired")
+	}
+}
+
+// TestCoordinatorSkipsKnownDownNodes: health knowledge short-circuits the
+// attempt entirely — the runner is never invoked for a down node while
+// another replica remains.
+func TestCoordinatorSkipsKnownDownNodes(t *testing.T) {
+	ring := threeNodeRing(t)
+	pairs := testPairs(30)
+	dead := ring.Owner(pairs[0].Key).ID
+	deadNode, _ := ring.Node(dead)
+	health := NewHealth([]*Client{NewClient(deadNode, time.Second)}, nil)
+	health.ReportFailure(dead, errors.New("probe failed"))
+	c := &Coordinator{
+		Ring:   ring,
+		Health: health,
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			if node.ID == dead {
+				t.Errorf("runner invoked for known-down node on pair %q", pair.Name)
+			}
+			return &ems.Result{}, nil
+		},
+	}
+	for _, pr := range c.Execute(context.Background(), pairs) {
+		if pr.Err != nil {
+			t.Fatalf("pair %q failed: %v", pr.Name, pr.Err)
+		}
+	}
+}
+
+// TestCoordinatorTerminalErrorDoesNotFailOver: a healthy peer rejecting the
+// job (bad input) must not burn the other replicas on the same bad input.
+func TestCoordinatorTerminalErrorDoesNotFailOver(t *testing.T) {
+	ring := threeNodeRing(t)
+	var runs atomic.Int64
+	c := &Coordinator{
+		Ring: ring,
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			runs.Add(1)
+			return nil, &RemoteError{Node: node.ID, Code: 400, Msg: "bad input"}
+		},
+	}
+	out := c.Execute(context.Background(), testPairs(1))
+	if out[0].Err == nil {
+		t.Fatal("terminal error lost")
+	}
+	var re *RemoteError
+	if !errors.As(out[0].Err, &re) {
+		t.Fatalf("error type lost: %v", out[0].Err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("terminal error was retried %d times", runs.Load())
+	}
+}
+
+func TestCoordinatorAllReplicasDown(t *testing.T) {
+	ring := threeNodeRing(t)
+	c := &Coordinator{
+		Ring: ring,
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			return nil, &UnavailableError{Node: node.ID, Op: "test", Err: errors.New("refused")}
+		},
+	}
+	out := c.Execute(context.Background(), testPairs(1))
+	if out[0].Err == nil {
+		t.Fatal("pair succeeded with every replica down")
+	}
+	if out[0].Attempts != 3 {
+		t.Fatalf("tried %d replicas, want all 3", out[0].Attempts)
+	}
+}
+
+func TestCoordinatorCancellation(t *testing.T) {
+	ring := threeNodeRing(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	c := &Coordinator{
+		Ring:         ring,
+		NodeInflight: 1,
+		Run: func(ctx context.Context, node Node, pair Pair) (*ems.Result, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, fmt.Errorf("aborted: %w", ctx.Err())
+		},
+	}
+	done := make(chan []PairResult, 1)
+	go func() { done <- c.Execute(ctx, testPairs(12)) }()
+	<-started
+	cancel()
+	select {
+	case out := <-done:
+		failed := 0
+		for _, pr := range out {
+			if pr.Err != nil {
+				failed++
+			}
+		}
+		if failed != len(out) {
+			t.Fatalf("only %d/%d pairs report the cancellation", failed, len(out))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not return after cancellation")
+	}
+}

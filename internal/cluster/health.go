@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerStatus is one peer's health as the local node sees it.
+type PeerStatus struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	// Failures counts consecutive failed probes/requests since the last
+	// success.
+	Failures int    `json:"failures,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// Health tracks peer liveness from two signals: a background prober hitting
+// each peer's /healthz, and the request paths reporting their own successes
+// and failures. A peer is down after one failure and up again after one
+// success — cheap failover beats optimistic retries against a dead node,
+// and the prober flips it back within one interval once it recovers.
+type Health struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+	// onChange, when set, observes up/down transitions (e.g. to drive a
+	// per-peer gauge). Called outside the lock. Set before sharing.
+	onChange func(id string, up bool)
+}
+
+type peerHealth struct {
+	client   *Client
+	up       bool
+	failures int
+	lastErr  string
+}
+
+// NewHealth tracks the given peer clients, all initially up (a cold start
+// assumes the best; the first probe or request corrects it).
+func NewHealth(clients []*Client, onChange func(id string, up bool)) *Health {
+	h := &Health{peers: make(map[string]*peerHealth, len(clients)), onChange: onChange}
+	for _, c := range clients {
+		h.peers[c.Node().ID] = &peerHealth{client: c, up: true}
+	}
+	return h
+}
+
+// Up reports whether a peer is believed reachable. Unknown IDs (including
+// the local node) are up: the tracker only ever vetoes known-dead peers.
+func (h *Health) Up(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	return !ok || p.up
+}
+
+// UpCount returns how many tracked peers are currently believed up.
+func (h *Health) UpCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, p := range h.peers {
+		if p.up {
+			n++
+		}
+	}
+	return n
+}
+
+// ReportSuccess records a successful exchange with a peer.
+func (h *Health) ReportSuccess(id string) { h.report(id, nil) }
+
+// ReportFailure records a failed exchange with a peer; the request paths
+// call it so a dead node is avoided immediately, not only after the next
+// probe.
+func (h *Health) ReportFailure(id string, err error) { h.report(id, err) }
+
+func (h *Health) report(id string, err error) {
+	h.mu.Lock()
+	p, ok := h.peers[id]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	was := p.up
+	if err == nil {
+		p.up, p.failures, p.lastErr = true, 0, ""
+	} else {
+		p.up = false
+		p.failures++
+		p.lastErr = err.Error()
+	}
+	now := p.up
+	onChange := h.onChange
+	h.mu.Unlock()
+	if onChange != nil && was != now {
+		onChange(id, now)
+	}
+}
+
+// Snapshot returns every peer's status, sorted by ID.
+func (h *Health) Snapshot() []PeerStatus {
+	h.mu.Lock()
+	out := make([]PeerStatus, 0, len(h.peers))
+	for id, p := range h.peers {
+		out = append(out, PeerStatus{
+			ID: id, Addr: p.client.Node().Addr, Up: p.up,
+			Failures: p.failures, LastErr: p.lastErr,
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Probe checks every peer once, concurrently, and folds the outcomes in.
+func (h *Health) Probe(ctx context.Context) {
+	h.mu.Lock()
+	clients := make([]*Client, 0, len(h.peers))
+	for _, p := range h.peers {
+		clients = append(clients, p.client)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			h.report(c.Node().ID, c.Healthy(ctx))
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Run probes every peer on the interval (<= 0 means 2s) until ctx is
+// cancelled. Start it on its own goroutine.
+func (h *Health) Run(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			h.Probe(ctx)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/ems"
+)
+
+// stubNode fakes just enough of the emsd API for the client: accept a job,
+// report it done after a couple of polls, serve a canned result.
+func stubNode(t *testing.T, res *ems.Result) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) == "" {
+			t.Error("peer client did not mark its submission as forwarded")
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "job-000042", "status": "queued"})
+	})
+	mux.HandleFunc("GET /v1/jobs/job-000042", func(w http.ResponseWriter, r *http.Request) {
+		status := "running"
+		if polls.Add(1) >= 2 {
+			status = "done"
+		}
+		json.NewEncoder(w).Encode(map[string]string{"id": "job-000042", "status": status})
+	})
+	mux.HandleFunc("GET /v1/jobs/job-000042/result", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Error(err)
+		}
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &polls
+}
+
+func TestClientRunJob(t *testing.T) {
+	want := &ems.Result{
+		Names1: []string{"A", "B"}, Names2: []string{"1", "2"},
+		Sim: []float64{0.25, 0.5, 0.75, 1}, Rounds: 3, Evaluations: 12,
+	}
+	srv, polls := stubNode(t, want)
+	c := NewClient(Node{ID: "n1", Addr: srv.URL}, time.Second)
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+	got, id, err := c.RunJob(context.Background(), []byte(`{"log1":{},"log2":{}}`), time.Millisecond)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if id != "job-000042" {
+		t.Fatalf("job id %q", id)
+	}
+	if polls.Load() < 2 {
+		t.Fatalf("result served before the job was done (%d polls)", polls.Load())
+	}
+	var a, b bytes.Buffer
+	if err := want.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("result did not survive the wire byte-for-byte:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestClientErrorClassification(t *testing.T) {
+	// Dead listener → unavailable.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	c := NewClient(Node{ID: "gone", Addr: deadURL}, 200*time.Millisecond)
+	if _, err := c.Submit(context.Background(), []byte(`{}`)); !IsUnavailable(err) {
+		t.Fatalf("connection refused not classified unavailable: %v", err)
+	}
+
+	// 400 → terminal remote error, not unavailable.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "log1: no traces"})
+	}))
+	defer bad.Close()
+	c = NewClient(Node{ID: "picky", Addr: bad.URL}, time.Second)
+	_, err := c.Submit(context.Background(), []byte(`{}`))
+	if IsUnavailable(err) {
+		t.Fatalf("400 misclassified as unavailable: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != http.StatusBadRequest || re.Msg != "log1: no traces" {
+		t.Fatalf("remote error not surfaced: %v", err)
+	}
+
+	// 503 (shedding / shutting down) → unavailable: retry elsewhere.
+	full := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "job queue is full"})
+	}))
+	defer full.Close()
+	c = NewClient(Node{ID: "full", Addr: full.URL}, time.Second)
+	if _, err := c.Submit(context.Background(), []byte(`{}`)); !IsUnavailable(err) {
+		t.Fatalf("503 not classified unavailable: %v", err)
+	}
+}
+
+func TestHealthTracking(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer alive.Close()
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close()
+
+	var transitions atomic.Int64
+	h := NewHealth([]*Client{
+		NewClient(Node{ID: "up", Addr: alive.URL}, time.Second),
+		NewClient(Node{ID: "down", Addr: deadURL}, 200*time.Millisecond),
+	}, func(id string, up bool) { transitions.Add(1) })
+
+	if !h.Up("up") || !h.Up("down") || !h.Up("unknown") {
+		t.Fatal("peers must start optimistic")
+	}
+	h.Probe(context.Background())
+	if !h.Up("up") {
+		t.Fatal("live peer marked down")
+	}
+	if h.Up("down") {
+		t.Fatal("dead peer still up after probe")
+	}
+	if h.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1", h.UpCount())
+	}
+	if transitions.Load() != 1 {
+		t.Fatalf("expected exactly one up→down transition, saw %d", transitions.Load())
+	}
+	// A later success flips it back.
+	h.ReportSuccess("down")
+	if !h.Up("down") {
+		t.Fatal("recovered peer still down")
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "down" || snap[1].ID != "up" {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+}

@@ -1,0 +1,135 @@
+// Package cluster turns emsd into a peer-to-peer cluster: a consistent-hash
+// ring places content-addressed job keys on nodes (so the dedup/coalescing
+// result cache shards naturally and two nodes never duplicate the same
+// job), an HTTP peer client with health probing talks to the owners, and a
+// batch coordinator fans an N×M grid of match pairs out across the ring
+// with bounded per-node in-flight limits, retrying a pair on the next ring
+// replica when its node dies.
+//
+// Only placement is distributed: every pair is still computed by the
+// single-node ems engine on exactly one machine, so results stay
+// bit-identical to a local ems.MatchAll.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Node identifies one cluster member: a stable ID (the ring hashes IDs, so
+// every node must be configured with the same ID set) and the base URL
+// peers dial it on. Addr is empty for the local node in its own ring.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// DefaultVNodes is the virtual-node count per member: enough points that a
+// 3-node ring splits keys within a few percent of evenly, cheap enough that
+// ring construction stays trivial.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of nodes. Placement
+// depends only on node IDs and the key bytes — never on addresses, join
+// order, or map iteration — so every correctly configured member computes
+// identical ownership. Build once with New; rebuild on membership change.
+type Ring struct {
+	nodes  map[string]Node
+	points []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// hash64 maps a labeled byte string onto the ring circle. SHA-256 (not a
+// seeded runtime hash) keeps placement stable across processes, versions,
+// and architectures; the first 8 bytes are ample for 64 vnodes per node.
+func hash64(kind, s string) uint64 {
+	sum := sha256.Sum256([]byte(kind + ":" + s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over the given members with vnodes virtual points per
+// node (<= 0 uses DefaultVNodes). Node IDs must be non-empty and unique.
+func New(nodes []Node, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{nodes: make(map[string]Node, len(nodes))}
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node with empty ID")
+		}
+		if _, dup := r.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		r.nodes[n.ID] = n
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64("node", n.ID+"#"+strconv.Itoa(v)), id: n.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id // deterministic on (astronomically unlikely) collisions
+	})
+	return r, nil
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the members sorted by ID.
+func (r *Ring) Nodes() []Node {
+	out := make([]Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Node looks up a member by ID.
+func (r *Ring) Node(id string) (Node, bool) {
+	n, ok := r.nodes[id]
+	return n, ok
+}
+
+// Owner returns the node that owns key: the first virtual point at or after
+// the key's hash, walking the circle clockwise.
+func (r *Ring) Owner(key string) Node {
+	return r.Replicas(key, 1)[0]
+}
+
+// Replicas returns up to n distinct nodes for key in failover order: the
+// owner first, then the next distinct nodes clockwise around the ring. n
+// larger than the membership returns every node exactly once. All members
+// agree on this order, so a coordinator retrying a pair after a node death
+// lands it where any other coordinator would.
+func (r *Ring) Replicas(key string, n int) []Node {
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64("key", key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]Node, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		out = append(out, r.nodes[p.id])
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func threeNodeRing(t *testing.T) *Ring {
+	t.Helper()
+	r, err := New([]Node{
+		{ID: "node-a", Addr: "http://a"},
+		{ID: "node-b", Addr: "http://b"},
+		{ID: "node-c", Addr: "http://c"},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingPinnedPlacement pins placement for known keys on a known
+// membership. Ring placement is a cluster-wide contract (every node
+// computes ownership independently); if this fails, the hash construction
+// changed and a mixed-version cluster would disagree about who owns what.
+func TestRingPinnedPlacement(t *testing.T) {
+	r := threeNodeRing(t)
+	want := map[string][]string{
+		"alpha":   {"node-c", "node-a", "node-b"},
+		"bravo":   {"node-b", "node-a", "node-c"},
+		"charlie": {"node-c", "node-a", "node-b"},
+	}
+	for key, order := range want {
+		got := r.Replicas(key, 0)
+		if len(got) != len(order) {
+			t.Fatalf("Replicas(%q) returned %d nodes, want %d", key, len(got), len(order))
+		}
+		for i, n := range got {
+			if n.ID != order[i] {
+				t.Errorf("Replicas(%q)[%d] = %s, want %s", key, i, n.ID, order[i])
+			}
+		}
+		if r.Owner(key).ID != order[0] {
+			t.Errorf("Owner(%q) = %s, want %s", key, r.Owner(key).ID, order[0])
+		}
+	}
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	r1, r2 := threeNodeRing(t), threeNodeRing(t)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r1.Owner(key), r2.Owner(key)
+		if o1.ID != o2.ID {
+			t.Fatalf("two identical rings disagree on %q: %s vs %s", key, o1.ID, o2.ID)
+		}
+		counts[o1.ID]++
+	}
+	for _, n := range r1.Nodes() {
+		if c := counts[n.ID]; c < keys/6 {
+			t.Errorf("node %s owns only %d/%d keys; ring is badly unbalanced", n.ID, c, keys)
+		}
+	}
+}
+
+// TestRingConsistency: removing one node must only move the keys that node
+// owned; every other key keeps its owner. This is the property that makes
+// the hash ring worth having over mod-N.
+func TestRingConsistency(t *testing.T) {
+	full := threeNodeRing(t)
+	reduced, err := New([]Node{{ID: "node-a"}, {ID: "node-b"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key).ID
+		after := reduced.Owner(key).ID
+		if before == "node-c" {
+			moved++
+			continue // had to move
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s → %s although its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test is vacuous: no sampled key was owned by the removed node")
+	}
+}
+
+func TestRingReplicasDistinctAndBounded(t *testing.T) {
+	r := threeNodeRing(t)
+	for _, n := range []int{1, 2, 3, 99, 0, -1} {
+		reps := r.Replicas("some-key", n)
+		wantLen := n
+		if n <= 0 || n > 3 {
+			wantLen = 3
+		}
+		if len(reps) != wantLen {
+			t.Fatalf("Replicas(n=%d) returned %d nodes, want %d", n, len(reps), wantLen)
+		}
+		seen := map[string]bool{}
+		for _, node := range reps {
+			if seen[node.ID] {
+				t.Fatalf("Replicas(n=%d) repeats node %s", n, node.ID)
+			}
+			seen[node.ID] = true
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := New([]Node{{ID: ""}}, 0); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+	if _, err := New([]Node{{ID: "a"}, {ID: "a"}}, 0); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+}
+
+func TestJobIDQualification(t *testing.T) {
+	q := QualifyJobID("job-000007", "node-b")
+	if q != "job-000007@node-b" {
+		t.Fatalf("QualifyJobID = %q", q)
+	}
+	id, node := SplitJobID(q)
+	if id != "job-000007" || node != "node-b" {
+		t.Fatalf("SplitJobID(%q) = %q, %q", q, id, node)
+	}
+	id, node = SplitJobID("job-000001")
+	if id != "job-000001" || node != "" {
+		t.Fatalf("SplitJobID unqualified = %q, %q", id, node)
+	}
+}

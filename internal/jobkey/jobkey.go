@@ -1,0 +1,43 @@
+// Package jobkey computes the content-addressed identity of one match
+// computation. The key is shared infrastructure: the emsd result cache
+// (dedup and in-flight coalescing), the on-disk result store, and the
+// cluster's consistent-hash ring all address work by it, so two nodes — or
+// two submissions — with identical inputs always agree on the same key.
+//
+// The format is part of the persistence and cluster wire contract: results
+// are stored on disk under the key, and ring placement hashes it. It must
+// therefore stay stable across versions; jobkey_test.go pins the exact
+// digest for a known input.
+package jobkey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/eventlog"
+)
+
+// Compute identifies a match computation by content: a SHA-256 over both
+// logs' traces and the canonical option string, hex-encoded. Two
+// submissions with identical trace content and options share a key
+// regardless of log names, file paths, or the transport the logs arrived
+// by. The two logs are not interchangeable: swapping them changes the key.
+func Compute(log1, log2 *eventlog.Log, optionKey string) string {
+	h := sha256.New()
+	hashLog := func(l *eventlog.Log) {
+		fmt.Fprintf(h, "log:%d\n", l.Len())
+		for _, t := range l.Traces {
+			for _, e := range t {
+				h.Write([]byte(e))
+				h.Write([]byte{0})
+			}
+			h.Write([]byte{'\n'})
+		}
+	}
+	hashLog(log1)
+	hashLog(log2)
+	h.Write([]byte("opts:"))
+	h.Write([]byte(optionKey))
+	return hex.EncodeToString(h.Sum(nil))
+}

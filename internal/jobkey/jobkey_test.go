@@ -1,0 +1,73 @@
+package jobkey
+
+import (
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+func mkLog(t *testing.T, name string, traces ...eventlog.Trace) *eventlog.Log {
+	t.Helper()
+	l := eventlog.New(name)
+	for _, tr := range traces {
+		l.Append(tr)
+	}
+	return l
+}
+
+// TestComputePinnedFormat pins the exact key for a known input. The key
+// format is a persistence and cluster wire contract: on-disk results are
+// stored under it and ring placement hashes it, so a change here silently
+// orphans every persisted result and reshuffles cluster ownership. If this
+// test fails, you changed the format — don't update the constant without a
+// migration story.
+func TestComputePinnedFormat(t *testing.T) {
+	l1 := mkLog(t, "a", eventlog.Trace{"A", "B", "C"}, eventlog.Trace{"A", "C"})
+	l2 := mkLog(t, "b", eventlog.Trace{"1", "2"})
+	const want = "8ebad4e691d2536adc1aa5079a11097b4bb9eacea5f31a875915efbc58b8a4c7"
+	got := Compute(l1, l2, "alpha=1 labels=false estimate=-1 threshold=0.1 minfreq=0 delta=0.005 composite=false")
+	if got != want {
+		t.Fatalf("pinned key changed:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestComputeContentAddressing(t *testing.T) {
+	l1 := mkLog(t, "a", eventlog.Trace{"A", "B"})
+	l2 := mkLog(t, "b", eventlog.Trace{"X"})
+	base := Compute(l1, l2, "opts")
+
+	if Compute(l1, l2, "opts") != base {
+		t.Fatal("key is not deterministic")
+	}
+	// Log names are transport metadata, not content.
+	renamed := mkLog(t, "other-name", eventlog.Trace{"A", "B"})
+	if Compute(renamed, l2, "opts") != base {
+		t.Fatal("renaming a log changed the key")
+	}
+	if Compute(l1, l2, "opts2") == base {
+		t.Fatal("changing options kept the key")
+	}
+	if Compute(l2, l1, "opts") == base {
+		t.Fatal("swapping the logs kept the key (sides are not interchangeable)")
+	}
+	mutated := mkLog(t, "a", eventlog.Trace{"A", "Z"})
+	if Compute(mutated, l2, "opts") == base {
+		t.Fatal("changing trace content kept the key")
+	}
+}
+
+// TestComputeTraceBoundaries guards the framing: the same event characters
+// split differently across events or traces must not collide.
+func TestComputeTraceBoundaries(t *testing.T) {
+	l2 := mkLog(t, "b", eventlog.Trace{"X"})
+	x := mkLog(t, "x", eventlog.Trace{"AB", "C"})
+	y := mkLog(t, "y", eventlog.Trace{"A", "BC"})
+	if Compute(x, l2, "o") == Compute(y, l2, "o") {
+		t.Fatal("event boundary collision")
+	}
+	u := mkLog(t, "u", eventlog.Trace{"A"}, eventlog.Trace{"B"})
+	v := mkLog(t, "v", eventlog.Trace{"A", "B"})
+	if Compute(u, l2, "o") == Compute(v, l2, "o") {
+		t.Fatal("trace boundary collision")
+	}
+}

@@ -2,35 +2,20 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"sync"
 
 	"repro/ems"
+	"repro/internal/jobkey"
 )
 
 // CacheKey identifies a match computation by content: a hash over both logs'
 // traces and the canonical option string. Two submissions with identical
 // trace content and options share a key regardless of log names, file paths,
-// or the transport the logs arrived by.
+// or the transport the logs arrived by. The computation lives in
+// internal/jobkey so the cluster hash ring places jobs by the same identity
+// the cache dedups them by.
 func CacheKey(log1, log2 *ems.Log, optionKey string) string {
-	h := sha256.New()
-	hashLog := func(l *ems.Log) {
-		fmt.Fprintf(h, "log:%d\n", l.Len())
-		for _, t := range l.Traces {
-			for _, e := range t {
-				h.Write([]byte(e))
-				h.Write([]byte{0})
-			}
-			h.Write([]byte{'\n'})
-		}
-	}
-	hashLog(log1)
-	hashLog(log2)
-	h.Write([]byte("opts:"))
-	h.Write([]byte(optionKey))
-	return hex.EncodeToString(h.Sum(nil))
+	return jobkey.Compute(log1, log2, optionKey)
 }
 
 // resultCache is an LRU-bounded map from content key to matched result.

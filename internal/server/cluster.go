@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/ems"
+	"repro/internal/cluster"
+)
+
+// ClusterConfig makes this server a member of an emsd cluster. Every member
+// must be configured with the same set of node IDs (the ring hashes IDs);
+// addresses only matter for dialing.
+type ClusterConfig struct {
+	// Advertise is the base URL peers dial this node on
+	// (e.g. "http://10.0.0.5:8484"). Informational on this side — peers
+	// carry it in their own Peers lists — but echoed by the introspection
+	// endpoints.
+	Advertise string
+	// Peers are the other cluster members. The local node is implicit.
+	Peers []cluster.Node
+	// VNodes is the virtual-node count per member (0 = cluster.DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the peer health-probe period (0 = 2s).
+	ProbeInterval time.Duration
+	// PeerTimeout bounds one HTTP exchange with a peer (0 = 15s).
+	PeerTimeout time.Duration
+	// PollInterval is the remote-job poll period of the batch coordinator
+	// (0 = 100ms).
+	PollInterval time.Duration
+	// BatchNodeInflight bounds concurrently executing batch pairs per node
+	// (0 = cluster.DefaultNodeInflight).
+	BatchNodeInflight int
+}
+
+// serverCluster is the node's view of the cluster: the ring (always built,
+// a single-member ring when standalone — the batch coordinator runs over
+// it either way), peer clients, and the health tracker. health is nil when
+// there are no peers.
+type serverCluster struct {
+	self    cluster.Node
+	ring    *cluster.Ring
+	clients map[string]*cluster.Client
+	health  *cluster.Health
+	cfg     ClusterConfig
+}
+
+// newServerCluster builds the ring over self plus the configured peers.
+// ccfg == nil yields the standalone single-node ring.
+func newServerCluster(nodeID string, ccfg *ClusterConfig) (*serverCluster, error) {
+	sc := &serverCluster{self: cluster.Node{ID: nodeID}}
+	members := []cluster.Node{sc.self}
+	if ccfg != nil {
+		sc.cfg = *ccfg
+		sc.self.Addr = ccfg.Advertise
+		members[0] = sc.self
+		sc.clients = make(map[string]*cluster.Client, len(ccfg.Peers))
+		for _, p := range ccfg.Peers {
+			if p.ID == nodeID {
+				return nil, fmt.Errorf("server: peer list contains the local node ID %q", nodeID)
+			}
+			if p.Addr == "" {
+				return nil, fmt.Errorf("server: peer %q has no address", p.ID)
+			}
+			members = append(members, p)
+			sc.clients[p.ID] = cluster.NewClient(p, ccfg.PeerTimeout)
+		}
+	}
+	ring, err := cluster.New(members, sc.cfg.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("server: build hash ring: %w", err)
+	}
+	sc.ring = ring
+	return sc, nil
+}
+
+// clustered reports whether this node has peers (forwarding and proxying
+// only exist then).
+func (sc *serverCluster) clustered() bool { return len(sc.clients) > 0 }
+
+// role names this node's mode for the introspection endpoints.
+func (sc *serverCluster) role() string {
+	if sc.clustered() {
+		return "peer"
+	}
+	return "standalone"
+}
+
+// peersUp returns how many peers are currently believed reachable.
+func (sc *serverCluster) peersUp() int {
+	if sc.health == nil {
+		return 0
+	}
+	return sc.health.UpCount()
+}
+
+// ClusterView is the body of GET /v1/cluster: ring membership and peer
+// health at a glance.
+type ClusterView struct {
+	NodeID    string               `json:"node_id"`
+	Advertise string               `json:"advertise,omitempty"`
+	Role      string               `json:"role"`
+	Nodes     []cluster.Node       `json:"nodes"`
+	Peers     []cluster.PeerStatus `json:"peers,omitempty"`
+}
+
+// ClusterInfo snapshots this node's view of the cluster.
+func (s *Server) ClusterInfo() ClusterView {
+	v := ClusterView{
+		NodeID:    s.cfg.NodeID,
+		Advertise: s.cluster.self.Addr,
+		Role:      s.cluster.role(),
+		Nodes:     s.cluster.ring.Nodes(),
+	}
+	if s.cluster.health != nil {
+		v.Peers = s.cluster.health.Snapshot()
+	}
+	return v
+}
+
+// forwardSubmit tries to place a fresh submission on the key's owner. It
+// reports whether the request was answered (forwarded and relayed); false
+// means the caller should serve it locally — either this node owns the key
+// (possibly by failover) or every remote replica is down. body is the raw
+// request body, relayed verbatim so the owner journals exactly what the
+// client sent.
+func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, body []byte, key string) bool {
+	sc := s.cluster
+	replicas := sc.ring.Replicas(key, 0)
+	for i, node := range replicas {
+		if node.ID == sc.self.ID {
+			return false // we own it: serve locally
+		}
+		cl := sc.clients[node.ID]
+		last := i == len(replicas)-1
+		if !last && sc.health != nil && !sc.health.Up(node.ID) {
+			s.obs.peerFailover(node.ID)
+			continue
+		}
+		code, resp, err := cl.Do(r.Context(), http.MethodPost, "/v1/jobs", body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return true // client went away; nothing sensible to relay
+			}
+			if sc.health != nil {
+				sc.health.ReportFailure(node.ID, err)
+			}
+			s.obs.peerFailover(node.ID)
+			continue
+		}
+		if sc.health != nil {
+			sc.health.ReportSuccess(node.ID)
+		}
+		s.obs.peerForward(node.ID)
+		if code == http.StatusAccepted {
+			resp = rewriteJobID(resp, node.ID)
+		}
+		relayJSON(w, code, resp)
+		return true
+	}
+	return false // every remote replica down: degrade to local execution
+}
+
+// proxyJob relays a job read/cancel to the peer a qualified job ID names.
+// suffix is "", "/result" or "/progress". Responses carrying the job's ID
+// are rewritten back to the qualified form so the client's handle stays
+// valid on this node.
+func (s *Server) proxyJob(w http.ResponseWriter, r *http.Request, nodeID, rawID, suffix string) {
+	cl := s.cluster.clients[nodeID]
+	if cl == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown cluster node %q", nodeID)})
+		return
+	}
+	s.obs.peerProxy(nodeID)
+	code, resp, err := cl.Do(r.Context(), r.Method, "/v1/jobs/"+rawID+suffix, nil)
+	if err != nil {
+		if s.cluster.health != nil {
+			s.cluster.health.ReportFailure(nodeID, err)
+		}
+		writeJSON(w, http.StatusBadGateway,
+			errorBody{Error: fmt.Sprintf("peer %s unreachable: %v", nodeID, errors.Unwrap(err))})
+		return
+	}
+	if s.cluster.health != nil {
+		s.cluster.health.ReportSuccess(nodeID)
+	}
+	if suffix != "/result" && (code == http.StatusOK || code == http.StatusAccepted) {
+		resp = rewriteJobID(resp, nodeID)
+	}
+	relayJSON(w, code, resp)
+}
+
+// rewriteJobID qualifies the "id" field of a peer's JSON response with the
+// peer's node ID. Bodies that don't parse (or carry no id) are relayed
+// untouched.
+func rewriteJobID(body []byte, nodeID string) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return body
+	}
+	id, ok := m["id"].(string)
+	if !ok || id == "" {
+		return body
+	}
+	m["id"] = cluster.QualifyJobID(id, nodeID)
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return body
+	}
+	return append(out, '\n')
+}
+
+// relayJSON writes a proxied peer response through.
+func relayJSON(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// runPairOn executes one batch pair on the given node: the local node goes
+// through the ordinary submission path (cache, coalescing, journal and
+// all), a peer through its client. It is the cluster.Runner the batch
+// coordinator fans out with.
+func (s *Server) runPairOn(ctx context.Context, node cluster.Node, req JobRequest, body []byte, noteJob func(jobID string)) (*ems.Result, error) {
+	if node.ID == s.cluster.self.ID {
+		job, err := s.Submit(req)
+		if err != nil {
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+				// Local overload or drain is a placement problem, not a property
+				// of the pair: let the coordinator try a replica.
+				return nil, &cluster.UnavailableError{Node: node.ID, Op: "local submit", Err: err}
+			}
+			return nil, err
+		}
+		noteJob(job.ID)
+		select {
+		case <-job.Done():
+		case <-ctx.Done():
+			s.Cancel(job.ID)
+			<-job.Done()
+		}
+		if res, ok := job.Result(); ok {
+			return res, nil
+		}
+		v := job.View()
+		if v.Status == StatusCancelled {
+			return nil, fmt.Errorf("pair cancelled: %s", v.Error)
+		}
+		return nil, fmt.Errorf("pair failed: %s", v.Error)
+	}
+	cl := s.cluster.clients[node.ID]
+	if cl == nil {
+		return nil, &cluster.UnavailableError{Node: node.ID, Op: "dial", Err: fmt.Errorf("no client for node")}
+	}
+	res, jobID, err := cl.RunJob(ctx, body, s.cluster.cfg.PollInterval)
+	if jobID != "" {
+		noteJob(cluster.QualifyJobID(jobID, node.ID))
+	}
+	if err == nil && s.cluster.health != nil {
+		s.cluster.health.ReportSuccess(node.ID)
+	}
+	return res, err
+}

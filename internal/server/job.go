@@ -204,6 +204,9 @@ type Job struct {
 	// (client cancel vs shutdown). Both are immutable after Submit.
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+	// batch is set on batch-coordinator jobs (IDs "batch-NNNNNN") and nil on
+	// ordinary match jobs; immutable once the job is shared.
+	batch *batchRun
 
 	// durability fields, set only on journaled jobs (DataDir configured):
 	// seq is the journal sequence number (0 = not journaled: cache hits and

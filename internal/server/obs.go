@@ -13,6 +13,15 @@ type serverObs struct {
 	reg    *obs.Registry
 	http   *obs.HTTPMetrics
 	jobDur *obs.Histogram
+
+	// cluster instruments, labelled by peer node ID and pre-seeded at boot
+	// so every configured peer shows a zero series from the first scrape.
+	forwards   *obs.CounterVec // submissions placed on a peer
+	failovers  *obs.CounterVec // attempts skipped or failed over away from a peer
+	proxied    *obs.CounterVec // job reads/cancels relayed to a peer
+	peerUp     *obs.GaugeVec   // 1 while a peer is believed reachable
+	batchJobs  *obs.Counter    // accepted POST /v1/batch coordinations
+	batchPairs *obs.CounterVec // terminal batch pairs by outcome
 }
 
 // jobDurationBuckets covers the matching workload: sub-millisecond toy pairs
@@ -74,5 +83,42 @@ func newServerObs(s *Server) *serverObs {
 	o.jobDur = r.Histogram("emsd_job_duration_seconds",
 		"Wall time of computed jobs (cache hits and coalesced jobs excluded).",
 		jobDurationBuckets())
+
+	o.forwards = r.CounterVec("emsd_peer_forwards_total",
+		"Submissions and batch pairs placed on a peer node.", "peer")
+	o.failovers = r.CounterVec("emsd_peer_failovers_total",
+		"Placement attempts moved off a peer because it was down or unreachable.", "peer")
+	o.proxied = r.CounterVec("emsd_peer_proxied_total",
+		"Job reads and cancels relayed to the peer owning a qualified job ID.", "peer")
+	o.peerUp = r.GaugeVec("emsd_peer_up",
+		"1 while the peer is believed reachable, 0 while it is down.", "peer")
+	o.batchJobs = r.Counter("emsd_batch_jobs_total",
+		"Accepted POST /v1/batch coordinations.")
+	o.batchPairs = r.CounterVec("emsd_batch_pairs_total",
+		"Terminal batch pairs by outcome.", "outcome")
+	o.batchPairs.With("done").Add(0)
+	o.batchPairs.With("failed").Add(0)
+	for _, p := range s.cluster.cfg.Peers {
+		o.forwards.With(p.ID).Add(0)
+		o.failovers.With(p.ID).Add(0)
+		o.proxied.With(p.ID).Add(0)
+		o.peerUp.With(p.ID).Set(1) // health starts optimistic
+	}
+	r.GaugeFunc("emsd_peers_up", "Peers currently believed reachable.",
+		func() float64 { return float64(s.cluster.peersUp()) })
 	return o
+}
+
+// peerForward / peerFailover / peerProxy / peerUpGauge are the cluster
+// paths' metric hooks, keyed by peer node ID.
+func (o *serverObs) peerForward(id string)  { o.forwards.With(id).Inc() }
+func (o *serverObs) peerFailover(id string) { o.failovers.With(id).Inc() }
+func (o *serverObs) peerProxy(id string)    { o.proxied.With(id).Inc() }
+
+func (o *serverObs) peerUpGauge(id string, up bool) {
+	v := 0.0
+	if up {
+		v = 1
+	}
+	o.peerUp.With(id).Set(v)
 }

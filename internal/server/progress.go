@@ -49,6 +49,9 @@ type ProgressView struct {
 	Error      string          `json:"error,omitempty"`
 	WallMS     float64         `json:"wall_ms,omitempty"`
 	Observable bool            `json:"observable"`
+	// Batch carries the pair counters of a batch-coordinator job (nil for
+	// ordinary match jobs); the full per-pair grid lives at /v1/batch/{id}.
+	Batch *BatchProgressView `json:"batch,omitempty"`
 }
 
 // progress accumulates the engine's per-round observations for one job. The
@@ -120,10 +123,14 @@ func (j *Job) Progress() ProgressView {
 		Error:    view.Error,
 		WallMS:   view.WallMS,
 	}
-	// trace and prog are immutable once the job is shared; no lock needed.
-	v.Observable = j.prog != nil
+	// trace, prog and batch are immutable once the job is shared; no lock
+	// needed.
+	v.Observable = j.prog != nil || j.batch != nil
 	if j.prog != nil {
 		j.prog.fill(&v)
+	}
+	if j.batch != nil {
+		v.Batch = j.batch.progress()
 	}
 	if j.trace != nil {
 		v.Spans = j.trace.Snapshot()

@@ -343,7 +343,7 @@ func TestHealthzDuringDrain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var hb map[string]string
+		var hb map[string]any
 		if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
 			t.Fatal(err)
 		}

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"repro/ems"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -102,6 +103,18 @@ type Config struct {
 	// reaches the threshold gets its span timeline dumped at WARN level so
 	// the slow phase is identifiable after the fact. 0 disables the dump.
 	SlowJobThreshold time.Duration
+	// NodeID names this node in a cluster. It feeds the consistent-hash ring
+	// (placement hashes IDs, not addresses), qualifies forwarded job IDs,
+	// and appears in /healthz, /v1/version and /v1/cluster. Empty defaults
+	// to "emsd".
+	NodeID string
+	// Cluster joins this node to an emsd cluster; nil runs standalone.
+	// Standalone nodes still serve POST /v1/batch — the coordinator just
+	// places every pair locally.
+	Cluster *ClusterConfig
+	// MaxBatchPairs bounds the pair count of one POST /v1/batch (grid
+	// product or explicit list); <= 0 uses the default (4096).
+	MaxBatchPairs int
 	// Log receives operational messages as structured records (contained job
 	// panics, persistence failures, slow-job timelines). nil uses
 	// slog.Default.
@@ -130,9 +143,14 @@ type Server struct {
 	pool    *pool
 	persist *persister // nil without DataDir
 	obs     *serverObs
+	cluster *serverCluster
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// batchWG tracks running batch coordinators; Shutdown waits for them
+	// after cancelling the base context.
+	batchWG sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -179,6 +197,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
 	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = "emsd"
+	}
+	sc, err := newServerCluster(cfg.NodeID, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
 	var p *persister
 	if cfg.DataDir != "" {
 		var err error
@@ -192,6 +217,7 @@ func New(cfg Config) (*Server, error) {
 		metrics:  &Metrics{},
 		cache:    newResultCache(cfg.CacheSize),
 		persist:  p,
+		cluster:  sc,
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
@@ -205,6 +231,18 @@ func New(cfg Config) (*Server, error) {
 	// built only once those exist — and before recovery, whose re-enqueued
 	// jobs already count.
 	s.obs = newServerObs(s)
+	if sc.clustered() {
+		// Health transitions drive the per-peer up/down gauge; the background
+		// prober keeps the view fresh between requests and stops with s.ctx.
+		clients := make([]*cluster.Client, 0, len(sc.clients))
+		for _, cl := range sc.clients {
+			clients = append(clients, cl)
+		}
+		sc.health = cluster.NewHealth(clients, func(id string, up bool) {
+			s.obs.peerUpGauge(id, up)
+		})
+		go sc.health.Run(s.ctx, sc.cfg.ProbeInterval)
+	}
 	if p != nil {
 		s.recoverJobs()
 	}
@@ -289,10 +327,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 // stays with DELETE /v1/jobs/{id} and server shutdown, so a client
 // disconnecting after the 202 does not kill its job.
 func (s *Server) SubmitContext(ctx context.Context, req JobRequest) (*Job, error) {
-	tr := obs.TraceFrom(ctx)
-	if tr == nil {
-		tr = obs.NewTrace("")
-	}
+	tr := traceOrNew(ctx)
 	endParse := tr.Span("parse")
 	pj, err := s.prepare(req)
 	endParse()
@@ -300,6 +335,23 @@ func (s *Server) SubmitContext(ctx context.Context, req JobRequest) (*Job, error
 		s.metrics.Rejected()
 		return nil, &requestError{err}
 	}
+	return s.submitPrepared(req, tr, pj)
+}
+
+// traceOrNew extracts the request trace from ctx, generating one for
+// untraced callers.
+func traceOrNew(ctx context.Context) *obs.Trace {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		return tr
+	}
+	return obs.NewTrace("")
+}
+
+// submitPrepared is the admission half of SubmitContext: cache lookup,
+// coalescing, journaling, enqueue. Split out so the HTTP handler can decide
+// on cluster forwarding between prepare (which computes the placement key)
+// and local admission.
+func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) (*Job, error) {
 	key := pj.key
 
 	s.mu.Lock()
@@ -609,6 +661,32 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// JobViews lists up to limit jobs, newest first, optionally filtered by
+// status ("" matches every state). limit <= 0 uses the default (100).
+func (s *Server) JobViews(status Status, limit int) []JobView {
+	if limit <= 0 {
+		limit = 100
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, limit)
+	for i := len(s.jobOrder) - 1; i >= 0 && len(jobs) < limit; i-- {
+		j, ok := s.jobs[s.jobOrder[i]]
+		if !ok {
+			continue // evicted from the registry, order entry not yet pruned
+		}
+		if status != "" && j.Status() != status {
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	return views
+}
+
 // Stats snapshots the metrics with live gauges filled in.
 func (s *Server) Stats() Stats {
 	st := s.metrics.Snapshot()
@@ -649,6 +727,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// within about one round rather than one job.
 		_ = s.pool.Wait(context.Background())
 	}
+	// Batch coordinators run under the base context too: cancelled above,
+	// they abandon their remaining pairs (cancelling remote jobs best-effort)
+	// and finish promptly.
+	s.batchWG.Wait()
 	if !already && s.persist != nil {
 		// Workers are done; no more journal writes are coming.
 		if cerr := s.persist.Close(); cerr != nil {

@@ -356,12 +356,15 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status = %d", resp.StatusCode)
 	}
-	var body map[string]string
+	var body map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
 	if body["status"] != "ok" {
 		t.Errorf("healthz body = %v", body)
+	}
+	if body["node_id"] != "emsd" || body["role"] != "standalone" {
+		t.Errorf("healthz cluster identity = %v", body)
 	}
 }
 
