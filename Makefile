@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core crash-test cluster-test profile metrics-check
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test profile metrics-check
 
 all: check
 
@@ -108,6 +108,14 @@ fuzz-smoke:
 # synthetic pair, written as a machine-readable trajectory point.
 bench-core:
 	$(GO) run ./cmd/emsbench -json BENCH_core.json
+
+# Wall-clock regression gate: re-measure the benchmark pair and fail when
+# exact-serial or fast-path-serial wall time regressed more than 25% against
+# the committed trajectory point. Timing-sensitive by nature — run it on a
+# quiet machine and never under the race detector (the TestBenchRegress
+# harness skips itself under -short and -race for the same reason).
+bench-regress:
+	$(GO) run ./cmd/emsbench -regress BENCH_core.json
 
 # CPU and heap profiles of the core benchmark, ready for `go tool pprof`:
 #   go tool pprof profiles/cpu.pprof

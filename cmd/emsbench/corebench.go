@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -34,6 +35,35 @@ type coreBenchReport struct {
 
 	Runs        []coreBenchRun     `json:"runs"`
 	Convergence *convergenceReport `json:"convergence"`
+	// FastPath is the trajectory point of the adaptive estimation-seeded
+	// fast path (the ems-facade default) on the same pair, serial.
+	FastPath *fastPathReport `json:"fastpath"`
+}
+
+// fastPathReport freezes the fast path's wall clock and accuracy on the
+// benchmark pair, measured serially against the exact serial baseline of the
+// same report.
+type fastPathReport struct {
+	SerialWallNS int64   `json:"serial_wall_ns"`
+	SerialMS     float64 `json:"serial_wall_ms"`
+	// SpeedupVsExact is the exact serial wall time divided by the fast
+	// path's (both from this report, same binary and machine).
+	SpeedupVsExact float64 `json:"speedup_vs_exact"`
+	// Rounds is the exact rounds the adaptive cutover allowed before the
+	// estimation pass took over.
+	Rounds    int  `json:"rounds"`
+	Evals     int  `json:"evaluations"`
+	Estimated bool `json:"estimated"`
+	// PrunedPairSkips counts the pair evaluations the per-pair freezing and
+	// Proposition-2 bounds skipped — the counter whose zero in earlier
+	// trajectory points motivated the fast path. Must be > 0.
+	PrunedPairSkips int `json:"pruned_pair_skips"`
+	// ErrorBound is the certified a-posteriori per-pair bound of the run;
+	// MaxAbsError is the observed worst error against the exact serial
+	// matrix (always <= ErrorBound).
+	ErrorBound  float64 `json:"error_bound"`
+	MaxAbsError float64 `json:"max_abs_error"`
+	Budget      float64 `json:"budget"`
 }
 
 // convergenceReport is the iteration telemetry of the benchmark pair,
@@ -116,20 +146,18 @@ func coreBenchPair(events, traces int) (*depgraph.Graph, *depgraph.Graph, error)
 	return g1, g2, nil
 }
 
-// runCoreBench measures the similarity computation of the benchmark pair at
-// each worker count, verifies bit-identical results against the serial
-// baseline, and writes the JSON report to path. Each configuration runs
-// reps times and keeps the fastest wall time.
-func runCoreBench(path string, events, traces, reps int, workerCounts []int) error {
+// measureCoreBench runs the benchmark measurements on the standard pair and
+// assembles the report. Each configuration runs reps times and keeps the
+// fastest wall time; N-worker runs are verified bit-identical against the
+// serial baseline, the fast-path run against its certified error bound.
+func measureCoreBench(events, traces, reps int, workerCounts []int) (*coreBenchReport, error) {
 	g1, g2, err := coreBenchPair(events, traces)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cfg := core.DefaultConfig()
 
-	measure := func(workers int) (*core.Result, time.Duration, error) {
-		c := cfg
-		c.Workers = workers
+	measure := func(c core.Config) (*core.Result, time.Duration, error) {
 		var best time.Duration
 		var res *core.Result
 		for r := 0; r < reps; r++ {
@@ -146,13 +174,18 @@ func runCoreBench(path string, events, traces, reps int, workerCounts []int) err
 		}
 		return res, best, nil
 	}
-
-	serial, serialWall, err := measure(1)
-	if err != nil {
-		return err
+	atWorkers := func(workers int) core.Config {
+		c := cfg
+		c.Workers = workers
+		return c
 	}
-	report := coreBenchReport{
-		Schema:     "ems-core-bench/v1",
+
+	serial, serialWall, err := measure(atWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	report := &coreBenchReport{
+		Schema:     "ems-core-bench/v2",
 		Events:     events,
 		Traces:     traces,
 		Vertices1:  g1.N(),
@@ -169,18 +202,83 @@ func runCoreBench(path string, events, traces, reps int, workerCounts []int) err
 		if w <= 1 {
 			continue
 		}
-		res, wall, err := measure(w)
+		res, wall, err := measure(atWorkers(w))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		report.Runs = append(report.Runs, benchRun(w, wall, serialWall, serial, res))
 	}
 	conv, err := measureConvergence(g1, g2, cfg, serial)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	report.Convergence = conv
 
+	fcfg := atWorkers(1)
+	fcfg.FastPath = true
+	fcfg.Tiled = true
+	fast, fastWall, err := measure(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	var maxErr float64
+	for i := range serial.Sim {
+		if d := math.Abs(serial.Sim[i] - fast.Sim[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > fast.ErrorBound {
+		return nil, fmt.Errorf("fast path violated its certified bound: max abs error %g > bound %g", maxErr, fast.ErrorBound)
+	}
+	fp := &fastPathReport{
+		SerialWallNS:    fastWall.Nanoseconds(),
+		SerialMS:        durMS(fastWall),
+		Rounds:          fast.Rounds,
+		Evals:           fast.Evaluations,
+		Estimated:       fast.Estimated,
+		PrunedPairSkips: fast.Pruned,
+		ErrorBound:      fast.ErrorBound,
+		MaxAbsError:     maxErr,
+		Budget:          core.DefaultFastPathBudget,
+	}
+	if fastWall > 0 {
+		fp.SpeedupVsExact = float64(serialWall) / float64(fastWall)
+	}
+	if fp.PrunedPairSkips == 0 {
+		return nil, fmt.Errorf("fast path reported zero pruned pair skips on the benchmark pair")
+	}
+	report.FastPath = fp
+	return report, nil
+}
+
+// printCoreBench renders the human-readable summary of a report.
+func printCoreBench(report *coreBenchReport) {
+	fmt.Printf("core bench: %d events, %d pairs, %d rounds, %d evaluations (GOMAXPROCS=%d)\n",
+		report.Events, report.Pairs, report.Rounds, report.Evals, report.GOMAXPROCS)
+	for _, r := range report.Runs {
+		fmt.Printf("  workers=%d  wall=%8.2fms  evals/s=%12.0f  speedup=%.2fx  bit_identical=%v\n",
+			r.Workers, r.WallMS, r.EvalsPerSec, r.Speedup, r.BitIdentical)
+	}
+	if conv := report.Convergence; conv != nil {
+		fmt.Printf("convergence: %d rounds to delta=%.2e (eps=%.0e); pruning skipped %d pair-rounds, saving %d of %d evals\n",
+			conv.Rounds, conv.FinalDelta, conv.Epsilon, conv.PrunedPairSkips,
+			conv.EvalsSavedByPruning, conv.EvalsNoPruning)
+	}
+	if fp := report.FastPath; fp != nil {
+		fmt.Printf("fast path:   wall=%8.2fms  speedup=%.2fx vs exact serial  rounds=%d  pruned_pair_skips=%d\n",
+			fp.SerialMS, fp.SpeedupVsExact, fp.Rounds, fp.PrunedPairSkips)
+		fmt.Printf("             certified bound=%.4f  observed max error=%.4f  (budget %.2g)\n",
+			fp.ErrorBound, fp.MaxAbsError, fp.Budget)
+	}
+}
+
+// runCoreBench measures the benchmark pair and writes the JSON report to
+// path.
+func runCoreBench(path string, events, traces, reps int, workerCounts []int) error {
+	report, err := measureCoreBench(events, traces, reps, workerCounts)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -194,16 +292,53 @@ func runCoreBench(path string, events, traces, reps int, workerCounts []int) err
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("core bench: %d events, %d pairs, %d rounds, %d evaluations (GOMAXPROCS=%d)\n",
-		events, report.Pairs, report.Rounds, report.Evals, report.GOMAXPROCS)
-	for _, r := range report.Runs {
-		fmt.Printf("  workers=%d  wall=%8.2fms  evals/s=%12.0f  speedup=%.2fx  bit_identical=%v\n",
-			r.Workers, r.WallMS, r.EvalsPerSec, r.Speedup, r.BitIdentical)
-	}
-	fmt.Printf("convergence: %d rounds to delta=%.2e (eps=%.0e); pruning skipped %d pair-rounds, saving %d of %d evals\n",
-		conv.Rounds, conv.FinalDelta, conv.Epsilon, conv.PrunedPairSkips,
-		conv.EvalsSavedByPruning, conv.EvalsNoPruning)
+	printCoreBench(report)
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// regressTolerance is the wall-clock slack `emsbench -regress` allows over a
+// committed trajectory point before declaring a regression.
+const regressTolerance = 1.25
+
+// runCoreRegress re-measures the benchmark pair and fails (non-nil error)
+// when wall clocks regressed more than regressTolerance against the
+// committed report at path, comparing exact serial and fast-path serial
+// separately. Counters that must not rot (pruned skips, the certified bound
+// discipline) are re-checked by measureCoreBench itself.
+func runCoreRegress(path string, reps int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed coreBenchReport
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if committed.FastPath == nil {
+		return fmt.Errorf("%s has no fastpath section (schema %s); regenerate with -json", path, committed.Schema)
+	}
+	report, err := measureCoreBench(committed.Events, committed.Traces, reps, nil)
+	if err != nil {
+		return err
+	}
+	printCoreBench(report)
+	fail := false
+	check := func(name string, now, was float64) {
+		limit := was * regressTolerance
+		verdict := "ok"
+		if now > limit {
+			verdict = "REGRESSED"
+			fail = true
+		}
+		fmt.Printf("regress %-12s now=%8.2fms  committed=%8.2fms  limit=%8.2fms  %s\n",
+			name, now, was, limit, verdict)
+	}
+	check("exact-serial", report.SerialMS, committed.SerialMS)
+	check("fast-serial", report.FastPath.SerialMS, committed.FastPath.SerialMS)
+	if fail {
+		return fmt.Errorf("wall clock regressed more than %.0f%% against %s", (regressTolerance-1)*100, path)
+	}
 	return nil
 }
 

@@ -23,7 +23,7 @@ func TestRunCoreBench(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("unmarshal report: %v", err)
 	}
-	if rep.Schema != "ems-core-bench/v1" {
+	if rep.Schema != "ems-core-bench/v2" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if rep.Events != 24 || rep.Traces != 40 {
@@ -49,6 +49,22 @@ func TestRunCoreBench(t *testing.T) {
 	}
 	if rep.Runs[0].Speedup != 1.0 {
 		t.Errorf("serial speedup = %v, want 1.0", rep.Runs[0].Speedup)
+	}
+	fp := rep.FastPath
+	if fp == nil {
+		t.Fatal("report has no fastpath section")
+	}
+	if fp.SerialWallNS <= 0 || fp.SpeedupVsExact <= 0 || fp.Rounds <= 0 || fp.Evals <= 0 {
+		t.Errorf("fastpath has empty measurements: %+v", fp)
+	}
+	if fp.PrunedPairSkips <= 0 {
+		t.Errorf("fastpath pruned_pair_skips = %d, want > 0", fp.PrunedPairSkips)
+	}
+	if fp.MaxAbsError > fp.ErrorBound {
+		t.Errorf("fastpath observed error %g exceeds certified bound %g", fp.MaxAbsError, fp.ErrorBound)
+	}
+	if fp.Rounds >= rep.Rounds {
+		t.Errorf("fastpath took %d exact rounds, exact run took %d — no cutover happened", fp.Rounds, rep.Rounds)
 	}
 }
 

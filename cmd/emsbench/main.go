@@ -33,11 +33,15 @@ func main() {
 		benchTraces = flag.Int("bench-traces", 200, "traces per benchmark log (with -json)")
 		benchReps   = flag.Int("bench-reps", 3, "repetitions per worker count, fastest kept (with -json)")
 		benchW      = flag.String("bench-workers", "2,4,8", "comma-separated worker counts to compare against serial (with -json)")
+		regress     = flag.String("regress", "", "re-measure the benchmark pair and fail if wall clocks regressed >25% against this committed report")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	err := withProfiles(*cpuProfile, *memProfile, func() error {
+		if *regress != "" {
+			return runCoreRegress(*regress, *benchReps)
+		}
 		if *benchJSON != "" {
 			counts, err := parseWorkerCounts(*benchW)
 			if err != nil {

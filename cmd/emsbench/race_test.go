@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation slows the engine by an order of magnitude — far
+// beyond the wall-clock tolerance of the regression gate.
+const raceEnabled = true

@@ -12,6 +12,13 @@
 // Both entry points accept functional options to control the similarity
 // (alpha/decay/labels), the exact-vs-estimation trade-off of Algorithm 1,
 // pruning, and correspondence selection.
+//
+// Match runs the adaptive fast path by default: exact rounds until the
+// geometric convergence tail is detected, then the closed-form estimation of
+// Section 3.5 plus one certifying residual round. The certified worst-case
+// error is returned in Result.ErrorBound; WithExact restores plain exact
+// iteration, WithFastPath tunes the error budget. MatchComposite always runs
+// exact (its merge decisions compare similarity averages).
 package ems
 
 import (
@@ -156,6 +163,19 @@ type Result struct {
 	Evaluations int
 	// Rounds is the number of iteration rounds performed.
 	Rounds int
+	// Estimated reports that the similarity was finished by a closed-form
+	// estimation pass (the default fast path's adaptive cutover, or an
+	// explicit WithEstimation) instead of iterating to convergence.
+	Estimated bool
+	// ErrorBound is the certified per-pair absolute error bound of a
+	// fast-path run: no Sim entry is further than this from the exact
+	// fixpoint (a-posteriori Banach bound, worst direction). Zero for exact
+	// runs.
+	ErrorBound float64
+	// Pruned counts pair evaluations skipped as provably or adaptively
+	// converged (Proposition 2 bounds plus the fast path's per-pair
+	// freezing), summed over rounds and directions.
+	Pruned int
 	// Composites1 and Composites2 list the accepted composite events per
 	// side (nil for plain matching).
 	Composites1, Composites2 [][]string
@@ -257,6 +277,11 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 		UseUnchanged: o.useUnchanged,
 		UseBounds:    o.useBounds,
 	}
+	// Composite matching compares average similarities across many short
+	// computations and reuses values across merge steps (Proposition 4);
+	// estimation error inside a merge decision could flip an accept/reject,
+	// so the greedy loop always runs the exact engine.
+	ccfg.Sim.FastPath = false
 	// The greedy merge loop runs one short similarity computation per
 	// candidate; per-round observation and per-computation spans would be
 	// noise, so only the facade-level composite span survives into it.
@@ -297,6 +322,9 @@ func assemble(cr *core.Result, comp1, comp2 [][]string, o *options) (*Result, er
 		Mapping:     m,
 		Evaluations: cr.Evaluations,
 		Rounds:      cr.Rounds,
+		Estimated:   cr.Estimated,
+		ErrorBound:  cr.ErrorBound,
+		Pruned:      cr.Pruned,
 		Composites1: comp1,
 		Composites2: comp2,
 	}, nil

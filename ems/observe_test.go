@@ -8,9 +8,10 @@ import (
 	"repro/internal/obs"
 )
 
-// TestWithProgress checks that the observer fires once per round, that the
-// trajectory it reports matches the result, and that arming it changes no
-// numbers.
+// TestWithProgress checks that the observer fires once per round (plus one
+// synthetic final observation when an estimation pass finishes the run),
+// that the trajectory it reports matches the result, and that arming it
+// changes no numbers.
 func TestWithProgress(t *testing.T) {
 	l1, l2 := paperLogs()
 	base, err := ems.Match(l1, l2)
@@ -24,10 +25,23 @@ func TestWithProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != res.Rounds {
-		t.Fatalf("%d observations for %d rounds", len(got), res.Rounds)
+	want := res.Rounds
+	if res.Estimated {
+		want++ // the post-estimation synthetic round boundary
+	}
+	if len(got) != want {
+		t.Fatalf("%d observations for %d rounds (estimated=%v)", len(got), res.Rounds, res.Estimated)
 	}
 	last := got[len(got)-1]
+	if res.Estimated {
+		estimated := false
+		for _, d := range last.Dirs {
+			estimated = estimated || d.Estimated
+		}
+		if !estimated {
+			t.Error("final observation of an estimated run reports no Estimated direction")
+		}
+	}
 	evals := 0
 	for _, d := range last.Dirs {
 		evals += d.TotalEvals

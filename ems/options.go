@@ -62,6 +62,11 @@ func buildOptions(opts []Option) (*options, error) {
 		useUnchanged:       true,
 		useBounds:          true,
 	}
+	// The adaptive fast path (estimation-seeded iteration with certified
+	// error bound) and the blocked matrix layout are on by default;
+	// WithExact is the escape hatch back to plain exact iteration.
+	o.sim.FastPath = true
+	o.sim.Tiled = true
 	for _, opt := range opts {
 		if err := opt(o); err != nil {
 			return nil, err
@@ -106,23 +111,52 @@ func WithLabelSimilarity(sim LabelSimilarity) Option {
 	}
 }
 
-// WithEstimation switches to Algorithm 1: the given number of exact
-// iteration rounds followed by the closed-form estimation of Section 3.5.
-// Iterations must be >= 0; larger trades time for accuracy.
+// WithEstimation switches to Algorithm 1 with a hand-picked cutover: the
+// given number of exact iteration rounds followed by the closed-form
+// estimation of Section 3.5. Iterations must be >= 0; larger trades time for
+// accuracy. This replaces the default adaptive fast path, which picks the
+// cutover round itself — prefer the default unless reproducing the paper's
+// fixed-I experiments.
 func WithEstimation(iterations int) Option {
 	return func(o *options) error {
 		if iterations < 0 {
 			return fmt.Errorf("ems: estimation iterations must be >= 0, got %d", iterations)
 		}
 		o.sim.EstimateI = iterations
+		o.sim.FastPath = false
 		return nil
 	}
 }
 
-// WithExact forces exact iteration to convergence (the default).
+// WithExact forces plain exact iteration to convergence, disabling the
+// default fast path and any WithEstimation cutover. Results are then
+// bit-identical at every worker count and match the paper's exact EMS;
+// use it when reproducibility outweighs the fast path's certified error
+// budget (Result.ErrorBound).
 func WithExact() Option {
 	return func(o *options) error {
 		o.sim.EstimateI = -1
+		o.sim.FastPath = false
+		return nil
+	}
+}
+
+// WithFastPath tunes the adaptive estimation-seeded fast path (on by
+// default): exact Jacobi rounds run until the delta-decay ratio proves the
+// geometric tail, then one closed-form estimation pass plus a certifying
+// residual round replace the remaining iterations. budget is the per-pair
+// absolute error the cutover detector aims for, in [0, 1); 0 picks the
+// default (core.DefaultFastPathBudget). Every run certifies its actual
+// worst-case error a posteriori in Result.ErrorBound, which is typically
+// far below the budget. Overrides an earlier WithExact.
+func WithFastPath(budget float64) Option {
+	return func(o *options) error {
+		if budget < 0 || budget >= 1 {
+			return fmt.Errorf("ems: fast-path budget must be in [0,1), got %g", budget)
+		}
+		o.sim.FastPath = true
+		o.sim.EstimateI = -1
+		o.sim.FastPathBudget = budget
 		return nil
 	}
 }

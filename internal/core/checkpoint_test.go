@@ -17,6 +17,9 @@ func TestCheckpointedRunBitIdenticalAndResumable(t *testing.T) {
 		{"estimate3", func(c *Config) { c.EstimateI = 3 }},
 		{"workers4", func(c *Config) { c.Workers = 4 }},
 		{"labels", func(c *Config) { c.Alpha = 0.7; c.Labels = testLabelSim }},
+		{"tiled", func(c *Config) { c.Tiled = true }},
+		{"fastpath", func(c *Config) { c.FastPath = true }},
+		{"fastpath-tiled", func(c *Config) { c.FastPath = true; c.Tiled = true }},
 	}
 	g1, g2 := procgenGraphs(t, 7, 12, 40)
 	for _, tc := range cases {
@@ -26,6 +29,12 @@ func TestCheckpointedRunBitIdenticalAndResumable(t *testing.T) {
 			baseline, err := Compute(g1, g2, cfg)
 			if err != nil {
 				t.Fatalf("baseline Compute: %v", err)
+			}
+			if cfg.FastPath && !baseline.Estimated {
+				// The fast-path cases exist to cover resume-mid-fastpath:
+				// a workload that epsilon-converges before the cutover
+				// would silently skip the detector-state round-trip.
+				t.Fatalf("fast path never cut over on this workload (rounds=%d)", baseline.Rounds)
 			}
 
 			// The checkpointed (lockstep) run must produce the same bits as
@@ -43,9 +52,14 @@ func TestCheckpointedRunBitIdenticalAndResumable(t *testing.T) {
 				t.Fatalf("no checkpoints emitted")
 			}
 
-			// Resuming from every captured checkpoint — after a serialization
-			// round-trip, under a different worker budget, with and without
-			// further checkpointing — must reproduce the baseline exactly.
+			// Resuming from every captured checkpoint — after a
+			// serialization round-trip, under a different worker budget and
+			// the opposite matrix layout (checkpoints are canonical
+			// row-major, so tiled and untiled engines interchange) — must
+			// reproduce the baseline exactly. For the fast-path cases this
+			// includes checkpoints taken before the cutover, so the detector
+			// state (delta history, ratio streak, frozen pairs) round-trips
+			// too.
 			for k, cp := range cps {
 				data, err := cp.MarshalBinary()
 				if err != nil {
@@ -56,6 +70,7 @@ func TestCheckpointedRunBitIdenticalAndResumable(t *testing.T) {
 					t.Fatalf("checkpoint %d: UnmarshalBinary: %v", k, err)
 				}
 				rcfg := cfg
+				rcfg.Tiled = !rcfg.Tiled // resume under the opposite layout
 				if rcfg.Workers == 4 {
 					rcfg.Workers = 1 // resume under a different budget
 				} else {

@@ -24,9 +24,22 @@ type Result struct {
 	// Rounds is the maximum number of iteration rounds performed by either
 	// direction.
 	Rounds int
-	// Converged reports whether iteration stopped by convergence rather
-	// than by the MaxRounds cap.
+	// Converged reports whether iteration stopped by convergence (or by a
+	// deliberate estimation cutover) rather than by the MaxRounds cap.
 	Converged bool
+	// Estimated reports whether any direction applied the closed-form
+	// estimation of Section 3.5 — an explicit EstimateI or the adaptive
+	// fast-path cutover.
+	Estimated bool
+	// ErrorBound is the certified per-pair absolute error bound of a
+	// fast-path run (Config.FastPath): the worst direction's a-posteriori
+	// Banach bound residual/(1-alpha*c). Zero for exact and explicit
+	// EstimateI runs, which do not pay for the certification pass.
+	ErrorBound float64
+	// Pruned counts pair evaluations skipped across both directions and all
+	// rounds: Proposition-2 convergence skips plus, on the fast path, the
+	// adaptive per-pair freezes.
+	Pruned int
 
 	// idxOnce lazily builds the name-to-index maps behind Lookup, which
 	// composite matching hits once per event pair.
@@ -202,7 +215,7 @@ func applySeed(e *dirEngine, g1, g2 *depgraph.Graph, values map[string]map[strin
 			if freeze {
 				e.seed(i, j, v)
 			} else if !e.frozen[i*e.n2+j] {
-				e.cur[i*e.n2+j] = v
+				e.cur[e.rowOff[i]+e.colOff[j]] = v
 				e.warmed = true
 			}
 		}
@@ -217,20 +230,16 @@ func (c *Computation) Step() (done bool, err error) {
 	if c.finished() {
 		return true, nil
 	}
-	limit := c.cfg.MaxRounds
-	if c.cfg.EstimateI >= 0 && c.cfg.EstimateI < limit {
-		limit = c.cfg.EstimateI
-	}
 	done = true
 	for _, e := range c.engines() {
-		if e.converged || e.round >= limit {
+		if e.iterDone() {
 			continue
 		}
 		delta, err := e.step()
 		if err != nil {
 			return false, err
 		}
-		if !e.doneAfter(delta) && e.round < limit {
+		if !e.doneAfter(delta) && !e.iterDone() {
 			done = false
 		}
 	}
@@ -238,16 +247,14 @@ func (c *Computation) Step() (done bool, err error) {
 }
 
 // Finish completes the computation: any remaining exact rounds are skipped
-// and, in estimation mode, the closed-form estimate is applied. Use it after
-// deciding not to abort a stepwise computation.
+// and, in estimation mode or after a fast-path cutover, the closed-form
+// estimate is applied (followed by the fast path's certifying residual
+// pass). Use it after deciding not to abort a stepwise computation.
+// Idempotent.
 func (c *Computation) Finish() error {
-	if c.cfg.EstimateI >= 0 {
-		for _, e := range c.engines() {
-			if !e.converged {
-				if err := e.estimate(); err != nil {
-					return err
-				}
-			}
+	for _, e := range c.engines() {
+		if err := e.finish(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -351,10 +358,17 @@ func (c *Computation) Result() (*Result, error) {
 		if e.round > r.Rounds {
 			r.Rounds = e.round
 		}
+		if e.estimated {
+			r.Estimated = true
+		}
+		if e.errorBound > r.ErrorBound {
+			r.ErrorBound = e.errorBound
+		}
+		r.Pruned += e.totalPruned
 	}
 	r.Converged = true
 	for _, e := range c.engines() {
-		if !e.converged && c.cfg.EstimateI < 0 && e.round >= c.cfg.MaxRounds {
+		if !e.converged && !e.estimated && e.round >= c.cfg.MaxRounds {
 			r.Converged = false
 		}
 	}
@@ -393,12 +407,8 @@ func (c *Computation) engines() []*dirEngine {
 }
 
 func (c *Computation) finished() bool {
-	limit := c.cfg.MaxRounds
-	if c.cfg.EstimateI >= 0 && c.cfg.EstimateI < limit {
-		limit = c.cfg.EstimateI
-	}
 	for _, e := range c.engines() {
-		if !e.converged && e.round < limit {
+		if !e.iterDone() {
 			return false
 		}
 	}

@@ -22,20 +22,43 @@ type dirEngine struct {
 	lab []float64
 	// l1, l2 are the longest distances l(v) from the artificial event.
 	l1, l2 []int
-	// cur and prev are the S^i and S^{i-1} matrices over all vertex pairs.
+	// cur and prev are the S^i and S^{i-1} matrices over all vertex pairs,
+	// stored either row-major or as flat blocked 64x64 tiles (Config.Tiled).
+	// The layout is abstracted by the offset tables below: the cell (i,j)
+	// lives at rowOff[i]+colOff[j] in either layout, so the hot loops are
+	// layout-free and results are bit-identical across layouts.
 	cur, prev []float64
+	// rowOff and colOff are the layout offset tables; matLen is the backing
+	// length of cur/prev (padded to whole tiles when tiled).
+	rowOff, colOff []int
+	matLen         int
+	// preRow1[v1][i] = rowOff[g1.Pre[v1][i]] and preCol2[v2][j] =
+	// colOff[g2.Pre[v2][j]]: the pre-sets pre-translated into matrix
+	// offsets, so the innermost similarity loop does one add per cell
+	// instead of an index computation.
+	preRow1, preCol2 [][]int
+	// inF1[v]/inF2[v] are the in-edge frequencies aligned with Pre[v],
+	// extracted once from the EdgeFreq maps so the agreement-cache build is
+	// pure arithmetic instead of millions of map lookups.
+	inF1, inF2 [][]float64
 	// frozen marks pairs that must never be updated: pairs involving an
 	// artificial event, and pairs seeded from a previous result whose value
-	// is provably unchanged (Proposition 4).
+	// is provably unchanged (Proposition 4). Indexed logically (i*n2+j).
 	frozen []bool
 
-	// agree caches the edge-agreement factors C(v1,v1',v2,v2') for every
-	// pair (v1,v2): agree[v1*n2+v2][i*|pre2|+j] is the factor for the i-th
-	// in-neighbor of v1 against the j-th in-neighbor of v2. The factors are
-	// constant across rounds, so caching removes all map lookups and
-	// floating-point recomputation from the hot loop. nil when the graphs
-	// are too large for the cache (see agreeCacheLimit).
-	agree [][]float64
+	// Agreement cache. The edge-agreement factor C(...) = c*(1-|f1-f2|/(f1+f2))
+	// depends only on the two edge frequencies, and a graph has few distinct
+	// in-edge frequencies, so the cache is deduplicated by f1:
+	// agreeRows[fIdx1[v1][i]][aOff2[v2]+j] is the factor for the i-th
+	// in-neighbor of v1 against the j-th in-neighbor of v2. That is
+	// |distinct f1| x E2 entries instead of E1 x E2 — typically a few MB
+	// that stay cache-hot across rounds instead of tens of MB streamed cold
+	// every round — and the build does one division per table cell instead
+	// of one per edge pair. agreeRows is nil when even the deduplicated
+	// table would exceed agreeCacheLimit (see buildAgreementCache).
+	agreeRows [][]float64
+	fIdx1     [][]int32
+	aOff2     []int32
 
 	// workers is the effective worker count; pool is nil when workers == 1
 	// (the serial path). The pool is shared with the other direction's
@@ -84,7 +107,48 @@ type dirEngine struct {
 	// bound is min over the graphs of the max finite l(v); Infinite when a
 	// cycle makes both sides unbounded.
 	bound int
+
+	// Fast-path state (Config.FastPath). fast is armed when FastPath is on
+	// and no explicit EstimateI overrides it; budget is the resolved error
+	// budget and tol the derived per-pair freeze tolerance. small[i*n2+j]
+	// counts the pair's consecutive rounds with increment <= tol; at
+	// fastFreezeStreak the pair is deactivated (smallFrozen) and skipped —
+	// the adaptive per-pair pruning that fires even on cyclic graphs whose
+	// Proposition-2 bound is infinite. The cutover detector tracks the
+	// global delta trajectory (prevDelta, prevRatio, ratioStreak): all of it
+	// is driven by order-independent reductions, so fast-path decisions are
+	// bit-identical at every worker count. errorBound is the certified
+	// a-posteriori bound once computed (see residualBound); certified
+	// latches the residual pass.
+	fast        bool
+	budget, tol float64
+	small       []uint8
+	prevDelta   float64
+	prevRatio   float64
+	ratioStreak int
+	cutover     bool
+	errorBound  float64
+	certified   bool
 }
+
+// Tile geometry of the blocked layout (Config.Tiled): 64x64 float64 tiles,
+// 32 KiB each — a tile row of cur plus one of prev fit comfortably in L1.
+const (
+	tileShift = 6
+	tileSize  = 1 << tileShift
+)
+
+// Fast-path tuning knobs. A pair freezes after fastFreezeStreak consecutive
+// rounds with increment <= tol; the ratio-based cutover needs the observed
+// decay ratio stable within ratioStabilityTol (relative) for
+// ratioStableRounds consecutive rounds before trusting the geometric-tail
+// extrapolation.
+const (
+	smallFrozen       = 0xFF
+	fastFreezeStreak  = 2
+	ratioStableRounds = 3
+	ratioStabilityTol = 0.05
+)
 
 // newDirEngine builds the per-direction engine. Both graphs must contain the
 // artificial event. pool may be nil (serial) and is shared between the two
@@ -114,6 +178,7 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 	e.bufs = make([][]float64, e.workers)
 	e.deltaW = make([]float64, e.workers)
 	e.evalW = make([]int, e.workers)
+	e.buildLayout()
 	e.lab = make([]float64, e.n1*e.n2)
 	sim := cfg.labels()
 	if cfg.Alpha < 1 {
@@ -130,8 +195,8 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 		})
 		endSpan()
 	}
-	e.cur = make([]float64, e.n1*e.n2)
-	e.prev = make([]float64, e.n1*e.n2)
+	e.cur = make([]float64, e.matLen)
+	e.prev = make([]float64, e.matLen)
 	e.frozen = make([]bool, e.n1*e.n2)
 	// Initialization: S^0(v^X, v^X) = 1; artificial/real pairs stay 0 and
 	// are never updated.
@@ -143,6 +208,23 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 		e.frozen[i*e.n2] = true
 	}
 	e.bound = convergenceBound(l1, l2)
+	e.fast = cfg.FastPath && cfg.EstimateI < 0
+	if e.fast {
+		e.budget = cfg.fastPathBudget()
+		// tol is the per-pair freeze threshold: a pair whose increment
+		// stayed at or below tol for fastFreezeStreak rounds is deactivated.
+		// Its pending tail — roughly tol/(1-r) for the observed decay ratio
+		// r — stays within the budget for the geometric trajectories the
+		// cutover detector requires anyway, and the certifying residual pass
+		// measures whatever was actually left behind, so tol trades speed
+		// against the certified bound, never against correctness.
+		e.tol = e.budget * (1 - cfg.Alpha*cfg.C) / 2
+		if e.tol > e.budget/4 {
+			e.tol = e.budget / 4
+		}
+		e.small = make([]uint8, e.n1*e.n2)
+		e.prefilterHopeless()
+	}
 	endSpan := e.span("agreement-cache")
 	e.buildAgreementCache()
 	endSpan()
@@ -150,6 +232,73 @@ func newDirEngine(g1, g2 *depgraph.Graph, cfg Config, pool *rowPool) (*dirEngine
 		return nil, err
 	}
 	return e, nil
+}
+
+// buildLayout computes the offset tables mapping the logical cell (i,j) to
+// rowOff[i]+colOff[j] in the cur/prev backing arrays — plain row-major, or
+// flat blocked 64x64 tiles when Config.Tiled. It also pre-translates the
+// graphs' pre-sets into matrix offsets for the hot inner loop. The layout
+// never changes any arithmetic: the same cells hold the same values, only
+// their addresses move.
+func (e *dirEngine) buildLayout() {
+	e.rowOff = make([]int, e.n1)
+	e.colOff = make([]int, e.n2)
+	if e.cfg.Tiled {
+		// Tiles are laid out band-major: all tiles of rows [0,64) first,
+		// then rows [64,128), ... Within a band, tiles follow column order;
+		// within a tile, cells are row-major. Dimensions are padded to whole
+		// tiles (the padding cells are never addressed).
+		tilesPerBand := (e.n2 + tileSize - 1) >> tileShift
+		bandStride := tilesPerBand << (2 * tileShift)
+		for i := range e.rowOff {
+			e.rowOff[i] = (i>>tileShift)*bandStride + (i&(tileSize-1))<<tileShift
+		}
+		for j := range e.colOff {
+			e.colOff[j] = (j>>tileShift)<<(2*tileShift) + j&(tileSize-1)
+		}
+		bands := (e.n1 + tileSize - 1) >> tileShift
+		e.matLen = bands * bandStride
+	} else {
+		for i := range e.rowOff {
+			e.rowOff[i] = i * e.n2
+		}
+		for j := range e.colOff {
+			e.colOff[j] = j
+		}
+		e.matLen = e.n1 * e.n2
+	}
+	e.preRow1 = make([][]int, e.n1)
+	e.inF1 = make([][]float64, e.n1)
+	for v := 1; v < e.n1; v++ {
+		pre := e.g1.Pre[v]
+		if len(pre) == 0 {
+			continue
+		}
+		offs := make([]int, len(pre))
+		fs := make([]float64, len(pre))
+		for i, p := range pre {
+			offs[i] = e.rowOff[p]
+			fs[i] = e.g1.EdgeFreq[p][v]
+		}
+		e.preRow1[v] = offs
+		e.inF1[v] = fs
+	}
+	e.preCol2 = make([][]int, e.n2)
+	e.inF2 = make([][]float64, e.n2)
+	for v := 1; v < e.n2; v++ {
+		pre := e.g2.Pre[v]
+		if len(pre) == 0 {
+			continue
+		}
+		offs := make([]int, len(pre))
+		fs := make([]float64, len(pre))
+		for j, p := range pre {
+			offs[j] = e.colOff[p]
+			fs[j] = e.g2.EdgeFreq[p][v]
+		}
+		e.preCol2[v] = offs
+		e.inF2[v] = fs
+	}
 }
 
 // checkStop consults the cooperative stop hook. The first non-nil cause is
@@ -190,38 +339,84 @@ func (e *dirEngine) stopErr() error {
 }
 
 // agreeCacheLimit caps the total number of cached agreement factors
-// (E1 * E2 entries); beyond it the engine computes factors on the fly. It
-// is a variable so tests can force the fallback path.
+// (|distinct f1| * E2 entries); beyond it the engine computes factors on the
+// fly. It is a variable so tests can force the fallback path.
 var agreeCacheLimit int64 = 1 << 24
 
-// buildAgreementCache precomputes the edge-agreement factors for every real
-// pair unless the graphs are too large.
+// buildAgreementCache precomputes the deduplicated agreement table: one row
+// of E2 factors per distinct in-edge frequency of g1 (frequency indices are
+// assigned in deterministic pre-set order). Disabled when the table would
+// exceed agreeCacheLimit.
 func (e *dirEngine) buildAgreementCache() {
-	if int64(e.g1.EdgeCount())*int64(e.g2.EdgeCount()) > agreeCacheLimit {
+	// Assign a dense index to every distinct in-edge frequency of g1.
+	fIdx := make(map[float64]int32)
+	var distinct []float64
+	e.fIdx1 = make([][]int32, e.n1)
+	for v1 := 1; v1 < e.n1; v1++ {
+		f1s := e.inF1[v1]
+		if len(f1s) == 0 {
+			continue
+		}
+		ids := make([]int32, len(f1s))
+		for i, f := range f1s {
+			id, ok := fIdx[f]
+			if !ok {
+				id = int32(len(distinct))
+				fIdx[f] = id
+				distinct = append(distinct, f)
+			}
+			ids[i] = id
+		}
+		e.fIdx1[v1] = ids
+	}
+	// Per-v2 offsets into each table row: prefix sums of the pre-set sizes.
+	e.aOff2 = make([]int32, e.n2)
+	e2 := 0
+	for v2 := 0; v2 < e.n2; v2++ {
+		f2s := e.inF2[v2]
+		if v2 == 0 || len(f2s) == 0 {
+			e.aOff2[v2] = -1
+			continue
+		}
+		e.aOff2[v2] = int32(e2)
+		e2 += len(f2s)
+	}
+	if int64(len(distinct))*int64(e2) > agreeCacheLimit {
+		e.fIdx1, e.aOff2 = nil, nil
 		return
 	}
-	e.agree = make([][]float64, e.n1*e.n2)
-	e.forRows(1, e.n1, func(w, lo, hi int) {
+	rows := make([][]float64, len(distinct))
+	e.forRows(0, len(distinct), func(w, lo, hi int) {
 		if e.checkStop() != nil {
 			return
 		}
-		for v1 := lo; v1 < hi; v1++ {
-			pre1 := e.g1.Pre[v1]
+		c := e.cfg.C
+		for fi := lo; fi < hi; fi++ {
+			f1 := distinct[fi]
+			row := make([]float64, e2)
 			for v2 := 1; v2 < e.n2; v2++ {
-				pre2 := e.g2.Pre[v2]
-				if len(pre1) == 0 || len(pre2) == 0 {
+				off := e.aOff2[v2]
+				if off < 0 {
 					continue
 				}
-				row := make([]float64, len(pre1)*len(pre2))
-				for i, p1 := range pre1 {
-					for j, p2 := range pre2 {
-						row[i*len(pre2)+j] = e.edgeAgreement(p1, v1, p2, v2)
+				for j, f2 := range e.inF2[v2] {
+					// C(...) = c * (1 - |f1-f2|/(f1+f2)), inlined over the
+					// pre-extracted frequencies (see edgeAgreement).
+					sum := f1 + f2
+					if sum == 0 {
+						continue
 					}
+					d := f1 - f2
+					if d < 0 {
+						d = -d
+					}
+					row[int(off)+j] = c * (1 - d/sum)
 				}
-				e.agree[v1*e.n2+v2] = row
 			}
+			rows[fi] = row
 		}
 	})
+	e.agreeRows = rows
 }
 
 // convergenceBound returns min(max_v1 l(v1), max_v2 l(v2)) over finite
@@ -244,8 +439,45 @@ func convergenceBound(l1, l2 []int) int {
 // never updates it. Used by composite matching for pairs whose value is
 // provably unchanged (Proposition 4).
 func (e *dirEngine) seed(i, j int, v float64) {
-	e.cur[i*e.n2+j] = v
+	e.cur[e.rowOff[i]+e.colOff[j]] = v
 	e.frozen[i*e.n2+j] = true
+}
+
+// prefilterHopeless deactivates pairs that are provably stuck at zero before
+// the first round: a vertex with no in-edges contributes no structural part,
+// so a pair involving one evaluates to (1-alpha)*S^L from round 1 on — when
+// that label part is zero too, the pair already sits at its fixpoint. The
+// filter is exact (it spends no error budget; the certifying residual pass
+// still re-evaluates the pairs). Graphs straight from AddArtificial give
+// every real vertex an artificial in-edge, so this fires only on degenerate
+// inputs such as frequency-filtered graphs with isolated vertices.
+func (e *dirEngine) prefilterHopeless() {
+	empty1 := make([]bool, e.n1)
+	any := false
+	for v1 := 1; v1 < e.n1; v1++ {
+		if len(e.g1.Pre[v1]) == 0 {
+			empty1[v1] = true
+			any = true
+		}
+	}
+	empty2 := make([]bool, e.n2)
+	for v2 := 1; v2 < e.n2; v2++ {
+		if len(e.g2.Pre[v2]) == 0 {
+			empty2[v2] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for v1 := 1; v1 < e.n1; v1++ {
+		row := v1 * e.n2
+		for v2 := 1; v2 < e.n2; v2++ {
+			if (empty1[v1] || empty2[v2]) && e.lab[row+v2] == 0 {
+				e.small[row+v2] = smallFrozen
+			}
+		}
+	}
 }
 
 // edgeAgreement returns C(v1,v1',v2,v2') = c * (1 - |f1-f2|/(f1+f2)) for the
@@ -265,55 +497,58 @@ func (e *dirEngine) edgeAgreement(p1, v1, p2, v2 int) float64 {
 // edge-weighted similarity against the in-neighbors of the other, averaged.
 // w selects the calling worker's scratch buffer.
 func (e *dirEngine) oneSides(v1, v2, w int) (s12, s21 float64) {
-	pre1 := e.g1.Pre[v1]
-	pre2 := e.g2.Pre[v2]
-	if len(pre1) == 0 || len(pre2) == 0 {
+	rows := e.preRow1[v1]
+	cols := e.preCol2[v2]
+	if len(rows) == 0 || len(cols) == 0 {
 		return 0, 0
 	}
-	if cache := e.agree; cache != nil {
-		row := cache[v1*e.n2+v2]
-		best2 := e.bufs[w]
-		if cap(best2) < len(pre2) {
-			best2 = make([]float64, len(pre2))
-		} else {
-			best2 = best2[:len(pre2)]
-			for j := range best2 {
-				best2[j] = 0
-			}
-		}
-		var sum1 float64
-		k := 0
-		for _, p1 := range pre1 {
-			base := p1 * e.n2
-			best := 0.0
-			for j, p2 := range pre2 {
-				if s := e.prev[base+p2]; s != 0 {
-					v := row[k+j] * s
-					if v > best {
-						best = v
-					}
-					if v > best2[j] {
-						best2[j] = v
-					}
+	if e.agreeRows != nil {
+		if off := e.aOff2[v2]; off >= 0 {
+			fids := e.fIdx1[v1]
+			best2 := e.bufs[w]
+			if cap(best2) < len(cols) {
+				best2 = make([]float64, len(cols))
+			} else {
+				best2 = best2[:len(cols)]
+				for j := range best2 {
+					best2[j] = 0
 				}
 			}
-			sum1 += best
-			k += len(pre2)
+			// Branchless inner kernel: a zero prev entry yields v = 0, which
+			// never beats the (non-negative) running maxima, so the products
+			// are computed unconditionally — same numbers, no data-dependent
+			// branch. Reslicing the agreement row per outer step lets the
+			// compiler drop the bounds checks on r[j] and best2[j].
+			prev := e.prev
+			var sum1 float64
+			for i, base := range rows {
+				r := e.agreeRows[fids[i]][off : int(off)+len(cols)]
+				best := 0.0
+				for j, c := range cols {
+					v := r[j] * prev[base+c]
+					best = max(best, v)
+					best2[j] = max(best2[j], v)
+				}
+				sum1 += best
+			}
+			var sum2 float64
+			for _, b := range best2 {
+				sum2 += b
+			}
+			e.bufs[w] = best2
+			return sum1 / float64(len(rows)), sum2 / float64(len(cols))
 		}
-		var sum2 float64
-		for _, b := range best2 {
-			sum2 += b
-		}
-		e.bufs[w] = best2
-		return sum1 / float64(len(pre1)), sum2 / float64(len(pre2))
 	}
 	// Fallback without the agreement cache.
+	pre1 := e.g1.Pre[v1]
+	pre2 := e.g2.Pre[v2]
 	var sum1 float64
 	best2 := make([]float64, len(pre2))
-	for _, p1 := range pre1 {
+	for i, p1 := range pre1 {
+		base := rows[i]
 		best := 0.0
 		for j, p2 := range pre2 {
-			if s := e.prev[p1*e.n2+p2]; s != 0 {
+			if s := e.prev[base+cols[j]]; s != 0 {
 				v := e.edgeAgreement(p1, v1, p2, v2) * s
 				if v > best {
 					best = v
@@ -355,6 +590,7 @@ func (e *dirEngine) step() (float64, error) {
 		e.deltaW[w] = 0
 		e.evalW[w] = 0
 	}
+	fast := e.fast
 	e.forRows(1, e.n1, func(w, lo, hi int) {
 		if e.checkStop() != nil {
 			return
@@ -363,9 +599,13 @@ func (e *dirEngine) step() (float64, error) {
 		evals := 0
 		for v1 := lo; v1 < hi; v1++ {
 			row := v1 * e.n2
+			mrow := e.rowOff[v1]
 			for v2 := 1; v2 < e.n2; v2++ {
 				idx := row + v2
 				if e.frozen[idx] {
+					continue
+				}
+				if fast && e.small[idx] == smallFrozen {
 					continue
 				}
 				if e.cfg.Prune && e.round > min(e.l1[v1], e.l2[v2]) {
@@ -374,10 +614,27 @@ func (e *dirEngine) step() (float64, error) {
 				s12, s21 := e.oneSides(v1, v2, w)
 				v := e.cfg.Alpha*(s12+s21)/2 + (1-e.cfg.Alpha)*e.lab[idx]
 				evals++
-				if d := math.Abs(v - e.prev[idx]); d > maxDelta {
+				midx := mrow + e.colOff[v2]
+				d := math.Abs(v - e.prev[midx])
+				if d > maxDelta {
 					maxDelta = d
 				}
-				e.cur[idx] = v
+				e.cur[midx] = v
+				if fast {
+					// Track the pair's own increment: two consecutive rounds
+					// at or below tol deactivate it for the rest of the run
+					// (the unapplied tail is covered by the error budget and
+					// certified by the residual pass).
+					if d <= e.tol {
+						if s := e.small[idx] + 1; s >= fastFreezeStreak {
+							e.small[idx] = smallFrozen
+						} else {
+							e.small[idx] = s
+						}
+					} else if e.small[idx] != 0 {
+						e.small[idx] = 0
+					}
+				}
 			}
 		}
 		if maxDelta > e.deltaW[w] {
@@ -414,7 +671,58 @@ func (e *dirEngine) step() (float64, error) {
 	e.roundPruned = e.activePairs - roundEvals
 	e.totalPruned += e.roundPruned
 	e.lastDelta = maxDelta
+	if e.fast && !e.cutover {
+		e.updateCutover(maxDelta)
+	}
 	return maxDelta, nil
+}
+
+// updateCutover decides, from the round's global max increment, whether the
+// fast path may stop iterating exactly and hand over to the closed-form
+// estimate. Two triggers:
+//
+//   - Contraction bound (rigorous): formula (1) is an (alpha*c)-contraction
+//     in the sup norm, so the distance to the fixpoint is at most
+//     delta*ac/(1-ac) (Banach). Once that is within half the budget, the
+//     remaining rounds cannot move any pair meaningfully.
+//   - Geometric tail (heuristic, certified afterwards): when the observed
+//     decay ratio r = delta_k/delta_{k-1} has been stable for
+//     ratioStableRounds rounds, the remaining change extrapolates to
+//     delta*r/(1-r); cutting over once that is within the budget is the
+//     adaptive version of hand-picking EstimateI. It may fire earlier than
+//     the contraction bound because the fitted estimate applies most of the
+//     extrapolated tail instead of discarding it, and the publishing
+//     residual pass contracts the remaining error by another factor ac. The
+//     residual pass (residualBound) certifies the actual error either way.
+//
+// Both triggers read only the order-independent global max delta, so the
+// cutover round is identical at every worker count.
+func (e *dirEngine) updateCutover(delta float64) {
+	defer func() { e.prevDelta = delta }()
+	if e.round < 2 {
+		return // the per-pair fit needs two exact iterates
+	}
+	ac := e.cfg.Alpha * e.cfg.C
+	half := e.budget / 2
+	if ac < 1 && delta*ac/(1-ac) <= half {
+		e.cutover = true
+		return
+	}
+	if e.prevDelta <= 0 {
+		e.prevRatio = 0
+		e.ratioStreak = 0
+		return
+	}
+	r := delta / e.prevDelta
+	if r < 1 && e.prevRatio > 0 && math.Abs(r-e.prevRatio) <= ratioStabilityTol*e.prevRatio {
+		e.ratioStreak++
+	} else {
+		e.ratioStreak = 0
+	}
+	e.prevRatio = r
+	if e.ratioStreak >= ratioStableRounds-1 && r < 1 && delta*r/(1-r) <= e.budget {
+		e.cutover = true
+	}
 }
 
 // done reports whether iteration may stop: epsilon convergence, the
@@ -431,17 +739,31 @@ func (e *dirEngine) doneAfter(delta float64) bool {
 	return e.round >= e.cfg.MaxRounds
 }
 
-// run iterates to completion, honoring the exact/estimation trade-off when
-// cfg.EstimateI >= 0 (Algorithm 1). It returns the StopError when the
-// computation was aborted through Config.Stop.
-func (e *dirEngine) run() error {
+// iterLimit is the exact-round cap: MaxRounds, lowered to EstimateI when
+// Algorithm 1 fixes the cutover round.
+func (e *dirEngine) iterLimit() int {
 	limit := e.cfg.MaxRounds
 	if e.cfg.EstimateI >= 0 && e.cfg.EstimateI < limit {
 		limit = e.cfg.EstimateI
 	}
-	// A checkpoint-restored engine may already be converged with round <
-	// limit; stepping it again would perturb the converged values.
-	for !e.converged && e.round < limit {
+	return limit
+}
+
+// iterDone reports whether exact iteration is over: epsilon/bound
+// convergence, the round cap, or the fast path's adaptive cutover.
+func (e *dirEngine) iterDone() bool {
+	return e.converged || e.cutover || e.round >= e.iterLimit()
+}
+
+// run iterates to completion, honoring the exact/estimation trade-off when
+// cfg.EstimateI >= 0 (Algorithm 1) and the adaptive fast path (FastPath).
+// It returns the StopError when the computation was aborted through
+// Config.Stop.
+func (e *dirEngine) run() error {
+	// A checkpoint-restored engine may already be converged (or past its
+	// cutover) with round < limit; stepping it again would perturb the
+	// published values.
+	for !e.iterDone() {
 		delta, err := e.step()
 		if err != nil {
 			return err
@@ -450,8 +772,21 @@ func (e *dirEngine) run() error {
 			break
 		}
 	}
-	if e.cfg.EstimateI >= 0 && !e.converged {
-		return e.estimate()
+	return e.finish()
+}
+
+// finish completes the non-iterative tail of a run: the closed-form
+// estimation pass when one is owed (explicit EstimateI, or a fast-path
+// cutover) and, on the fast path, the residual pass that certifies the
+// error bound. Idempotent — estimate and residualBound both latch.
+func (e *dirEngine) finish() error {
+	if !e.converged && (e.cfg.EstimateI >= 0 || e.cutover) {
+		if err := e.estimate(); err != nil {
+			return err
+		}
+	}
+	if e.fast {
+		return e.residualBound()
 	}
 	return nil
 }
@@ -480,6 +815,19 @@ func (e *dirEngine) estimate() error {
 		return err
 	}
 	I := e.round
+	// At a fast-path cutover the estimate is additionally clamped to a
+	// window around the last exact iterate: the contraction argument bounds
+	// the true fixpoint within lastDelta*ac/(1-ac) of S^I, so no estimate —
+	// however confident the fitted recurrence — may leave that window.
+	// Warm starts void monotonicity but not the contraction, so their
+	// window is symmetric instead of one-sided.
+	fastCut := e.fast && e.cutover
+	window := math.Inf(1)
+	if fastCut {
+		if ac := e.cfg.Alpha * e.cfg.C; ac < 1 {
+			window = e.lastDelta * ac / (1 - ac)
+		}
+	}
 	// Each pair's estimate depends only on its own cur/prev entries, so the
 	// rows parallelize like step().
 	e.forRows(1, e.n1, func(w, lo, hi int) {
@@ -487,18 +835,23 @@ func (e *dirEngine) estimate() error {
 			return
 		}
 		for v1 := lo; v1 < hi; v1++ {
+			mrow := e.rowOff[v1]
 			for v2 := 1; v2 < e.n2; v2++ {
 				idx := v1*e.n2 + v2
 				if e.frozen[idx] {
 					continue
 				}
+				if fastCut && e.small[idx] == smallFrozen {
+					continue // deactivated pair: its tail is inside the budget
+				}
 				h := min(e.l1[v1], e.l2[v2])
 				if h <= I {
 					continue // already exact
 				}
+				midx := mrow + e.colOff[v2]
 				a, q := e.estimationCoefficients(v1, v2)
 				if I >= 2 {
-					if fit := e.cur[idx] - q*e.prev[idx]; fit >= 0 {
+					if fit := e.cur[midx] - q*e.prev[midx]; fit >= 0 {
 						a = fit
 					}
 				}
@@ -507,18 +860,101 @@ func (e *dirEngine) estimate() error {
 					est = a / (1 - q)
 				} else {
 					pw := math.Pow(q, float64(h-I))
-					est = pw*e.cur[idx] + a*(1-pw)/(1-q)
+					est = pw*e.cur[midx] + a*(1-pw)/(1-q)
+				}
+				if est > e.cur[midx]+window {
+					est = e.cur[midx] + window
 				}
 				// The exact S^I is a lower bound of the true similarity
-				// (Theorem 1 monotonicity), so never estimate below it.
-				if est < e.cur[idx] {
-					est = e.cur[idx]
+				// (Theorem 1 monotonicity), so never estimate below it —
+				// except after a warm start, where the fixpoint may sit
+				// below the seeded iterate, bounded by the window.
+				floor := e.cur[midx]
+				if e.warmed && fastCut {
+					floor = e.cur[midx] - window
 				}
-				e.cur[idx] = clamp01(est)
+				if est < floor {
+					est = floor
+				}
+				e.cur[midx] = clamp01(est)
 			}
 		}
 	})
 	return e.stopErr()
+}
+
+// residualBound certifies the fast path's output: it evaluates one full
+// round of formula (1) over the final matrix S and converts the maximum
+// residual into the a-posteriori Banach bound, valid for any starting point
+// (cold or warm), any freezing heuristic and any estimate — whatever the
+// fast path did to get here, the bound holds.
+//
+// After an estimation pass the computed round F(S) is also published as the
+// final matrix: the round has been paid for, and the contraction maps it a
+// factor ac closer to the fixpoint, so the certified bound tightens from
+// |F(S)-S|/(1-ac) to |F(S)-S|*ac/(1-ac). An epsilon-converged fast run keeps
+// S instead (its values must match what convergence reported) and carries
+// the plain bound. Either way the result lands in e.errorBound and is
+// surfaced as Result.ErrorBound.
+func (e *dirEngine) residualBound() error {
+	if e.certified {
+		return e.stopErr()
+	}
+	e.certified = true
+	if err := e.checkStop(); err != nil {
+		return err
+	}
+	publish := e.estimated
+	copy(e.prev, e.cur)
+	for w := 0; w < e.workers; w++ {
+		e.deltaW[w] = 0
+	}
+	e.forRows(1, e.n1, func(w, lo, hi int) {
+		if e.checkStop() != nil {
+			return
+		}
+		var maxRes float64
+		for v1 := lo; v1 < hi; v1++ {
+			row := v1 * e.n2
+			mrow := e.rowOff[v1]
+			for v2 := 1; v2 < e.n2; v2++ {
+				idx := row + v2
+				if e.frozen[idx] {
+					continue
+				}
+				s12, s21 := e.oneSides(v1, v2, w)
+				v := e.cfg.Alpha*(s12+s21)/2 + (1-e.cfg.Alpha)*e.lab[idx]
+				midx := mrow + e.colOff[v2]
+				if d := math.Abs(v - e.prev[midx]); d > maxRes {
+					maxRes = d
+				}
+				if publish {
+					e.cur[midx] = v
+				}
+			}
+		}
+		if maxRes > e.deltaW[w] {
+			e.deltaW[w] = maxRes
+		}
+	})
+	if err := e.stopErr(); err != nil {
+		return err
+	}
+	var res float64
+	for _, d := range e.deltaW {
+		if d > res {
+			res = d
+		}
+	}
+	e.errorBound = res
+	if ac := e.cfg.Alpha * e.cfg.C; ac < 1 {
+		if publish {
+			e.errorBound = res * ac / (1 - ac)
+		} else if ac > 0 {
+			e.errorBound = res / (1 - ac)
+		}
+	}
+	return nil
 }
 
 // estimationCoefficients returns (a, q) of formula (2) for the pair (v1,v2).
@@ -571,9 +1007,10 @@ func (e *dirEngine) upperBoundSum() (float64, error) {
 		}
 		for v1 := lo; v1 < hi; v1++ {
 			var sum float64
+			mrow := e.rowOff[v1]
 			for v2 := 1; v2 < e.n2; v2++ {
 				idx := v1*e.n2 + v2
-				s := e.cur[idx]
+				s := e.cur[mrow+e.colOff[v2]]
 				if e.frozen[idx] {
 					sum += s
 					continue
@@ -616,7 +1053,10 @@ func (e *dirEngine) realMatrix() []float64 {
 	r1, r2 := e.n1-1, e.n2-1
 	out := make([]float64, r1*r2)
 	for i := 0; i < r1; i++ {
-		copy(out[i*r2:(i+1)*r2], e.cur[(i+1)*e.n2+1:(i+2)*e.n2])
+		mrow := e.rowOff[i+1]
+		for j := 0; j < r2; j++ {
+			out[i*r2+j] = e.cur[mrow+e.colOff[j+1]]
+		}
 	}
 	return out
 }

@@ -23,6 +23,15 @@ type DirRoundStats struct {
 	TotalPruned int
 	// Converged reports whether this direction has stopped iterating.
 	Converged bool
+	// Estimated reports that this direction applied the closed-form
+	// estimation (explicit EstimateI or a fast-path cutover). The final
+	// observation of such a run is a synthetic round boundary emitted after
+	// the estimation pass, so progress consumers see the jump to the final
+	// state instead of a stall.
+	Estimated bool
+	// ErrorBound is the certified a-posteriori error bound of a fast-path
+	// run; zero until the certification pass has run.
+	ErrorBound float64
 }
 
 // RoundObservation is delivered to Config.Observer after every lockstep
@@ -60,6 +69,8 @@ func (c *Computation) observeRound() {
 			RoundPruned: e.roundPruned,
 			TotalPruned: e.totalPruned,
 			Converged:   e.converged,
+			Estimated:   e.estimated,
+			ErrorBound:  e.errorBound,
 		}
 		if e.round > ob.Round {
 			ob.Round = e.round

@@ -53,6 +53,10 @@ type JobOptions struct {
 	Threshold *float64 `json:"threshold,omitempty"`
 	MinFreq   *float64 `json:"min_freq,omitempty"`
 	Delta     *float64 `json:"delta,omitempty"`
+	// Exact disables the engine's default adaptive fast path and iterates
+	// to exact convergence (ems.WithExact). Exact and estimated runs of the
+	// same pair produce different matrices, so this is part of the cache key.
+	Exact bool `json:"exact,omitempty"`
 	// TimeoutMS overrides the server's default per-job wall-clock deadline
 	// in milliseconds, clamped to the server's maximum. An explicit 0 asks
 	// for no deadline (still subject to the server maximum). Deadlines never
@@ -156,6 +160,9 @@ func (o JobOptions) build() ([]ems.Option, string, error) {
 	if estimate >= 0 {
 		opts = append(opts, ems.WithEstimation(estimate))
 	}
+	if o.Exact {
+		opts = append(opts, ems.WithExact())
+	}
 	// Probe the options now so bad values fail the submission with a 400
 	// instead of a failed job later. NewMatcher validates options without
 	// computing anything.
@@ -164,8 +171,8 @@ func (o JobOptions) build() ([]ems.Option, string, error) {
 	if _, err := ems.NewMatcher(probe, probe, opts...); err != nil {
 		return nil, "", err
 	}
-	key := fmt.Sprintf("alpha=%g labels=%t estimate=%d threshold=%g minfreq=%g delta=%g composite=%t",
-		alpha, o.Labels, estimate, threshold, minFreq, delta, o.Composite)
+	key := fmt.Sprintf("alpha=%g labels=%t estimate=%d threshold=%g minfreq=%g delta=%g composite=%t exact=%t",
+		alpha, o.Labels, estimate, threshold, minFreq, delta, o.Composite, o.Exact)
 	return opts, key, nil
 }
 

@@ -185,8 +185,11 @@ func TestProgressEndpoint(t *testing.T) {
 		t.Fatalf("%d directions, want 2", len(final.Dirs))
 	}
 	for _, d := range final.Dirs {
-		if !d.Converged {
-			t.Errorf("direction %s not converged in final progress", d.Direction)
+		if !d.Converged && !d.Estimated {
+			t.Errorf("direction %s neither converged nor estimated in final progress", d.Direction)
+		}
+		if d.Estimated && d.ErrorBound <= 0 {
+			t.Errorf("direction %s estimated without a certified error bound", d.Direction)
 		}
 		if d.Evals == 0 {
 			t.Errorf("direction %s reports zero evaluations", d.Direction)

@@ -21,9 +21,16 @@ type RoundProgress struct {
 	// Evals and Pruned sum the directions' per-round counters.
 	Evals  int `json:"evals"`
 	Pruned int `json:"pruned"`
+	// Estimated marks the synthetic final round an estimation pass reports
+	// (the engine's fast-path cutover); the round's delta is then the jump
+	// the estimate applied, not an iteration increment.
+	Estimated bool `json:"estimated,omitempty"`
 }
 
-// DirProgress is the cumulative state of one propagation direction.
+// DirProgress is the cumulative state of one propagation direction. A
+// direction is finished when either Converged or Estimated is set: the
+// default fast path ends runs with an estimation pass instead of iterating
+// to convergence, and reports the certified ErrorBound alongside.
 type DirProgress struct {
 	Direction string  `json:"direction"`
 	Round     int     `json:"round"`
@@ -31,6 +38,10 @@ type DirProgress struct {
 	Evals     int     `json:"evals"`
 	Pruned    int     `json:"pruned"`
 	Converged bool    `json:"converged"`
+	Estimated bool    `json:"estimated,omitempty"`
+	// ErrorBound is the certified per-pair error bound of a fast-path run,
+	// zero until certification (and always zero for exact runs).
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // ProgressView is the JSON body of GET /v1/jobs/{id}/progress.
@@ -72,12 +83,17 @@ func (p *progress) observe(ob ems.RoundObservation) {
 	dirs := make([]DirProgress, len(ob.Dirs))
 	for i, d := range ob.Dirs {
 		dirs[i] = DirProgress{
-			Direction: d.Direction.String(),
-			Round:     d.Round,
-			Delta:     d.Delta,
-			Evals:     d.TotalEvals,
-			Pruned:    d.TotalPruned,
-			Converged: d.Converged,
+			Direction:  d.Direction.String(),
+			Round:      d.Round,
+			Delta:      d.Delta,
+			Evals:      d.TotalEvals,
+			Pruned:     d.TotalPruned,
+			Converged:  d.Converged,
+			Estimated:  d.Estimated,
+			ErrorBound: d.ErrorBound,
+		}
+		if d.Estimated {
+			rp.Estimated = true
 		}
 		if !d.Converged || d.Round == ob.Round {
 			rp.Evals += d.RoundEvals

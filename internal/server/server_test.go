@@ -374,10 +374,13 @@ func TestHealthz(t *testing.T) {
 func TestGracefulShutdownCancelsQueued(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 	// One slow job occupies the single worker; distinct fast jobs queue
-	// behind it.
+	// behind it. Exact mode keeps it slow enough that the queued jobs are
+	// still pending when shutdown fires (the default fast path would drain
+	// them before the race).
 	slow := JobRequest{
-		Log1: LogInput{Traces: tracesOf(permLog(40, 40, "a", 1))},
-		Log2: LogInput{Traces: tracesOf(permLog(40, 40, "b", 2))},
+		Log1:    LogInput{Traces: tracesOf(permLog(60, 60, "a", 1))},
+		Log2:    LogInput{Traces: tracesOf(permLog(60, 60, "b", 2))},
+		Options: JobOptions{Exact: true},
 	}
 	sv, code := postJob(t, ts, slow)
 	if code != http.StatusAccepted {
