@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test profile metrics-check
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test repair-test profile metrics-check
 
 all: check
 
@@ -91,6 +91,15 @@ cluster-test:
 	curl -sf http://$(CLUSTER_A)/metrics | grep -q '^emsd_peer_forwards_total' \
 		|| { echo "cluster-test: no per-peer forward counters on /metrics"; exit 1; }; \
 	echo "cluster-test: 3-node batch grid ok (batch $$id done)"
+
+# Dirty-log resilience suite under the race detector — the repair pipeline
+# and lenient readers, then their integration seams in ems, emsd, and
+# emsmatch — followed by a quick-scale run of the noise-robustness
+# experiment so the EMS+repair rows stay reproducible end to end.
+repair-test:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/repair ./internal/eventlog
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Repair|Lenient' ./ems ./internal/server ./cmd/emsmatch
+	$(GO) run ./cmd/emsbench -robustness
 
 # Short fuzz runs over every fuzz target; CI uses this as a smoke test.
 # Each target needs its own invocation: `go test -fuzz` accepts exactly one.

@@ -11,7 +11,9 @@ import (
 func TestRunWritesJSON(t *testing.T) {
 	p1, p2 := writePairFiles(t)
 	out := filepath.Join(t.TempDir(), "result.json")
-	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, false, out, 2, 0); err != nil {
+	cfg := runConfig{format: "csv", alpha: 1.0, estimate: -1, threshold: 0.1,
+		composite: true, delta: 0.005, outJSON: out, workers: 2}
+	if err := run(p1, p2, cfg); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)

@@ -10,6 +10,11 @@
 // with -format xml). Example:
 //
 //	emsmatch -labels -alpha 0.7 -composite orders_a.csv orders_b.csv
+//
+// Dirty recordings can be ingested with -lenient (malformed records are
+// skipped and counted instead of failing the read) and cleaned with
+// -repair, which runs the dirty-log repair pipeline over both logs before
+// matching and prints what it changed.
 package main
 
 import (
@@ -22,21 +27,40 @@ import (
 	"repro/ems"
 )
 
+// runConfig carries every flag into run.
+type runConfig struct {
+	format    string
+	alpha     float64
+	useLabels bool
+	estimate  int
+	minFreq   float64
+	threshold float64
+	composite bool
+	delta     float64
+	matrix    bool
+	outJSON   string
+	workers   int
+	timeout   time.Duration
+	lenient   bool
+	repair    bool
+}
+
 func main() {
-	var (
-		format     = flag.String("format", "csv", "log file format: csv or xml")
-		alpha      = flag.Float64("alpha", 1.0, "weight of structural vs label similarity (1 = structure only)")
-		useLabels  = flag.Bool("labels", false, "blend q-gram cosine label similarity (sets alpha 0.7 unless -alpha given)")
-		estimate   = flag.Int("estimate", -1, "estimation iterations I (Algorithm 1); -1 = exact")
-		minFreq    = flag.Float64("min-freq", 0, "minimum edge frequency filter")
-		threshold  = flag.Float64("threshold", 0.1, "minimum similarity for a selected correspondence")
-		compositeF = flag.Bool("composite", false, "enable m:n composite event matching (Algorithm 2)")
-		delta      = flag.Float64("delta", 0.005, "minimum improvement for a composite merge")
-		matrix     = flag.Bool("matrix", false, "print the full similarity matrix")
-		outJSON    = flag.String("o", "", "also write the full result as JSON to this file")
-		workers    = flag.Int("workers", 0, "iteration-engine goroutines (0 = auto, 1 = serial; results identical)")
-		timeout    = flag.Duration("timeout", 0, "abort the match after this wall-clock budget (0 = none)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.format, "format", "csv", "log file format: csv or xml")
+	flag.Float64Var(&cfg.alpha, "alpha", 1.0, "weight of structural vs label similarity (1 = structure only)")
+	flag.BoolVar(&cfg.useLabels, "labels", false, "blend q-gram cosine label similarity (sets alpha 0.7 unless -alpha given)")
+	flag.IntVar(&cfg.estimate, "estimate", -1, "estimation iterations I (Algorithm 1); -1 = exact")
+	flag.Float64Var(&cfg.minFreq, "min-freq", 0, "minimum edge frequency filter")
+	flag.Float64Var(&cfg.threshold, "threshold", 0.1, "minimum similarity for a selected correspondence")
+	flag.BoolVar(&cfg.composite, "composite", false, "enable m:n composite event matching (Algorithm 2)")
+	flag.Float64Var(&cfg.delta, "delta", 0.005, "minimum improvement for a composite merge")
+	flag.BoolVar(&cfg.matrix, "matrix", false, "print the full similarity matrix")
+	flag.StringVar(&cfg.outJSON, "o", "", "also write the full result as JSON to this file")
+	flag.IntVar(&cfg.workers, "workers", 0, "iteration-engine goroutines (0 = auto, 1 = serial; results identical)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the match after this wall-clock budget (0 = none)")
+	flag.BoolVar(&cfg.lenient, "lenient", false, "skip and count malformed input records instead of failing the read")
+	flag.BoolVar(&cfg.repair, "repair", false, "run the dirty-log repair pipeline over both logs before matching")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: emsmatch [flags] LOG1 LOG2")
@@ -51,8 +75,8 @@ func main() {
 			alphaSet = true
 		}
 	})
-	if err := run(flag.Arg(0), flag.Arg(1), *format, resolveAlpha(*alpha, alphaSet, *useLabels), *useLabels, *estimate,
-		*minFreq, *threshold, *compositeF, *delta, *matrix, *outJSON, *workers, *timeout); err != nil {
+	cfg.alpha = resolveAlpha(cfg.alpha, alphaSet, cfg.useLabels)
+	if err := run(flag.Arg(0), flag.Arg(1), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "emsmatch:", err)
 		os.Exit(1)
 	}
@@ -68,35 +92,36 @@ func resolveAlpha(alpha float64, alphaSet, useLabels bool) float64 {
 	return alpha
 }
 
-func run(path1, path2, format string, alpha float64, useLabels bool, estimate int,
-	minFreq, threshold float64, compositeMatch bool, delta float64, matrix bool, outJSON string,
-	workers int, timeout time.Duration) error {
-	l1, err := readLog(path1, format)
+func run(path1, path2 string, cfg runConfig) error {
+	l1, err := readLog(path1, cfg)
 	if err != nil {
 		return err
 	}
-	l2, err := readLog(path2, format)
+	l2, err := readLog(path2, cfg)
 	if err != nil {
 		return err
 	}
 	opts := []ems.Option{
-		ems.WithMinFrequency(minFreq),
-		ems.WithSelectionThreshold(threshold),
-		ems.WithDelta(delta),
-		ems.WithWorkers(workers),
+		ems.WithMinFrequency(cfg.minFreq),
+		ems.WithSelectionThreshold(cfg.threshold),
+		ems.WithDelta(cfg.delta),
+		ems.WithWorkers(cfg.workers),
 	}
-	if useLabels {
+	if cfg.useLabels {
 		opts = append(opts, ems.WithLabelSimilarity(ems.QGramCosine(3)))
 	}
-	opts = append(opts, ems.WithAlpha(alpha))
-	if estimate >= 0 {
-		opts = append(opts, ems.WithEstimation(estimate))
+	opts = append(opts, ems.WithAlpha(cfg.alpha))
+	if cfg.estimate >= 0 {
+		opts = append(opts, ems.WithEstimation(cfg.estimate))
 	}
-	if timeout > 0 {
-		opts = append(opts, ems.WithTimeout(timeout))
+	if cfg.timeout > 0 {
+		opts = append(opts, ems.WithTimeout(cfg.timeout))
+	}
+	if cfg.repair {
+		opts = append(opts, ems.WithRepair())
 	}
 	var res *ems.Result
-	if compositeMatch {
+	if cfg.composite {
 		res, err = ems.MatchComposite(l1, l2, opts...)
 	} else {
 		res, err = ems.Match(l1, l2, opts...)
@@ -106,6 +131,8 @@ func run(path1, path2, format string, alpha float64, useLabels bool, estimate in
 	}
 	fmt.Printf("log 1: %d events, log 2: %d events, %d similarity evaluations, %d rounds\n",
 		len(res.Names1), len(res.Names2), res.Evaluations, res.Rounds)
+	printRepair(l1.Name, res.Repair1)
+	printRepair(l2.Name, res.Repair2)
 	for _, g := range res.Composites1 {
 		fmt.Printf("composite in %s: {%s}\n", l1.Name, strings.Join(g, ", "))
 	}
@@ -116,11 +143,11 @@ func run(path1, path2, format string, alpha float64, useLabels bool, estimate in
 	for _, c := range res.Mapping {
 		fmt.Printf("  %s\n", c)
 	}
-	if matrix {
+	if cfg.matrix {
 		printMatrix(res)
 	}
-	if outJSON != "" {
-		f, err := os.Create(outJSON)
+	if cfg.outJSON != "" {
+		f, err := os.Create(cfg.outJSON)
 		if err != nil {
 			return err
 		}
@@ -128,25 +155,53 @@ func run(path1, path2, format string, alpha float64, useLabels bool, estimate in
 		if err := res.WriteJSON(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote result to %s\n", outJSON)
+		fmt.Printf("wrote result to %s\n", cfg.outJSON)
 	}
 	return nil
 }
 
-func readLog(path, format string) (*ems.Log, error) {
+// printRepair summarizes what the repair pipeline did to one log, including
+// a line per quarantined-trace sample so unrepairable traces are visible
+// without digging into the JSON result.
+func printRepair(name string, rep *ems.RepairReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Printf("repair %s: %d/%d traces kept, %d dropped, %d reordered, %d imputed, %d quarantined\n",
+		name, rep.TracesOut, rep.TracesIn,
+		rep.EventsDropped, rep.EventsReordered, rep.EventsImputed, rep.TracesQuarantined)
+	for _, q := range rep.Quarantined {
+		fmt.Printf("  quarantined trace #%d (%d events): %s at stage %s\n",
+			q.Index, q.Events, q.Reason, q.Stage)
+	}
+}
+
+func readLog(path string, cfg runConfig) (*ems.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	switch format {
+	var (
+		l   *ems.Log
+		rep *ems.SkipReport
+		ro  = ems.ReadOptions{Lenient: cfg.lenient}
+	)
+	switch cfg.format {
 	case "csv":
-		return ems.ReadCSV(f, path)
+		l, rep, err = ems.ReadCSVWith(f, path, ro)
 	case "xml":
-		return ems.ReadXML(f)
+		l, rep, err = ems.ReadXMLWith(f, ro)
 	default:
-		return nil, fmt.Errorf("unknown format %q (want csv or xml)", format)
+		return nil, fmt.Errorf("unknown format %q (want csv or xml)", cfg.format)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if n := rep.Total(); n > 0 {
+		fmt.Fprintf(os.Stderr, "emsmatch: %s: skipped %d malformed records\n", path, n)
+	}
+	return l, nil
 }
 
 func printMatrix(res *ems.Result) {

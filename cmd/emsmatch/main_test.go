@@ -29,21 +29,21 @@ func writePairFiles(t *testing.T) (string, string) {
 
 func TestRunPlainMatch(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err != nil {
+	if err := run(p1, p2, runConfig{format: "csv", alpha: 1.0, estimate: -1, threshold: 0.1, delta: 0.005}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunCompositeWithMatrix(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run(p1, p2, "csv", 1.0, false, -1, 0, 0.1, true, 0.005, true, "", 0, 0); err != nil {
+	if err := run(p1, p2, runConfig{format: "csv", alpha: 1.0, estimate: -1, threshold: 0.1, composite: true, delta: 0.005, matrix: true}); err != nil {
 		t.Fatalf("run composite: %v", err)
 	}
 }
 
 func TestRunLabelsAndEstimate(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run(p1, p2, "csv", 1.0, true, 3, 0.05, 0.1, false, 0.005, false, "", 0, 0); err != nil {
+	if err := run(p1, p2, runConfig{format: "csv", alpha: 1.0, useLabels: true, estimate: 3, minFreq: 0.05, threshold: 0.1, delta: 0.005}); err != nil {
 		t.Fatalf("run labels: %v", err)
 	}
 }
@@ -62,7 +62,7 @@ func TestRunXMLFormat(t *testing.T) {
 		}
 		f.Close()
 	}
-	if err := run(p1, p2, "xml", 1.0, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err != nil {
+	if err := run(p1, p2, runConfig{format: "xml", alpha: 1.0, estimate: -1, threshold: 0.1, delta: 0.005}); err != nil {
 		t.Fatalf("run xml: %v", err)
 	}
 }
@@ -91,15 +91,39 @@ func TestResolveAlpha(t *testing.T) {
 	}
 }
 
+// TestRunLenientRepair drives the dirty-log path end to end: a log with a
+// malformed row needs -lenient to load at all, and -repair cleans the
+// stutter it also carries.
+func TestRunLenientRepair(t *testing.T) {
+	p1, _ := writePairFiles(t)
+	dirty := filepath.Join(t.TempDir(), "dirty.csv")
+	csv := "case,event\n" +
+		"t1,a\nt1,a\nt1,b\n" + // stuttered a
+		"ragged row with no comma\n" +
+		"t2,a\nt2,b\n"
+	if err := os.WriteFile(dirty, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	strict := runConfig{format: "csv", alpha: 1, estimate: -1, threshold: 0.1, delta: 0.005, repair: true}
+	if err := run(p1, dirty, strict); err == nil {
+		t.Fatal("malformed CSV accepted without -lenient")
+	}
+	lenient := strict
+	lenient.lenient = true
+	if err := run(p1, dirty, lenient); err != nil {
+		t.Fatalf("lenient repair run: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	p1, p2 := writePairFiles(t)
-	if err := run("nonexistent.csv", p2, "csv", 1, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err == nil {
+	if err := run("nonexistent.csv", p2, runConfig{format: "csv", alpha: 1, estimate: -1, threshold: 0.1, delta: 0.005}); err == nil {
 		t.Errorf("missing file accepted")
 	}
-	if err := run(p1, p2, "bogus", 1, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err == nil {
+	if err := run(p1, p2, runConfig{format: "bogus", alpha: 1, estimate: -1, threshold: 0.1, delta: 0.005}); err == nil {
 		t.Errorf("unknown format accepted")
 	}
-	if err := run(p1, p2, "csv", 7, false, -1, 0, 0.1, false, 0.005, false, "", 0, 0); err == nil {
+	if err := run(p1, p2, runConfig{format: "csv", alpha: 7, estimate: -1, threshold: 0.1, delta: 0.005}); err == nil {
 		t.Errorf("invalid alpha accepted")
 	}
 }

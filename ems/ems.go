@@ -91,6 +91,32 @@ func WriteXML(w io.Writer, l *Log) error { return eventlog.WriteXML(w, l) }
 // process-mining tools, extracting each event's concept:name.
 func ReadXES(r io.Reader) (*Log, error) { return eventlog.ReadXES(r) }
 
+// ReadOptions configure the log readers; Lenient converts malformed records
+// and per-record size-limit violations into counted skips instead of
+// aborting the file.
+type ReadOptions = eventlog.ReadOptions
+
+// SkipReport counts the records a lenient read dropped.
+type SkipReport = eventlog.SkipReport
+
+// ReadCSVWith is ReadCSV with options (notably lenient mode, which skips
+// and counts malformed rows instead of failing the file).
+func ReadCSVWith(r io.Reader, name string, o ReadOptions) (*Log, *SkipReport, error) {
+	return eventlog.ReadCSVWith(r, name, o)
+}
+
+// ReadXMLWith is ReadXML with options (lenient mode skips and counts
+// nameless events and the traces they empty out).
+func ReadXMLWith(r io.Reader, o ReadOptions) (*Log, *SkipReport, error) {
+	return eventlog.ReadXMLWith(r, o)
+}
+
+// ReadXESWith is ReadXES with options (lenient mode skips and counts events
+// without a usable concept:name and the traces they empty out).
+func ReadXESWith(r io.Reader, o ReadOptions) (*Log, *SkipReport, error) {
+	return eventlog.ReadXESWith(r, o)
+}
+
 // WriteXES writes the log as a minimal valid XES document.
 func WriteXES(w io.Writer, l *Log) error { return eventlog.WriteXES(w, l) }
 
@@ -179,6 +205,9 @@ type Result struct {
 	// Composites1 and Composites2 list the accepted composite events per
 	// side (nil for plain matching).
 	Composites1, Composites2 [][]string
+	// Repair1 and Repair2 report what the dirty-log repair pipeline did to
+	// each log (nil unless the match ran with WithRepair).
+	Repair1, Repair2 *RepairReport
 }
 
 // At returns the similarity of the i-th event of log 1 and the j-th event
@@ -216,6 +245,10 @@ func Match(log1, log2 *Log, opts ...Option) (*Result, error) {
 	}
 	defer o.armStop()()
 	o.armTrace()
+	log1, log2, err = o.applyRepair(log1, log2)
+	if err != nil {
+		return nil, err
+	}
 	endGraph := o.span("graph-build")
 	g1, err := buildGraph(log1, o)
 	if err != nil {
@@ -265,6 +298,10 @@ func MatchComposite(log1, log2 *Log, opts ...Option) (*Result, error) {
 	}
 	defer o.armStop()()
 	o.armTrace()
+	log1, log2, err = o.applyRepair(log1, log2)
+	if err != nil {
+		return nil, err
+	}
 	endDiscover := o.span("discover")
 	c1 := composite.Discover(log1, o.discover)
 	c2 := composite.Discover(log2, o.discover)
@@ -327,6 +364,8 @@ func assemble(cr *core.Result, comp1, comp2 [][]string, o *options) (*Result, er
 		Pruned:      cr.Pruned,
 		Composites1: comp1,
 		Composites2: comp2,
+		Repair1:     o.rep1,
+		Repair2:     o.rep2,
 	}, nil
 }
 

@@ -65,13 +65,20 @@ func (m *Matcher) Rematch() (*Result, error) {
 	}
 	defer o.armStop()()
 	o.armTrace()
+	// Repair (when configured) runs on copies each call: the matcher's own
+	// logs stay raw so appended traces are repaired against the statistics
+	// of the grown log, not of an earlier repair's output.
+	l1, l2, err := o.applyRepair(m.log1, m.log2)
+	if err != nil {
+		return nil, err
+	}
 	endGraph := o.span("graph-build")
-	g1, err := buildGraph(m.log1, o)
+	g1, err := buildGraph(l1, o)
 	if err != nil {
 		endGraph()
 		return nil, err
 	}
-	g2, err := buildGraph(m.log2, o)
+	g2, err := buildGraph(l2, o)
 	endGraph()
 	if err != nil {
 		return nil, err

@@ -28,6 +28,10 @@ type options struct {
 	maxMergeSteps int
 	useUnchanged  bool
 	useBounds     bool
+	// dirty-log repair: non-nil runs the repair pipeline over both logs
+	// before graph construction; rep1/rep2 carry the reports to assemble.
+	repair     *RepairOptions
+	rep1, rep2 *RepairReport
 }
 
 // armStop installs the cooperative-cancellation hook derived from

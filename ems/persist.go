@@ -20,6 +20,8 @@ type resultJSON struct {
 	Rounds      int                  `json:"rounds"`
 	Composites1 [][]string           `json:"composites1,omitempty"`
 	Composites2 [][]string           `json:"composites2,omitempty"`
+	Repair1     *RepairReport        `json:"repair1,omitempty"`
+	Repair2     *RepairReport        `json:"repair2,omitempty"`
 }
 
 type correspondenceJSON struct {
@@ -39,6 +41,8 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Rounds:      r.Rounds,
 		Composites1: r.Composites1,
 		Composites2: r.Composites2,
+		Repair1:     r.Repair1,
+		Repair2:     r.Repair2,
 	}
 	for _, c := range r.Mapping {
 		out.Mapping = append(out.Mapping, correspondenceJSON{Left: c.Left, Right: c.Right, Score: c.Score})
@@ -85,6 +89,8 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		Rounds:      in.Rounds,
 		Composites1: in.Composites1,
 		Composites2: in.Composites2,
+		Repair1:     in.Repair1,
+		Repair2:     in.Repair2,
 	}
 	for _, c := range in.Mapping {
 		r.Mapping = append(r.Mapping, matching.NewCorrespondence(c.Left, c.Right, c.Score))

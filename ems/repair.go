@@ -1,0 +1,116 @@
+package ems
+
+import (
+	"fmt"
+
+	"repro/internal/repair"
+)
+
+// RepairReport describes what the dirty-log repair pipeline did to one log:
+// per-stage counts of events dropped, reordered and imputed, plus the traces
+// touched and quarantined. See WithRepair.
+type RepairReport = repair.Report
+
+// RepairOptions tune the repair pipeline enabled by WithRepairOptions. Every
+// zero field picks the documented default, so the zero value is equivalent
+// to WithRepair. Negative values are rejected.
+type RepairOptions struct {
+	// Window is the duplicate-collapse look-back distance (default 1:
+	// adjacent repeats only).
+	Window int
+	// OrderRatio is the dominance ratio of order repair: an adjacent pair
+	// is transposed only when the log records the reverse order at least
+	// this many times as often. The default adapts to the log's measured
+	// dirtiness: 4 on clean-looking logs, 2 on visibly noisy ones.
+	OrderRatio float64
+	// OrderMaxFwd caps the frequency of an order read as disorder: a pair
+	// recorded by more than this fraction of traces is treated as a
+	// legitimate interleaving and never swapped (default 0.25; 1 disables).
+	OrderMaxFwd float64
+	// OrderMaxPasses bounds reorder passes per trace before the trace is
+	// quarantined as order-unstable (default: trace length + 1).
+	OrderMaxPasses int
+	// ImputeRatio is how many times stronger the indirect path a->c->b must
+	// be than the direct a->b edge before c is imputed (default 4).
+	ImputeRatio float64
+	// ImputeMinPath is the minimum frequency of both path edges for an
+	// imputation. The default adapts to the log's measured dirtiness: 0.5
+	// on clean-looking logs, 0.25 on visibly noisy ones.
+	ImputeMinPath float64
+	// ImputeMax is the per-trace imputation budget; traces demanding more
+	// are quarantined as beyond repair (default 3).
+	ImputeMax int
+}
+
+// pipeline materializes the configured repair pipeline.
+func (ro RepairOptions) pipeline() *repair.Pipeline {
+	return repair.Default(repair.Options{
+		Window:         ro.Window,
+		OrderRatio:     ro.OrderRatio,
+		OrderMaxFwd:    ro.OrderMaxFwd,
+		OrderMaxPasses: ro.OrderMaxPasses,
+		ImputeRatio:    ro.ImputeRatio,
+		ImputeMinPath:  ro.ImputeMinPath,
+		ImputeMax:      ro.ImputeMax,
+	})
+}
+
+// WithRepair runs the default dirty-log repair pipeline over both logs
+// before dependency graphs are built: duplicate events are collapsed,
+// locally disordered events are put back into the log's dominant order, and
+// events the dependency relation says were dropped are re-imputed. Traces no
+// stage can bring into a consistent state are quarantined (dropped from the
+// matched log) rather than failing the call; Result.Repair1 and
+// Result.Repair2 account for everything the pipeline did. The input logs
+// are never mutated.
+func WithRepair() Option { return WithRepairOptions(RepairOptions{}) }
+
+// WithRepairOptions is WithRepair with tuned pipeline knobs.
+func WithRepairOptions(ro RepairOptions) Option {
+	return func(o *options) error {
+		if ro.Window < 0 {
+			return fmt.Errorf("ems: repair window must be >= 0, got %d", ro.Window)
+		}
+		if ro.OrderRatio < 0 {
+			return fmt.Errorf("ems: repair order ratio must be >= 0, got %g", ro.OrderRatio)
+		}
+		if ro.OrderMaxFwd < 0 || ro.OrderMaxFwd > 1 {
+			return fmt.Errorf("ems: repair order max fwd must be in [0,1], got %g", ro.OrderMaxFwd)
+		}
+		if ro.OrderMaxPasses < 0 {
+			return fmt.Errorf("ems: repair order max passes must be >= 0, got %d", ro.OrderMaxPasses)
+		}
+		if ro.ImputeRatio < 0 {
+			return fmt.Errorf("ems: repair impute ratio must be >= 0, got %g", ro.ImputeRatio)
+		}
+		if ro.ImputeMinPath < 0 || ro.ImputeMinPath > 1 {
+			return fmt.Errorf("ems: repair impute min path must be in [0,1], got %g", ro.ImputeMinPath)
+		}
+		if ro.ImputeMax < 0 {
+			return fmt.Errorf("ems: repair impute max must be >= 0, got %d", ro.ImputeMax)
+		}
+		o.repair = &ro
+		return nil
+	}
+}
+
+// applyRepair runs the configured repair pipeline (if any) over both logs
+// and stashes the reports for assemble. The returned logs are the repaired
+// copies; without WithRepair the inputs pass through untouched.
+func (o *options) applyRepair(log1, log2 *Log) (*Log, *Log, error) {
+	if o.repair == nil {
+		return log1, log2, nil
+	}
+	defer o.span("repair")()
+	p := o.repair.pipeline()
+	r1, rep1, err := p.Run(log1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ems: log 1: %w", err)
+	}
+	r2, rep2, err := p.Run(log2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ems: log 2: %w", err)
+	}
+	o.rep1, o.rep2 = rep1, rep2
+	return r1, r2, nil
+}

@@ -1,0 +1,175 @@
+package ems
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// repairTestLogs builds a clean reference log pair plus a corrupted copy of
+// the second log, deterministic in the seed.
+func repairTestLogs(t *testing.T, seed int64) (l1, noisy *Log) {
+	t.Helper()
+	l1 = NewLog("ref")
+	l2 := NewLog("dirty")
+	events := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	for i := 0; i < 50; i++ {
+		l1.Append(Trace(append([]string(nil), events...)))
+		l2.Append(Trace(append([]string(nil), events...)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	noisy, err := AddNoise(rng, l2, 0.08, 0.08, 0.04)
+	if err != nil {
+		t.Fatalf("AddNoise: %v", err)
+	}
+	return l1, noisy
+}
+
+func TestMatchWithRepairReportsAndImproves(t *testing.T) {
+	l1, noisy := repairTestLogs(t, 3)
+	plain, err := Match(l1, noisy)
+	if err != nil {
+		t.Fatalf("plain match: %v", err)
+	}
+	repaired, err := Match(l1, noisy, WithRepair())
+	if err != nil {
+		t.Fatalf("repaired match: %v", err)
+	}
+	if plain.Repair1 != nil || plain.Repair2 != nil {
+		t.Fatal("plain match must not carry repair reports")
+	}
+	if repaired.Repair1 == nil || repaired.Repair2 == nil {
+		t.Fatal("repaired match must carry both repair reports")
+	}
+	if repaired.Repair1.Touched() {
+		t.Fatalf("clean log 1 was touched: %+v", repaired.Repair1)
+	}
+	r2 := repaired.Repair2
+	if !r2.Touched() || r2.EventsDropped+r2.EventsReordered+r2.EventsImputed == 0 {
+		t.Fatalf("noisy log 2 repair did nothing: %+v", r2)
+	}
+	if r2.TracesIn != r2.TracesOut+r2.TracesQuarantined {
+		t.Fatalf("repair accounting broken: %+v", r2)
+	}
+	// The input logs must be untouched by the repaired run.
+	if noisy.Len() != 50 {
+		t.Fatalf("input log mutated: %d traces", noisy.Len())
+	}
+}
+
+func TestMatchWithRepairDeterministicAcrossWorkers(t *testing.T) {
+	l1, noisy := repairTestLogs(t, 11)
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Match(l1, noisy, WithRepair(), WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Sim) != len(ref.Sim) {
+			t.Fatalf("workers=%d: matrix size %d != %d", workers, len(res.Sim), len(ref.Sim))
+		}
+		for i := range res.Sim {
+			if res.Sim[i] != ref.Sim[i] {
+				t.Fatalf("workers=%d: Sim[%d] = %v != %v (not bit-identical)", workers, i, res.Sim[i], ref.Sim[i])
+			}
+		}
+		if len(res.Mapping) != len(ref.Mapping) {
+			t.Fatalf("workers=%d: mapping size %d != %d", workers, len(res.Mapping), len(ref.Mapping))
+		}
+		// Repair itself must be deterministic too; compare scalar totals.
+		if res.Repair2.EventsDropped != ref.Repair2.EventsDropped ||
+			res.Repair2.EventsReordered != ref.Repair2.EventsReordered ||
+			res.Repair2.EventsImputed != ref.Repair2.EventsImputed ||
+			res.Repair2.TracesQuarantined != ref.Repair2.TracesQuarantined {
+			t.Fatalf("workers=%d: repair report differs: %+v vs %+v", workers, res.Repair2, ref.Repair2)
+		}
+	}
+}
+
+func TestRepairReportRoundTripsThroughJSON(t *testing.T) {
+	l1, noisy := repairTestLogs(t, 5)
+	res, err := Match(l1, noisy, WithRepair())
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadResultJSON: %v", err)
+	}
+	if back.Repair1 == nil || back.Repair2 == nil {
+		t.Fatal("repair reports lost in round trip")
+	}
+	if back.Repair2.EventsDropped != res.Repair2.EventsDropped ||
+		back.Repair2.TracesQuarantined != res.Repair2.TracesQuarantined ||
+		back.Repair2.TracesIn != res.Repair2.TracesIn ||
+		len(back.Repair2.Stages) != len(res.Repair2.Stages) {
+		t.Fatalf("repair report changed: %+v vs %+v", back.Repair2, res.Repair2)
+	}
+	// Results without repair must omit the fields entirely.
+	plain, err := Match(l1, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := plain.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("repair1")) {
+		t.Fatal("plain result serialized a repair1 field")
+	}
+}
+
+func TestRepairOptionValidation(t *testing.T) {
+	bad := []RepairOptions{
+		{Window: -1},
+		{OrderRatio: -0.5},
+		{OrderMaxFwd: 1.5},
+		{OrderMaxPasses: -2},
+		{ImputeRatio: -1},
+		{ImputeMinPath: 1.5},
+		{ImputeMax: -3},
+	}
+	for _, ro := range bad {
+		if _, err := buildOptions([]Option{WithRepairOptions(ro)}); err == nil {
+			t.Fatalf("accepted invalid repair options %+v", ro)
+		}
+	}
+	if _, err := buildOptions([]Option{WithRepairOptions(RepairOptions{})}); err != nil {
+		t.Fatalf("zero repair options rejected: %v", err)
+	}
+}
+
+func TestMatcherRematchAppliesRepair(t *testing.T) {
+	l1, noisy := repairTestLogs(t, 9)
+	m, err := NewMatcher(l1, noisy, WithRepair())
+	if err != nil {
+		t.Fatalf("NewMatcher: %v", err)
+	}
+	res, err := m.Rematch()
+	if err != nil {
+		t.Fatalf("Rematch: %v", err)
+	}
+	if res.Repair2 == nil || !res.Repair2.Touched() {
+		t.Fatalf("Rematch did not repair the noisy log: %+v", res.Repair2)
+	}
+	// A second Rematch (after appending a clean trace) repairs the raw
+	// grown log again, not the previous repair's output.
+	if err := m.Append(2, Trace{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m.Rematch()
+	if err != nil {
+		t.Fatalf("second Rematch: %v", err)
+	}
+	if res2.Repair2.TracesIn != res.Repair2.TracesIn+1 {
+		t.Fatalf("second repair saw %d traces, want %d", res2.Repair2.TracesIn, res.Repair2.TracesIn+1)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -22,13 +23,25 @@ type PeerStatus struct {
 // each peer's /healthz, and the request paths reporting their own successes
 // and failures. A peer is down after one failure and up again after one
 // success — cheap failover beats optimistic retries against a dead node,
-// and the prober flips it back within one interval once it recovers.
+// and the prober flips it back once it recovers.
+//
+// Down peers are probed on an exponential backoff with jitter rather than
+// every tick: each consecutive failure doubles the delay until the next
+// probe (capped at maxProbeBackoff), and the jitter spreads the probes of
+// many nodes recovering from the same outage so they do not stampede the
+// peer the moment it comes back. Up peers are probed every interval.
 type Health struct {
 	mu    sync.Mutex
 	peers map[string]*peerHealth
 	// onChange, when set, observes up/down transitions (e.g. to drive a
 	// per-peer gauge). Called outside the lock. Set before sharing.
 	onChange func(id string, up bool)
+	// interval is the base probe period backoff multiplies; Run sets it.
+	interval time.Duration
+	// now and jitter are injectable for tests: now is the clock, jitter
+	// returns a uniform [0,1) draw.
+	now    func() time.Time
+	jitter func() float64
 }
 
 type peerHealth struct {
@@ -36,12 +49,30 @@ type peerHealth struct {
 	up       bool
 	failures int
 	lastErr  string
+	// nextProbe is when a down peer is due for its next probe; the zero
+	// time (always for up peers) means due immediately.
+	nextProbe time.Time
 }
+
+// maxProbeBackoff caps the delay between probes of a down peer: outages
+// longer than this are re-checked at a steady (still jittered) pace.
+const maxProbeBackoff = 30 * time.Second
 
 // NewHealth tracks the given peer clients, all initially up (a cold start
 // assumes the best; the first probe or request corrects it).
 func NewHealth(clients []*Client, onChange func(id string, up bool)) *Health {
-	h := &Health{peers: make(map[string]*peerHealth, len(clients)), onChange: onChange}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var rngMu sync.Mutex
+	h := &Health{
+		peers:    make(map[string]*peerHealth, len(clients)),
+		onChange: onChange,
+		now:      time.Now,
+		jitter: func() float64 {
+			rngMu.Lock()
+			defer rngMu.Unlock()
+			return rng.Float64()
+		},
+	}
 	for _, c := range clients {
 		h.peers[c.Node().ID] = &peerHealth{client: c, up: true}
 	}
@@ -88,10 +119,12 @@ func (h *Health) report(id string, err error) {
 	was := p.up
 	if err == nil {
 		p.up, p.failures, p.lastErr = true, 0, ""
+		p.nextProbe = time.Time{}
 	} else {
 		p.up = false
 		p.failures++
 		p.lastErr = err.Error()
+		p.nextProbe = h.now().Add(h.backoff(p.failures))
 	}
 	now := p.up
 	onChange := h.onChange
@@ -99,6 +132,25 @@ func (h *Health) report(id string, err error) {
 	if onChange != nil && was != now {
 		onChange(id, now)
 	}
+}
+
+// backoff returns the jittered delay until the next probe of a peer with
+// the given consecutive-failure count: interval << (failures-1), capped at
+// maxProbeBackoff, then scaled by a uniform factor in [0.75, 1.25). Callers
+// hold h.mu.
+func (h *Health) backoff(failures int) time.Duration {
+	base := h.interval
+	if base <= 0 {
+		base = 2 * time.Second
+	}
+	delay := base
+	for i := 1; i < failures && delay < maxProbeBackoff; i++ {
+		delay *= 2
+	}
+	if delay > maxProbeBackoff {
+		delay = maxProbeBackoff
+	}
+	return time.Duration(float64(delay) * (0.75 + 0.5*h.jitter()))
 }
 
 // Snapshot returns every peer's status, sorted by ID.
@@ -116,11 +168,16 @@ func (h *Health) Snapshot() []PeerStatus {
 	return out
 }
 
-// Probe checks every peer once, concurrently, and folds the outcomes in.
+// Probe checks every due peer once, concurrently, and folds the outcomes
+// in. Up peers are always due; down peers only once their backoff expires.
 func (h *Health) Probe(ctx context.Context) {
 	h.mu.Lock()
+	now := h.now()
 	clients := make([]*Client, 0, len(h.peers))
 	for _, p := range h.peers {
+		if !p.up && now.Before(p.nextProbe) {
+			continue
+		}
 		clients = append(clients, p.client)
 	}
 	h.mu.Unlock()
@@ -141,6 +198,9 @@ func (h *Health) Run(ctx context.Context, every time.Duration) {
 	if every <= 0 {
 		every = 2 * time.Second
 	}
+	h.mu.Lock()
+	h.interval = every
+	h.mu.Unlock()
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {

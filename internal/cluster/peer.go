@@ -86,6 +86,11 @@ type JobRef struct {
 type Client struct {
 	node Node
 	hc   *http.Client
+
+	// RetryBackoff is the pause Forward takes before its single retry of
+	// an unavailable peer. 0 means 50ms; negative disables the retry. Set
+	// before sharing the client.
+	RetryBackoff time.Duration
 }
 
 // NewClient returns a client for node with a per-request timeout (<= 0
@@ -166,11 +171,39 @@ func (c *Client) Healthy(ctx context.Context) error {
 	return nil
 }
 
-// Submit posts a job body (a serialized emsd JobRequest) to the peer and
-// returns its job handle. A 4xx answer is a *RemoteError: the job is bad,
-// not the peer.
-func (c *Client) Submit(ctx context.Context, body []byte) (*JobRef, error) {
+// Forward posts a serialized job submission to the peer, retrying once
+// after a short pause when the attempt fails with *UnavailableError. The
+// retry is safe to send blind: emsd submissions are content-addressed, so
+// a duplicate that raced a slow-but-successful first attempt coalesces
+// onto the same job instead of computing twice. One retry is the bound —
+// a peer that fails twice in a row is genuinely down, and the caller's
+// ring failover (plus the health tracker the failure feeds) is the right
+// next move, not more waiting here.
+func (c *Client) Forward(ctx context.Context, body []byte) (int, []byte, error) {
 	code, resp, err := c.Do(ctx, http.MethodPost, "/v1/jobs", body)
+	if err == nil || !IsUnavailable(err) || c.RetryBackoff < 0 {
+		return code, resp, err
+	}
+	backoff := c.RetryBackoff
+	if backoff == 0 {
+		backoff = 50 * time.Millisecond
+	}
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return code, resp, err
+	case <-t.C:
+	}
+	return c.Do(ctx, http.MethodPost, "/v1/jobs", body)
+}
+
+// Submit posts a job body (a serialized emsd JobRequest) to the peer and
+// returns its job handle, retrying once via Forward if the peer is
+// unavailable. A 4xx answer is a *RemoteError: the job is bad, not the
+// peer.
+func (c *Client) Submit(ctx context.Context, body []byte) (*JobRef, error) {
+	code, resp, err := c.Forward(ctx, body)
 	if err != nil {
 		return nil, err
 	}

@@ -72,6 +72,25 @@ func (l *Log) Append(t Trace) {
 // Len returns the number of traces in the log.
 func (l *Log) Len() int { return len(l.Traces) }
 
+// Equal reports whether two logs carry the same name and the same traces in
+// the same order.
+func (l *Log) Equal(o *Log) bool {
+	if l.Name != o.Name || len(l.Traces) != len(o.Traces) {
+		return false
+	}
+	for i := range l.Traces {
+		if len(l.Traces[i]) != len(o.Traces[i]) {
+			return false
+		}
+		for j := range l.Traces[i] {
+			if l.Traces[i][j] != o.Traces[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of the log.
 func (l *Log) Clone() *Log {
 	c := &Log{Name: l.Name, Traces: make([]Trace, len(l.Traces))}

@@ -7,28 +7,37 @@ import (
 )
 
 // Fuzz targets for the parsers: they must never panic, and everything they
-// accept must round-trip.
+// accept must round-trip. Each target also drives the lenient reader over
+// the same input with two cross-mode properties: lenient reading never
+// panics either, and whenever the strict reader succeeds and the lenient
+// reader reports zero skips, both must have produced the identical log.
 
 func FuzzReadCSV(f *testing.F) {
 	f.Add("case,event\nc1,a\nc1,b\n")
 	f.Add("case,event\n")
 	f.Add("")
 	f.Add("case,event\nc1,\"quoted,comma\"\n")
+	f.Add("case,event\nc1,a\nc1\nc1,b,extra\nc1,b\n")
+	f.Add("case,event\nc1,a\nc1,\nc2,x\n")
 	f.Fuzz(func(t *testing.T, in string) {
-		l, err := ReadCSV(strings.NewReader(in), "fuzz")
-		if err != nil {
+		strict, serr := ReadCSV(strings.NewReader(in), "fuzz")
+		lenient, rep, lerr := ReadCSVWith(strings.NewReader(in), "fuzz", ReadOptions{Lenient: true})
+		if serr == nil && lerr == nil && rep.Total() == 0 && !lenient.Equal(strict) {
+			t.Fatalf("lenient with zero skips diverged from strict: %v vs %v", lenient, strict)
+		}
+		if serr != nil {
 			return
 		}
 		var buf bytes.Buffer
-		if err := WriteCSV(&buf, l); err != nil {
+		if err := WriteCSV(&buf, strict); err != nil {
 			t.Fatalf("accepted log failed to serialize: %v", err)
 		}
 		back, err := ReadCSV(&buf, "fuzz")
 		if err != nil {
 			t.Fatalf("round trip failed: %v", err)
 		}
-		if back.Len() != l.Len() {
-			t.Fatalf("round trip changed trace count: %d vs %d", back.Len(), l.Len())
+		if back.Len() != strict.Len() {
+			t.Fatalf("round trip changed trace count: %d vs %d", back.Len(), strict.Len())
 		}
 	})
 }
@@ -37,13 +46,19 @@ func FuzzReadXES(f *testing.F) {
 	f.Add(`<log><trace><event><string key="concept:name" value="a"/></event></trace></log>`)
 	f.Add(`<log/>`)
 	f.Add(`<log><string key="concept:name" value="x"/></log>`)
+	f.Add(`<log><trace><event><string key="concept:name" value="a"/></event><event><string key="org:resource" value="r"/></event></trace></log>`)
+	f.Add(`<log><trace><event><string key="concept:name" value=""/></event></trace></log>`)
 	f.Fuzz(func(t *testing.T, in string) {
-		l, err := ReadXES(strings.NewReader(in))
-		if err != nil {
+		strict, serr := ReadXES(strings.NewReader(in))
+		lenient, rep, lerr := ReadXESWith(strings.NewReader(in), ReadOptions{Lenient: true})
+		if serr == nil && lerr == nil && rep.Total() == 0 && !lenient.Equal(strict) {
+			t.Fatalf("lenient with zero skips diverged from strict: %v vs %v", lenient, strict)
+		}
+		if serr != nil {
 			return
 		}
 		var buf bytes.Buffer
-		if err := WriteXES(&buf, l); err != nil {
+		if err := WriteXES(&buf, strict); err != nil {
 			t.Fatalf("accepted log failed to serialize: %v", err)
 		}
 		if _, err := ReadXES(&buf); err != nil {
@@ -54,9 +69,13 @@ func FuzzReadXES(f *testing.F) {
 
 func FuzzReadXML(f *testing.F) {
 	f.Add(`<log name="x"><trace><event name="a"/></trace></log>`)
+	f.Add(`<log name="x"><trace><event name="a"/><event/></trace></log>`)
 	f.Fuzz(func(t *testing.T, in string) {
-		if _, err := ReadXML(strings.NewReader(in)); err != nil {
-			return
+		strict, serr := ReadXML(strings.NewReader(in))
+		lenient, rep, lerr := ReadXMLWith(strings.NewReader(in), ReadOptions{Lenient: true})
+		if serr == nil && lerr == nil && rep.Total() == 0 && !lenient.Equal(strict) {
+			t.Fatalf("lenient with zero skips diverged from strict: %v vs %v", lenient, strict)
 		}
+		_ = strict
 	})
 }

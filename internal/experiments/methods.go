@@ -16,6 +16,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/label"
 	"repro/internal/matching"
+	"repro/internal/repair"
 )
 
 // selectionThreshold filters assignment pairs for similarity-matrix
@@ -90,6 +91,37 @@ func EMSEstimate(iterations int, useLabels bool) Method {
 // EMSMinFreq is EMS with the minimum-frequency edge filter (Figure 7).
 func EMSMinFreq(threshold float64, useLabels bool) Method {
 	return emsVariant("EMS", useLabels, -1, threshold)
+}
+
+// EMSRepair is exact EMS behind the dirty-log repair pipeline: both logs
+// pass through repair.Default (duplicate collapse, order repair,
+// dependency-driven imputation) before dependency graphs are built, the way
+// a caller would run Match with WithRepair.
+func EMSRepair(useLabels bool) Method {
+	return Method{
+		Name: "EMS+repair",
+		Match: func(p *dataset.Pair) (matching.Mapping, error) {
+			pl := repair.Default(repair.Options{})
+			l1, _, err := pl.Run(p.Log1)
+			if err != nil {
+				return nil, err
+			}
+			l2, _, err := pl.Run(p.Log2)
+			if err != nil {
+				return nil, err
+			}
+			rp := &dataset.Pair{Name: p.Name, Log1: l1, Log2: l2, Truth: p.Truth}
+			g1, g2, err := buildGraphs(rp, true, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.Compute(g1, g2, emsConfig(useLabels, -1))
+			if err != nil {
+				return nil, err
+			}
+			return matching.Select(r.Names1, r.Names2, r.Sim, selectionThreshold, nil)
+		},
+	}
 }
 
 func emsVariant(name string, useLabels bool, estimateI int, minFreq float64) Method {

@@ -40,7 +40,7 @@ func Robustness(s Scale) ([]*Table, error) {
 		}
 		groups[i] = pairs
 	}
-	for _, m := range []Method{EMS(false), EMSEstimate(5, false), GED(false), BHV(false), SF(false)} {
+	for _, m := range []Method{EMS(false), EMSRepair(false), EMSEstimate(5, false), GED(false), BHV(false), SF(false)} {
 		row := []string{m.Name}
 		for i := range levels {
 			meas, err := RunMethod(m, groups[i])

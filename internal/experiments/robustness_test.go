@@ -11,10 +11,17 @@ func TestRobustness(t *testing.T) {
 		t.Fatalf("Robustness: %v", err)
 	}
 	tb := tables[0]
-	if len(tb.Rows) != 5 {
+	if len(tb.Rows) != 6 {
 		t.Fatalf("got %d method rows", len(tb.Rows))
 	}
 	ems := row(t, tb, "EMS")
+	// The repair pipeline must pay off where it matters: at the heaviest
+	// noise level EMS+repair may not fall below plain EMS.
+	rep := row(t, tb, "EMS+repair")
+	last := len(tb.Columns) - 1
+	if cell(t, rep[last]) < cell(t, ems[last]) {
+		t.Errorf("EMS+repair below EMS at %s: %s vs %s", tb.Columns[last], rep[last], ems[last])
+	}
 	for _, other := range []string{"GED", "BHV"} {
 		or := row(t, tb, other)
 		for col := 1; col < len(tb.Columns); col++ {

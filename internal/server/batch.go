@@ -279,9 +279,12 @@ func (s *Server) prepareBatch(req BatchRequest) (*preparedBatch, error) {
 		log *ems.Log
 	}
 	resolve := func(in LogInput, fallback string) (resolved, error) {
-		l, err := in.resolve(fallback)
+		l, skipped, err := in.resolve(fallback)
 		if err != nil {
 			return resolved{}, err
+		}
+		if skipped > 0 {
+			s.metrics.IngestSkipped(uint64(skipped))
 		}
 		return resolved{in: inlineLog(l.Name, l), log: l}, nil
 	}

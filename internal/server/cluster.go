@@ -141,7 +141,10 @@ func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, body []by
 			s.obs.peerFailover(node.ID)
 			continue
 		}
-		code, resp, err := cl.Do(r.Context(), http.MethodPost, "/v1/jobs", body)
+		// Forward retries the POST once on a transient peer failure before
+		// this loop fails over to the next replica; the duplicate coalesces
+		// on the content-addressed key, so a blind retry cannot recompute.
+		code, resp, err := cl.Forward(r.Context(), body)
 		if err != nil {
 			if r.Context().Err() != nil {
 				return true // client went away; nothing sensible to relay

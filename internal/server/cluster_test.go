@@ -121,11 +121,11 @@ func TestClusterForwarding(t *testing.T) {
 	}
 	got := fetchResult(t, ts[sender], view.ID)
 
-	l1, err := req.Log1.resolve("log1")
+	l1, _, err := req.Log1.resolve("log1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, err := req.Log2.resolve("log2")
+	l2, _, err := req.Log2.resolve("log2")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,10 @@ type LogInput struct {
 	Path string `json:"path,omitempty"`
 	// Format selects the file format for Path: "csv" (default) or "xml".
 	Format string `json:"format,omitempty"`
+	// Lenient reads the log with quarantining ingestion: malformed rows,
+	// nameless events and oversized records are skipped and counted instead
+	// of failing the submission. Only meaningful for CSV and Path inputs.
+	Lenient bool `json:"lenient,omitempty"`
 }
 
 // JobOptions mirrors the emsmatch CLI knobs. Pointer fields distinguish
@@ -62,6 +66,36 @@ type JobOptions struct {
 	// for no deadline (still subject to the server maximum). Deadlines never
 	// change results, so they are deliberately not part of the cache key.
 	TimeoutMS *float64 `json:"timeout_ms,omitempty"`
+	// Repair enables the dirty-log repair pipeline over both logs before
+	// matching (ems.WithRepairOptions); nil matches the logs as recorded.
+	// Repair changes the matched logs and therefore the result, so the
+	// resolved knobs join the cache key.
+	Repair *RepairJobOptions `json:"repair,omitempty"`
+}
+
+// RepairJobOptions mirrors ems.RepairOptions over JSON. The zero value (with
+// the pointer set in JobOptions) runs the default pipeline, whose order and
+// imputation thresholds self-calibrate to each log's measured dirtiness.
+type RepairJobOptions struct {
+	Window         int     `json:"window,omitempty"`
+	OrderRatio     float64 `json:"order_ratio,omitempty"`
+	OrderMaxFwd    float64 `json:"order_max_fwd,omitempty"`
+	OrderMaxPasses int     `json:"order_max_passes,omitempty"`
+	ImputeRatio    float64 `json:"impute_ratio,omitempty"`
+	ImputeMinPath  float64 `json:"impute_min_path,omitempty"`
+	ImputeMax      int     `json:"impute_max,omitempty"`
+}
+
+func (r *RepairJobOptions) toEMS() ems.RepairOptions {
+	return ems.RepairOptions{
+		Window:         r.Window,
+		OrderRatio:     r.OrderRatio,
+		OrderMaxFwd:    r.OrderMaxFwd,
+		OrderMaxPasses: r.OrderMaxPasses,
+		ImputeRatio:    r.ImputeRatio,
+		ImputeMinPath:  r.ImputeMinPath,
+		ImputeMax:      r.ImputeMax,
+	}
 }
 
 // JobRequest is the body of POST /v1/jobs.
@@ -71,8 +105,9 @@ type JobRequest struct {
 	Options JobOptions `json:"options"`
 }
 
-// resolve turns a LogInput into a Log.
-func (in *LogInput) resolve(fallbackName string) (*ems.Log, error) {
+// resolve turns a LogInput into a Log. skipped counts the records discarded
+// by lenient ingestion (always 0 in strict mode, which fails instead).
+func (in *LogInput) resolve(fallbackName string) (l *ems.Log, skipped int, err error) {
 	name := in.Name
 	if name == "" {
 		name = fallbackName
@@ -84,41 +119,47 @@ func (in *LogInput) resolve(fallbackName string) (*ems.Log, error) {
 		}
 	}
 	if set != 1 {
-		return nil, fmt.Errorf("%s: exactly one of csv, traces, path must be set", name)
+		return nil, 0, fmt.Errorf("%s: exactly one of csv, traces, path must be set", name)
 	}
+	ro := ems.ReadOptions{Lenient: in.Lenient}
 	switch {
 	case in.CSV != "":
-		l, err := ems.ReadCSV(strings.NewReader(in.CSV), name)
+		l, rep, err := ems.ReadCSVWith(strings.NewReader(in.CSV), name, ro)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return nil, 0, fmt.Errorf("%s: %w", name, err)
 		}
-		return l, nil
+		return l, rep.Total(), nil
 	case in.Traces != nil:
 		l := ems.NewLog(name)
 		for i, t := range in.Traces {
 			if len(t) == 0 {
-				return nil, fmt.Errorf("%s: trace %d is empty", name, i)
+				return nil, 0, fmt.Errorf("%s: trace %d is empty", name, i)
 			}
 			l.Append(ems.Trace(t))
 		}
 		if l.Len() == 0 {
-			return nil, fmt.Errorf("%s: no traces", name)
+			return nil, 0, fmt.Errorf("%s: no traces", name)
 		}
-		return l, nil
+		return l, 0, nil
 	default:
 		f, err := os.Open(in.Path)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return nil, 0, fmt.Errorf("%s: %w", name, err)
 		}
 		defer f.Close()
+		var rep *ems.SkipReport
 		switch in.Format {
 		case "", "csv":
-			return ems.ReadCSV(f, name)
+			l, rep, err = ems.ReadCSVWith(f, name, ro)
 		case "xml":
-			return ems.ReadXML(f)
+			l, rep, err = ems.ReadXMLWith(f, ro)
 		default:
-			return nil, fmt.Errorf("%s: unknown format %q (want csv or xml)", name, in.Format)
+			return nil, 0, fmt.Errorf("%s: unknown format %q (want csv or xml)", name, in.Format)
 		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", name, err)
+		}
+		return l, rep.Total(), nil
 	}
 }
 
@@ -163,6 +204,14 @@ func (o JobOptions) build() ([]ems.Option, string, error) {
 	if o.Exact {
 		opts = append(opts, ems.WithExact())
 	}
+	repairKey := "off"
+	if o.Repair != nil {
+		r := *o.Repair
+		opts = append(opts, ems.WithRepairOptions(r.toEMS()))
+		repairKey = fmt.Sprintf("w=%d,or=%g,omf=%g,omp=%d,ir=%g,imp=%g,im=%d",
+			r.Window, r.OrderRatio, r.OrderMaxFwd, r.OrderMaxPasses,
+			r.ImputeRatio, r.ImputeMinPath, r.ImputeMax)
+	}
 	// Probe the options now so bad values fail the submission with a 400
 	// instead of a failed job later. NewMatcher validates options without
 	// computing anything.
@@ -171,8 +220,8 @@ func (o JobOptions) build() ([]ems.Option, string, error) {
 	if _, err := ems.NewMatcher(probe, probe, opts...); err != nil {
 		return nil, "", err
 	}
-	key := fmt.Sprintf("alpha=%g labels=%t estimate=%d threshold=%g minfreq=%g delta=%g composite=%t exact=%t",
-		alpha, o.Labels, estimate, threshold, minFreq, delta, o.Composite, o.Exact)
+	key := fmt.Sprintf("alpha=%g labels=%t estimate=%d threshold=%g minfreq=%g delta=%g composite=%t exact=%t repair=%s",
+		alpha, o.Labels, estimate, threshold, minFreq, delta, o.Composite, o.Exact, repairKey)
 	return opts, key, nil
 }
 

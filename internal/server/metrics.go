@@ -27,6 +27,15 @@ type Metrics struct {
 	retried    atomic.Uint64
 	ckpWritten atomic.Uint64
 
+	// Dirty-log counters: lenient-ingestion skips plus what the repair
+	// pipeline did across all repaired jobs.
+	ingestSkipped     atomic.Uint64
+	repairedJobs      atomic.Uint64
+	repairDropped     atomic.Uint64
+	repairReordered   atomic.Uint64
+	repairImputed     atomic.Uint64
+	repairQuarantined atomic.Uint64
+
 	// Wall-time aggregates, all in nanoseconds (timedJobs counts the jobs
 	// that contributed). totalWall/timedJobs tear at worst by one job between
 	// their two loads in Snapshot; the average is diagnostic, not billing.
@@ -64,6 +73,15 @@ type Stats struct {
 	Retried      uint64 `json:"jobs_retried"`
 	Checkpoints  uint64 `json:"checkpoints_written"`
 	JournalBytes int64  `json:"journal_bytes"`
+
+	// Dirty-log counters: records skipped by lenient ingestion and the
+	// repair pipeline's aggregate activity across repaired jobs.
+	IngestSkipped     uint64 `json:"ingest_records_skipped"`
+	RepairedJobs      uint64 `json:"jobs_repaired"`
+	RepairDropped     uint64 `json:"repair_events_dropped"`
+	RepairReordered   uint64 `json:"repair_events_reordered"`
+	RepairImputed     uint64 `json:"repair_events_imputed"`
+	RepairQuarantined uint64 `json:"repair_traces_quarantined"`
 }
 
 // Submitted records an accepted job submission.
@@ -102,6 +120,19 @@ func (m *Metrics) Retried() { m.retried.Add(1) }
 
 // CheckpointWritten records one engine checkpoint persisted to disk.
 func (m *Metrics) CheckpointWritten() { m.ckpWritten.Add(1) }
+
+// IngestSkipped records n input records discarded by lenient ingestion.
+func (m *Metrics) IngestSkipped(n uint64) { m.ingestSkipped.Add(n) }
+
+// JobRepaired records one completed job that ran the repair pipeline,
+// with the pipeline's combined tallies over both logs.
+func (m *Metrics) JobRepaired(dropped, reordered, imputed, quarantined uint64) {
+	m.repairedJobs.Add(1)
+	m.repairDropped.Add(dropped)
+	m.repairReordered.Add(reordered)
+	m.repairImputed.Add(imputed)
+	m.repairQuarantined.Add(quarantined)
+}
 
 // JobDone records a finished job: its terminal state and, for jobs that
 // actually computed, the wall time of the computation.
@@ -146,6 +177,13 @@ func (m *Metrics) Snapshot() Stats {
 		Resumed:     m.resumed.Load(),
 		Retried:     m.retried.Load(),
 		Checkpoints: m.ckpWritten.Load(),
+
+		IngestSkipped:     m.ingestSkipped.Load(),
+		RepairedJobs:      m.repairedJobs.Load(),
+		RepairDropped:     m.repairDropped.Load(),
+		RepairReordered:   m.repairReordered.Load(),
+		RepairImputed:     m.repairImputed.Load(),
+		RepairQuarantined: m.repairQuarantined.Load(),
 	}
 	if total := s.CacheHits + s.CacheMisses; total > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(total)

@@ -60,6 +60,12 @@ func newServerObs(s *Server) *serverObs {
 		{"emsd_jobs_resumed_total", "Recovered jobs restarted from a persisted engine checkpoint.", m.resumed.Load},
 		{"emsd_jobs_retried_total", "Jobs re-enqueued after a transient in-process failure.", m.retried.Load},
 		{"emsd_checkpoints_written_total", "Engine checkpoints persisted to disk.", m.ckpWritten.Load},
+		{"emsd_ingest_records_skipped_total", "Input records discarded by lenient ingestion.", m.ingestSkipped.Load},
+		{"emsd_jobs_repaired_total", "Completed jobs that ran the dirty-log repair pipeline.", m.repairedJobs.Load},
+		{"emsd_repair_events_dropped_total", "Duplicate events removed by the repair pipeline.", m.repairDropped.Load},
+		{"emsd_repair_events_reordered_total", "Events transposed back into the dominant order by the repair pipeline.", m.repairReordered.Load},
+		{"emsd_repair_events_imputed_total", "Missing events re-inserted by the repair pipeline.", m.repairImputed.Load},
+		{"emsd_repair_traces_quarantined_total", "Traces the repair pipeline quarantined as unrepairable.", m.repairQuarantined.Load},
 	}
 	for _, c := range counters {
 		read := c.read

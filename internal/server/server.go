@@ -289,13 +289,16 @@ func (s *Server) prepare(req JobRequest) (*preparedJob, error) {
 	if (req.Log1.Path != "" || req.Log2.Path != "") && !s.cfg.AllowPaths {
 		return nil, fmt.Errorf("log paths are disabled on this server (start emsd with -allow-paths)")
 	}
-	l1, err := req.Log1.resolve("log1")
+	l1, skip1, err := req.Log1.resolve("log1")
 	if err != nil {
 		return nil, err
 	}
-	l2, err := req.Log2.resolve("log2")
+	l2, skip2, err := req.Log2.resolve("log2")
 	if err != nil {
 		return nil, err
+	}
+	if n := skip1 + skip2; n > 0 {
+		s.metrics.IngestSkipped(uint64(n))
 	}
 	opts, optKey, err := req.Options.build()
 	if err != nil {
@@ -565,6 +568,19 @@ func (s *Server) runJob(j *Job) {
 func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg string, wall time.Duration, computed bool) {
 	if status == StatusDone && res != nil {
 		s.cache.Put(j.key, res)
+	}
+	if computed && status == StatusDone && res != nil && (res.Repair1 != nil || res.Repair2 != nil) {
+		var dropped, reordered, imputed, quarantined uint64
+		for _, r := range []*ems.RepairReport{res.Repair1, res.Repair2} {
+			if r == nil {
+				continue
+			}
+			dropped += uint64(r.EventsDropped)
+			reordered += uint64(r.EventsReordered)
+			imputed += uint64(r.EventsImputed)
+			quarantined += uint64(r.TracesQuarantined)
+		}
+		s.metrics.JobRepaired(dropped, reordered, imputed, quarantined)
 	}
 	if s.persist != nil && j.seq != 0 {
 		// Result file before the done record, so a committed "done" always
