@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test repair-test profile metrics-check
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test repair-test chaos-test profile metrics-check
 
 all: check
 
@@ -100,6 +100,16 @@ repair-test:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/repair ./internal/eventlog
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Repair|Lenient' ./ems ./internal/server ./cmd/emsmatch
 	$(GO) run ./cmd/emsbench -robustness
+
+# Overload-resilience suite under the race detector: the chaos registry's
+# determinism and fault wiring, the resource governor / degradation ladder /
+# shed paths, the cost model's 2x accuracy contract, and the kill-and-restart
+# run that replays the committed seeded schedule
+# (internal/server/testdata/chaos_replay.json) byte for byte.
+chaos-test:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/chaos
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Chaos|Governor|Ladder|Saturat|Degrade|TooLarge|RetryAfter|EstimateCost' \
+		./internal/server ./internal/core
 
 # Short fuzz runs over every fuzz target; CI uses this as a smoke test.
 # Each target needs its own invocation: `go test -fuzz` accepts exactly one.

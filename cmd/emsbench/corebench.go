@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -32,6 +33,11 @@ type coreBenchReport struct {
 	Converged  bool    `json:"converged"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	SerialMS   float64 `json:"serial_wall_ms"`
+	// MemPredictedBytes is the cost model's predicted peak engine heap for
+	// the exact serial configuration (core.EstimateCost) — the figure the
+	// emsd resource governor admits against. Recorded next to the measured
+	// peaks so drift between model and reality shows up in the trajectory.
+	MemPredictedBytes int64 `json:"mem_predicted_bytes,omitempty"`
 
 	Runs        []coreBenchRun     `json:"runs"`
 	Convergence *convergenceReport `json:"convergence"`
@@ -64,6 +70,8 @@ type fastPathReport struct {
 	ErrorBound  float64 `json:"error_bound"`
 	MaxAbsError float64 `json:"max_abs_error"`
 	Budget      float64 `json:"budget"`
+	// PeakMemBytes mirrors coreBenchRun.PeakMemBytes for the fast path.
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
 }
 
 // convergenceReport is the iteration telemetry of the benchmark pair,
@@ -104,6 +112,9 @@ type coreBenchRun struct {
 	// counters exactly — the engine's determinism contract, re-checked on
 	// every benchmark emission.
 	BitIdentical bool `json:"bit_identical"`
+	// PeakMemBytes is the measured peak heap growth of one extra
+	// (untimed) run of this configuration; 0 when -mem was off.
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
 }
 
 // coreBenchSeed fixes the synthetic workload so trajectory points stay
@@ -150,7 +161,7 @@ func coreBenchPair(events, traces int) (*depgraph.Graph, *depgraph.Graph, error)
 // assembles the report. Each configuration runs reps times and keeps the
 // fastest wall time; N-worker runs are verified bit-identical against the
 // serial baseline, the fast-path run against its certified error bound.
-func measureCoreBench(events, traces, reps int, workerCounts []int) (*coreBenchReport, error) {
+func measureCoreBench(events, traces, reps int, workerCounts []int, measureMem bool) (*coreBenchReport, error) {
 	g1, g2, err := coreBenchPair(events, traces)
 	if err != nil {
 		return nil, err
@@ -173,6 +184,17 @@ func measureCoreBench(events, traces, reps int, workerCounts []int) (*coreBenchR
 			}
 		}
 		return res, best, nil
+	}
+	// memOf runs one extra, untimed computation with a heap sampler armed,
+	// so the memory column never perturbs the wall clocks.
+	memOf := func(c core.Config) (int64, error) {
+		if !measureMem {
+			return 0, nil
+		}
+		return peakHeapDuring(func() error {
+			_, err := core.Compute(g1, g2, c)
+			return err
+		})
 	}
 	atWorkers := func(workers int) core.Config {
 		c := cfg
@@ -197,7 +219,14 @@ func measureCoreBench(events, traces, reps int, workerCounts []int) (*coreBenchR
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		SerialMS:   durMS(serialWall),
 	}
-	report.Runs = append(report.Runs, benchRun(1, serialWall, serialWall, serial, serial))
+	if measureMem {
+		report.MemPredictedBytes = core.EstimateCost(g1, g2, atWorkers(1)).Bytes
+	}
+	run := benchRun(1, serialWall, serialWall, serial, serial)
+	if run.PeakMemBytes, err = memOf(atWorkers(1)); err != nil {
+		return nil, err
+	}
+	report.Runs = append(report.Runs, run)
 	for _, w := range workerCounts {
 		if w <= 1 {
 			continue
@@ -206,7 +235,11 @@ func measureCoreBench(events, traces, reps int, workerCounts []int) (*coreBenchR
 		if err != nil {
 			return nil, err
 		}
-		report.Runs = append(report.Runs, benchRun(w, wall, serialWall, serial, res))
+		run := benchRun(w, wall, serialWall, serial, res)
+		if run.PeakMemBytes, err = memOf(atWorkers(w)); err != nil {
+			return nil, err
+		}
+		report.Runs = append(report.Runs, run)
 	}
 	conv, err := measureConvergence(g1, g2, cfg, serial)
 	if err != nil {
@@ -247,8 +280,55 @@ func measureCoreBench(events, traces, reps int, workerCounts []int) (*coreBenchR
 	if fp.PrunedPairSkips == 0 {
 		return nil, fmt.Errorf("fast path reported zero pruned pair skips on the benchmark pair")
 	}
+	if fp.PeakMemBytes, err = memOf(fcfg); err != nil {
+		return nil, err
+	}
 	report.FastPath = fp
 	return report, nil
+}
+
+// peakHeapDuring runs fn with a 1ms heap sampler armed and returns the peak
+// heap growth over the pre-run (post-GC) baseline. The sampler reads
+// runtime.MemStats, so the measured run must never be the timed one.
+func peakHeapDuring(fn func() error) (int64, error) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := int64(ms.HeapAlloc)
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if d := int64(m.HeapAlloc) - base; d > peak.Load() {
+					peak.Store(d)
+				}
+			}
+		}
+	}()
+	err := fn()
+	// One final sample before anything is garbage-collected: short runs may
+	// finish between ticks.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if d := int64(m.HeapAlloc) - base; d > peak.Load() {
+		peak.Store(d)
+	}
+	close(stop)
+	<-done
+	if err != nil {
+		return 0, err
+	}
+	return peak.Load(), nil
 }
 
 // printCoreBench renders the human-readable summary of a report.
@@ -256,8 +336,16 @@ func printCoreBench(report *coreBenchReport) {
 	fmt.Printf("core bench: %d events, %d pairs, %d rounds, %d evaluations (GOMAXPROCS=%d)\n",
 		report.Events, report.Pairs, report.Rounds, report.Evals, report.GOMAXPROCS)
 	for _, r := range report.Runs {
-		fmt.Printf("  workers=%d  wall=%8.2fms  evals/s=%12.0f  speedup=%.2fx  bit_identical=%v\n",
-			r.Workers, r.WallMS, r.EvalsPerSec, r.Speedup, r.BitIdentical)
+		mem := ""
+		if r.PeakMemBytes > 0 {
+			mem = fmt.Sprintf("  mem=%7.2fMiB", float64(r.PeakMemBytes)/(1<<20))
+		}
+		fmt.Printf("  workers=%d  wall=%8.2fms  evals/s=%12.0f  speedup=%.2fx  bit_identical=%v%s\n",
+			r.Workers, r.WallMS, r.EvalsPerSec, r.Speedup, r.BitIdentical, mem)
+	}
+	if report.MemPredictedBytes > 0 {
+		fmt.Printf("cost model:  predicted peak %.2fMiB for exact serial\n",
+			float64(report.MemPredictedBytes)/(1<<20))
 	}
 	if conv := report.Convergence; conv != nil {
 		fmt.Printf("convergence: %d rounds to delta=%.2e (eps=%.0e); pruning skipped %d pair-rounds, saving %d of %d evals\n",
@@ -274,8 +362,8 @@ func printCoreBench(report *coreBenchReport) {
 
 // runCoreBench measures the benchmark pair and writes the JSON report to
 // path.
-func runCoreBench(path string, events, traces, reps int, workerCounts []int) error {
-	report, err := measureCoreBench(events, traces, reps, workerCounts)
+func runCoreBench(path string, events, traces, reps int, workerCounts []int, measureMem bool) error {
+	report, err := measureCoreBench(events, traces, reps, workerCounts, measureMem)
 	if err != nil {
 		return err
 	}
@@ -318,7 +406,7 @@ func runCoreRegress(path string, reps int) error {
 	if committed.FastPath == nil {
 		return fmt.Errorf("%s has no fastpath section (schema %s); regenerate with -json", path, committed.Schema)
 	}
-	report, err := measureCoreBench(committed.Events, committed.Traces, reps, nil)
+	report, err := measureCoreBench(committed.Events, committed.Traces, reps, nil, false)
 	if err != nil {
 		return err
 	}

@@ -12,7 +12,7 @@ import (
 // flag on every parallel run.
 func TestRunCoreBench(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := runCoreBench(path, 24, 40, 1, []int{2, 4}); err != nil {
+	if err := runCoreBench(path, 24, 40, 1, []int{2, 4}, true); err != nil {
 		t.Fatalf("runCoreBench: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -65,6 +65,17 @@ func TestRunCoreBench(t *testing.T) {
 	}
 	if fp.Rounds >= rep.Rounds {
 		t.Errorf("fastpath took %d exact rounds, exact run took %d — no cutover happened", fp.Rounds, rep.Rounds)
+	}
+	if rep.MemPredictedBytes <= 0 {
+		t.Errorf("mem_predicted_bytes = %d, want > 0 with -mem", rep.MemPredictedBytes)
+	}
+	for i, r := range rep.Runs {
+		if r.PeakMemBytes <= 0 {
+			t.Errorf("run %d peak_mem_bytes = %d, want > 0 with -mem", i, r.PeakMemBytes)
+		}
+	}
+	if fp.PeakMemBytes <= 0 {
+		t.Errorf("fastpath peak_mem_bytes = %d, want > 0 with -mem", fp.PeakMemBytes)
 	}
 }
 

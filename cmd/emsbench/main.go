@@ -33,6 +33,7 @@ func main() {
 		benchTraces = flag.Int("bench-traces", 200, "traces per benchmark log (with -json)")
 		benchReps   = flag.Int("bench-reps", 3, "repetitions per worker count, fastest kept (with -json)")
 		benchW      = flag.String("bench-workers", "2,4,8", "comma-separated worker counts to compare against serial (with -json)")
+		benchMem    = flag.Bool("mem", true, "add a peak-heap column: one extra untimed run per configuration, recorded as peak_mem_bytes in the -json report")
 		regress     = flag.String("regress", "", "re-measure the benchmark pair and fail if wall clocks regressed >25% against this committed report")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -47,7 +48,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			return runCoreBench(*benchJSON, *benchEvents, *benchTraces, *benchReps, counts)
+			return runCoreBench(*benchJSON, *benchEvents, *benchTraces, *benchReps, counts, *benchMem)
 		}
 		if *ablations || *robustness {
 			return runExtras(*full, *ablations, *robustness)

@@ -7,6 +7,7 @@
 //	emsd [-addr :8484] [-workers N] [-engine-workers N] [-cache N] [-allow-paths]
 //	     [-job-timeout D] [-max-job-timeout D] [-max-queue-depth N]
 //	     [-data-dir DIR] [-checkpoint-every N] [-job-retries N]
+//	     [-mem-budget SIZE] [-mem-pressure F]
 //	     [-log-format text|json] [-slow-job D] [-debug-addr ADDR]
 //	     [-node-id ID] [-advertise URL] [-peers id=url,id=url,...]
 //
@@ -48,6 +49,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -79,6 +82,8 @@ func main() {
 		nodeID     = flag.String("node-id", "", "this node's cluster identity; must be unique per cluster (empty = hostname, falling back to \"emsd\")")
 		advertise  = flag.String("advertise", "", "base URL peers reach this node on, e.g. http://10.0.0.5:8484 (cluster mode)")
 		peers      = flag.String("peers", "", "comma-separated id=url list of the other cluster members (empty = standalone)")
+		memBudget  = flag.String("mem-budget", "", "memory budget for admitted jobs, e.g. 512MiB or 4GiB (also sets the Go runtime soft memory limit; empty = ungoverned)")
+		pressure   = flag.Float64("mem-pressure", 0, "committed fraction of -mem-budget at which jobs start degrading (0 = default 0.75)")
 	)
 	flag.Parse()
 	if *checkURL != "" {
@@ -125,6 +130,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emsd:", err)
 		os.Exit(2)
 	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emsd: -mem-budget:", err)
+		os.Exit(2)
+	}
+	if budget > 0 {
+		// The governor bounds predicted engine allocations; the runtime soft
+		// limit backs it up for everything the prediction does not cover
+		// (HTTP buffers, cache copies, GC slack) by collecting harder as the
+		// process approaches the same ceiling.
+		debug.SetMemoryLimit(budget)
+	}
 	cfg := server.Config{
 		NodeID:           id,
 		Cluster:          ccfg,
@@ -140,6 +157,8 @@ func main() {
 		CheckpointEvery:  *ckpEvery,
 		JobRetries:       *jobRetries,
 		SlowJobThreshold: *slowJob,
+		MemBudget:        budget,
+		PressureFraction: *pressure,
 		Log:              logger,
 	}
 	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
@@ -170,6 +189,39 @@ func parsePeers(list, advertise string) (*server.ClusterConfig, error) {
 		return nil, fmt.Errorf("-peers: no peers in %q", list)
 	}
 	return ccfg, nil
+}
+
+// parseBytes reads a human byte size: a plain integer is bytes; the
+// suffixes KB/MB/GB/TB (decimal) and KiB/MiB/GiB/TiB (binary, also bare
+// K/M/G/T) scale it. Empty means 0 (ungoverned).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"TiB", 1 << 40}, {"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"TB", 1e12}, {"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3},
+		{"T", 1 << 40}, {"G", 1 << 30}, {"M", 1 << 20}, {"K", 1 << 10},
+		{"B", 1},
+	}
+	mult := int64(1)
+	num := s
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("want a size like 512MiB or 4GiB, got %q", s)
+	}
+	return int64(v * float64(mult)), nil
 }
 
 // newLogger builds the process logger writing to w in the chosen format.

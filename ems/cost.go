@@ -1,0 +1,67 @@
+package ems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Rungs of the server's degradation ladder, recorded in Result.Degraded
+// when an overloaded daemon downgrades a job instead of shedding it.
+const (
+	// DegradedFastPath: the job asked for exact convergence but ran with the
+	// adaptive fast path (certified error bounds) instead.
+	DegradedFastPath = "fast-path"
+	// DegradedEstimateOnly: the job ran the closed-form §3.5 estimation with
+	// no fixpoint iteration at all.
+	DegradedEstimateOnly = "estimate-only"
+)
+
+// Cost is the predicted footprint of a match, produced by EstimateCost
+// before any engine state is allocated.
+type Cost struct {
+	// Bytes is the predicted peak engine heap (similarity matrices, label
+	// matrix, agreement cache, pre-set tables) across all directions.
+	Bytes int64
+	// Evals is an upper bound on similarity-formula evaluations.
+	Evals int64
+}
+
+// TooLargeError reports that a single match can never fit the server's
+// memory budget: its predicted peak alone exceeds the whole budget, so
+// queueing it would only defer an OOM. It carries the estimate so callers
+// can see how far over they are.
+type TooLargeError struct {
+	// Predicted is the match's estimated peak footprint.
+	Predicted Cost
+	// BudgetBytes is the budget the prediction was rejected against.
+	BudgetBytes int64
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("ems: job too large: predicted peak %d bytes exceeds the %d-byte memory budget",
+		e.Predicted.Bytes, e.BudgetBytes)
+}
+
+// EstimateCost predicts the peak engine memory and evaluation count of
+// Match(log1, log2, opts...) without allocating any matrix-sized state:
+// only the dependency graphs are built (which a subsequent Match rebuilds —
+// they are small next to the matrices). The estimate covers the engine's
+// O(n1*n2) working set; repair preprocessing is not applied first, and for
+// composite matching the figure is a per-computation floor, not a total.
+func EstimateCost(log1, log2 *Log, opts ...Option) (*Cost, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	g1, err := buildGraph(log1, o)
+	if err != nil {
+		return nil, err
+	}
+	g2, err := buildGraph(log2, o)
+	if err != nil {
+		return nil, err
+	}
+	ce := core.EstimateCost(g1, g2, o.sim)
+	return &Cost{Bytes: ce.Bytes, Evals: ce.Evals}, nil
+}

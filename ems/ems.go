@@ -208,6 +208,10 @@ type Result struct {
 	// Repair1 and Repair2 report what the dirty-log repair pipeline did to
 	// each log (nil unless the match ran with WithRepair).
 	Repair1, Repair2 *RepairReport
+	// Degraded names the rung of the degradation ladder an overloaded
+	// server dropped this job to ("fast-path" or "estimate-only"); empty
+	// when the job ran exactly as requested. Library matches never set it.
+	Degraded string
 }
 
 // At returns the similarity of the i-th event of log 1 and the j-th event

@@ -22,6 +22,7 @@ type resultJSON struct {
 	Composites2 [][]string           `json:"composites2,omitempty"`
 	Repair1     *RepairReport        `json:"repair1,omitempty"`
 	Repair2     *RepairReport        `json:"repair2,omitempty"`
+	Degraded    string               `json:"degraded,omitempty"`
 }
 
 type correspondenceJSON struct {
@@ -43,6 +44,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Composites2: r.Composites2,
 		Repair1:     r.Repair1,
 		Repair2:     r.Repair2,
+		Degraded:    r.Degraded,
 	}
 	for _, c := range r.Mapping {
 		out.Mapping = append(out.Mapping, correspondenceJSON{Left: c.Left, Right: c.Right, Score: c.Score})
@@ -91,6 +93,7 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		Composites2: in.Composites2,
 		Repair1:     in.Repair1,
 		Repair2:     in.Repair2,
+		Degraded:    in.Degraded,
 	}
 	for _, c := range in.Mapping {
 		r.Mapping = append(r.Mapping, matching.NewCorrespondence(c.Left, c.Right, c.Score))

@@ -1,0 +1,341 @@
+// Package chaos is the central fault-injection registry: one seeded,
+// declarative schedule drives every failpoint the codebase exposes —
+// engine rounds (internal/core), WAL writes, fsyncs and segment creation
+// (internal/journal), and peer HTTP exchanges (internal/cluster).
+//
+// A Schedule is a seed plus an ordered rule list. Each rule names a point,
+// a fault to inject there, and when to fire (skip the first After hits,
+// fire at most Count times, fire each eligible hit with probability Prob).
+// Randomness is deterministic: rule i draws from its own PRNG seeded with
+// Seed+i, so the same schedule against the same workload injects the same
+// faults — the property the chaos suite's replay target depends on.
+//
+// Schedules serialize as JSON (see ParseSchedule) so CI can replay a
+// committed schedule file byte-for-byte:
+//
+//	{
+//	  "seed": 2014,
+//	  "rules": [
+//	    {"point": "journal.sync", "fault": "enospc", "after": 3, "count": 2},
+//	    {"point": "engine.round", "fault": "delay", "delay_ms": 5, "prob": 0.5},
+//	    {"point": "peer.call", "fault": "http-503", "node": "node-b", "count": 1}
+//	  ]
+//	}
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// Point names an injectable fault site.
+type Point string
+
+const (
+	// EngineRound fires at the start of every similarity iteration round.
+	// Faults: "delay" (slow round), "panic" (crash the computation — the
+	// server's panic containment and checkpoint retry absorb it).
+	EngineRound Point = "engine.round"
+	// JournalWrite fires before a WAL record frame is written.
+	// Faults: "torn" (half-written frame), "enospc", "error".
+	JournalWrite Point = "journal.write"
+	// JournalSync fires before a WAL fsync. Faults: "enospc", "error".
+	JournalSync Point = "journal.sync"
+	// JournalCreate fires before a WAL segment is created (rotation,
+	// compaction). Faults: "enospc", "error".
+	JournalCreate Point = "journal.create"
+	// PeerCall fires before a peer HTTP exchange. Faults: "timeout"
+	// (transport error), "http-503", "flap" (alternating 503/pass),
+	// "delay".
+	PeerCall Point = "peer.call"
+)
+
+// Points lists every registered injection site.
+func Points() []Point {
+	return []Point{EngineRound, JournalWrite, JournalSync, JournalCreate, PeerCall}
+}
+
+// Rule arms one fault at one point.
+type Rule struct {
+	Point Point `json:"point"`
+	// Fault selects the effect; the zero value means the point's default
+	// ("error" for journal points, "delay" for engine rounds, "timeout"
+	// for peer calls).
+	Fault string `json:"fault,omitempty"`
+	// Prob fires the rule on each eligible hit with this probability;
+	// 0 means always.
+	Prob float64 `json:"prob,omitempty"`
+	// After skips the first N hits of the point (armed from hit N+1 on).
+	After int `json:"after,omitempty"`
+	// Count bounds how many times the rule fires; 0 means unlimited.
+	Count int `json:"count,omitempty"`
+	// DelayMS is the stall for "delay" faults (and is added before any
+	// other fault when set).
+	DelayMS int `json:"delay_ms,omitempty"`
+	// Node restricts a peer.call rule to one node ID; empty matches all.
+	Node string `json:"node,omitempty"`
+}
+
+// Schedule is a complete, deterministic chaos plan.
+type Schedule struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// ParseSchedule decodes a JSON schedule and validates every rule.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("chaos: parse schedule: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Schedule) validate() error {
+	if len(s.Rules) == 0 {
+		return errors.New("chaos: schedule has no rules")
+	}
+	for i, r := range s.Rules {
+		known := false
+		for _, p := range Points() {
+			if r.Point == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("chaos: rule %d: unknown point %q", i, r.Point)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("chaos: rule %d: prob %v out of [0,1]", i, r.Prob)
+		}
+		if _, err := faultFor(r); err != nil {
+			return fmt.Errorf("chaos: rule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ErrInjected is the base error of generic injected faults, so tests can
+// errors.Is their way to "this failure was ours".
+var ErrInjected = errors.New("chaos: injected fault")
+
+// newRuleRNG builds rule i's private random stream: seeded with Seed+i so
+// every rule draws independently yet reproducibly.
+func newRuleRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(i)))
+}
+
+// armedRule is one rule plus its firing state. Failpoint hooks run from
+// many goroutines; mu guards the counters and the rule's private PRNG.
+type armedRule struct {
+	Rule
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hits  int
+	fired int
+}
+
+// fire decides — deterministically given the hit sequence — whether this
+// rule triggers on the current hit.
+func (a *armedRule) fire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.hits++
+	if a.hits <= a.After {
+		return false
+	}
+	if a.Count > 0 && a.fired >= a.Count {
+		return false
+	}
+	if a.Prob > 0 && a.Prob < 1 && a.rng.Float64() >= a.Prob {
+		return false
+	}
+	a.fired++
+	return true
+}
+
+// flapOpen reports the current half-cycle of a "flap" fault: odd firings
+// fail, even firings pass.
+func (a *armedRule) flapOpen() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fired%2 == 1
+}
+
+// Activate installs the schedule into every underlying failpoint registry
+// and returns a restore function that uninstalls all of them. Only one
+// schedule should be active at a time (failpoints are process-global).
+func (s *Schedule) Activate() (restore func(), err error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	armed := make([]*armedRule, len(s.Rules))
+	for i, r := range s.Rules {
+		armed[i] = &armedRule{Rule: r, rng: newRuleRNG(s.Seed, i)}
+	}
+	byPoint := func(p Point) []*armedRule {
+		var out []*armedRule
+		for _, a := range armed {
+			if a.Point == p {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+
+	var restores []func()
+	if rules := byPoint(EngineRound); len(rules) > 0 {
+		restores = append(restores, core.SetFailpoint(func(round int) {
+			for _, a := range rules {
+				if !a.fire() {
+					continue
+				}
+				applyEngineFault(a, round)
+				return
+			}
+		}))
+	}
+	jw, js, jc := byPoint(JournalWrite), byPoint(JournalSync), byPoint(JournalCreate)
+	if len(jw)+len(js)+len(jc) > 0 {
+		restores = append(restores, journal.SetFailpoint(func(op journal.Op) error {
+			var rules []*armedRule
+			switch op {
+			case journal.OpWrite:
+				rules = jw
+			case journal.OpSync:
+				rules = js
+			case journal.OpCreate:
+				rules = jc
+			}
+			for _, a := range rules {
+				if !a.fire() {
+					continue
+				}
+				return journalFault(a)
+			}
+			return nil
+		}))
+	}
+	if rules := byPoint(PeerCall); len(rules) > 0 {
+		restores = append(restores, cluster.SetFailpoint(func(node, method, path string) *cluster.PeerFault {
+			for _, a := range rules {
+				if a.Node != "" && a.Node != node {
+					continue
+				}
+				if !a.fire() {
+					continue
+				}
+				return peerFault(a)
+			}
+			return nil
+		}))
+	}
+	return func() {
+		for i := len(restores) - 1; i >= 0; i-- {
+			restores[i]()
+		}
+	}, nil
+}
+
+// faultFor validates a rule's fault name against its point.
+func faultFor(r Rule) (string, error) {
+	f := r.Fault
+	switch r.Point {
+	case EngineRound:
+		if f == "" {
+			f = "delay"
+		}
+		if f != "delay" && f != "panic" {
+			return "", fmt.Errorf("fault %q not valid at %s", f, r.Point)
+		}
+	case JournalWrite:
+		if f == "" {
+			f = "error"
+		}
+		if f != "error" && f != "enospc" && f != "torn" {
+			return "", fmt.Errorf("fault %q not valid at %s", f, r.Point)
+		}
+	case JournalSync, JournalCreate:
+		if f == "" {
+			f = "error"
+		}
+		if f != "error" && f != "enospc" {
+			return "", fmt.Errorf("fault %q not valid at %s", f, r.Point)
+		}
+	case PeerCall:
+		if f == "" {
+			f = "timeout"
+		}
+		if f != "timeout" && f != "http-503" && f != "flap" && f != "delay" {
+			return "", fmt.Errorf("fault %q not valid at %s", f, r.Point)
+		}
+	}
+	return f, nil
+}
+
+func applyEngineFault(a *armedRule, round int) {
+	f, _ := faultFor(a.Rule)
+	switch f {
+	case "panic":
+		panic(fmt.Sprintf("chaos: injected engine panic at round %d", round))
+	default: // delay
+		d := time.Duration(a.DelayMS) * time.Millisecond
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+func journalFault(a *armedRule) error {
+	if a.DelayMS > 0 {
+		time.Sleep(time.Duration(a.DelayMS) * time.Millisecond)
+	}
+	f, _ := faultFor(a.Rule)
+	switch f {
+	case "torn":
+		return journal.ErrShortWrite
+	case "enospc":
+		return fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	default:
+		return fmt.Errorf("%w at %s", ErrInjected, a.Point)
+	}
+}
+
+func peerFault(a *armedRule) *cluster.PeerFault {
+	pf := &cluster.PeerFault{Delay: time.Duration(a.DelayMS) * time.Millisecond}
+	f, _ := faultFor(a.Rule)
+	switch f {
+	case "timeout":
+		pf.Err = fmt.Errorf("%w: peer timeout", ErrInjected)
+	case "http-503":
+		pf.Status = 503
+		pf.Body = []byte(`{"error": "chaos: injected overload"}`)
+	case "flap":
+		if a.flapOpen() {
+			pf.Status = 503
+			pf.Body = []byte(`{"error": "chaos: flapping peer"}`)
+		}
+	case "delay":
+		if pf.Delay <= 0 {
+			pf.Delay = time.Millisecond
+		}
+	}
+	if pf.Err == nil && pf.Status == 0 && pf.Delay <= 0 {
+		return nil
+	}
+	return pf
+}

@@ -101,7 +101,7 @@ func (c *Coordinator) Execute(ctx context.Context, pairs []Pair) []PairResult {
 // executePair walks one pair down its replica list.
 func (c *Coordinator) executePair(ctx context.Context, pair Pair, sems map[string]chan struct{}) PairResult {
 	pr := PairResult{Name: pair.Name}
-	replicas := c.Ring.Replicas(pair.Key, 0)
+	replicas := PreferUnsaturated(c.Ring.Replicas(pair.Key, 0), c.Health)
 	var lastErr error
 	for ri, node := range replicas {
 		if err := ctx.Err(); err != nil {
@@ -141,4 +141,25 @@ func (c *Coordinator) executePair(ctx context.Context, pair Pair, sems map[strin
 	}
 	pr.Err = fmt.Errorf("cluster: pair %q failed on every replica: %w", pair.Name, lastErr)
 	return pr
+}
+
+// PreferUnsaturated stably partitions a replica list so nodes that declared
+// themselves out of memory budget sink to the back (ring order preserved
+// within each class). Saturated nodes are demoted, never dropped: they
+// still shed with a Retry-After if everyone is overloaded, which beats not
+// trying at all.
+func PreferUnsaturated(replicas []Node, h *Health) []Node {
+	if h == nil || len(replicas) < 2 {
+		return replicas
+	}
+	ordered := make([]Node, 0, len(replicas))
+	var saturated []Node
+	for _, n := range replicas {
+		if h.Saturated(n.ID) {
+			saturated = append(saturated, n)
+			continue
+		}
+		ordered = append(ordered, n)
+	}
+	return append(ordered, saturated...)
 }

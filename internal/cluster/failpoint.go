@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// PeerFault is what an installed failpoint injects into one peer HTTP
+// exchange. Fields compose: Delay is applied first, then Err or Status
+// short-circuits the exchange (Err wins). The zero value injects nothing.
+type PeerFault struct {
+	// Delay stalls the exchange before anything is sent — a slow peer. The
+	// caller's context still applies while waiting.
+	Delay time.Duration
+	// Err fails the exchange as a transport error, surfaced as
+	// *UnavailableError — an unreachable or timed-out peer.
+	Err error
+	// Status short-circuits the exchange with this HTTP status and Body
+	// without touching the network; >= 500 surfaces as *UnavailableError,
+	// mirroring a real response.
+	Status int
+	Body   []byte
+}
+
+// peerFailpointFn is the testing-only hook; see SetFailpoint.
+var peerFailpointFn atomic.Pointer[func(node, method, path string) *PeerFault]
+
+// SetFailpoint installs a hook consulted before every peer HTTP exchange
+// (Client.Do). A non-nil *PeerFault is injected instead of (or before) the
+// real exchange. It exists so the chaos harness can simulate peer timeouts,
+// 503s, and flapping links deterministically; production code must never
+// install one. The returned function restores the previous hook; pass nil
+// to clear. The hook may be called from multiple goroutines and must be
+// safe for concurrent use.
+func SetFailpoint(fn func(node, method, path string) *PeerFault) (restore func()) {
+	var p *func(node, method, path string) *PeerFault
+	if fn != nil {
+		p = &fn
+	}
+	old := peerFailpointFn.Swap(p)
+	return func() { peerFailpointFn.Store(old) }
+}
+
+// firePeerPoint consults the installed failpoint, if any.
+func firePeerPoint(node, method, path string) *PeerFault {
+	if p := peerFailpointFn.Load(); p != nil {
+		return (*p)(node, method, path)
+	}
+	return nil
+}

@@ -17,6 +17,10 @@ type PeerStatus struct {
 	// success.
 	Failures int    `json:"failures,omitempty"`
 	LastErr  string `json:"last_error,omitempty"`
+	// Governor and Load mirror the peer's last successfully probed memory
+	// pressure (see NodeLoad); empty/zero before the first probe.
+	Governor string  `json:"governor,omitempty"`
+	Load     float64 `json:"load,omitempty"`
 }
 
 // Health tracks peer liveness from two signals: a background prober hitting
@@ -49,6 +53,9 @@ type peerHealth struct {
 	up       bool
 	failures int
 	lastErr  string
+	// load is the peer's self-reported memory pressure from its last
+	// successful probe; the zero value (never saturated) until then.
+	load NodeLoad
 	// nextProbe is when a down peer is due for its next probe; the zero
 	// time (always for up peers) means due immediately.
 	nextProbe time.Time
@@ -103,6 +110,26 @@ func (h *Health) UpCount() int {
 
 // ReportSuccess records a successful exchange with a peer.
 func (h *Health) ReportSuccess(id string) { h.report(id, nil) }
+
+// ReportLoad folds in a peer's self-reported memory pressure (from a probe
+// or any response that carried it).
+func (h *Health) ReportLoad(id string, load NodeLoad) {
+	h.mu.Lock()
+	if p, ok := h.peers[id]; ok {
+		p.load = load
+	}
+	h.mu.Unlock()
+}
+
+// Saturated reports whether a peer declared itself out of memory budget at
+// its last probe. Unknown IDs (including the local node) are not saturated —
+// like Up, the tracker only ever vetoes peers it has evidence against.
+func (h *Health) Saturated(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	return ok && p.load.Saturated()
+}
 
 // ReportFailure records a failed exchange with a peer; the request paths
 // call it so a dead node is avoided immediately, not only after the next
@@ -161,6 +188,7 @@ func (h *Health) Snapshot() []PeerStatus {
 		out = append(out, PeerStatus{
 			ID: id, Addr: p.client.Node().Addr, Up: p.up,
 			Failures: p.failures, LastErr: p.lastErr,
+			Governor: p.load.Governor, Load: p.load.Load,
 		})
 	}
 	h.mu.Unlock()
@@ -186,7 +214,11 @@ func (h *Health) Probe(ctx context.Context) {
 		wg.Add(1)
 		go func(c *Client) {
 			defer wg.Done()
-			h.report(c.Node().ID, c.Healthy(ctx))
+			load, err := c.Probe(ctx)
+			if err == nil {
+				h.ReportLoad(c.Node().ID, load)
+			}
+			h.report(c.Node().ID, err)
 		}(c)
 	}
 	wg.Wait()

@@ -112,6 +112,11 @@ func (c *Client) Node() Node { return c.node }
 // interpret. The forwarded marker is always set: everything a Client sends
 // has already crossed a node boundary.
 func (c *Client) Do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	if pf := firePeerPoint(c.node.ID, method, path); pf != nil {
+		if code, b, err, injected := c.applyFault(ctx, method, path, pf); injected {
+			return code, b, err
+		}
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -142,6 +147,35 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) (int,
 	return resp.StatusCode, b, nil
 }
 
+// applyFault realizes an injected PeerFault: the delay always applies;
+// injected reports whether the fault also decided the exchange's outcome
+// (a delay-only fault lets the real exchange proceed afterwards).
+func (c *Client) applyFault(ctx context.Context, method, path string, pf *PeerFault) (int, []byte, error, bool) {
+	op := method + " " + path
+	if pf.Delay > 0 {
+		t := time.NewTimer(pf.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return 0, nil, &UnavailableError{Node: c.node.ID, Op: op, Err: ctx.Err()}, true
+		case <-t.C:
+		}
+	}
+	if pf.Err != nil {
+		return 0, nil, &UnavailableError{Node: c.node.ID, Op: op, Err: pf.Err}, true
+	}
+	if pf.Status != 0 {
+		if pf.Status >= 500 || pf.Status == http.StatusServiceUnavailable {
+			return pf.Status, pf.Body, &UnavailableError{
+				Node: c.node.ID, Op: op,
+				Err: fmt.Errorf("HTTP %d: %s", pf.Status, errorMessage(pf.Body)),
+			}, true
+		}
+		return pf.Status, pf.Body, nil, true
+	}
+	return 0, nil, nil, false
+}
+
 // errorMessage extracts the "error" field of an emsd error body, falling
 // back to the raw (truncated) body.
 func errorMessage(body []byte) string {
@@ -158,17 +192,38 @@ func errorMessage(body []byte) string {
 	return strings.TrimSpace(s)
 }
 
-// Healthy probes the peer's liveness endpoint.
-func (c *Client) Healthy(ctx context.Context) error {
+// NodeLoad is the slice of a peer's /healthz body that matters for
+// load-aware placement: the memory governor's state and committed budget
+// fraction. Peers running without a budget report {"ok", 0}.
+type NodeLoad struct {
+	Governor string  `json:"governor"`
+	Load     float64 `json:"load"`
+}
+
+// Saturated reports whether the peer declared itself out of memory budget.
+func (l NodeLoad) Saturated() bool { return l.Governor == "saturated" }
+
+// Probe checks the peer's liveness endpoint and returns its load signal.
+// A missing governor field (older peer) decodes to the zero NodeLoad, which
+// never reads as saturated.
+func (c *Client) Probe(ctx context.Context) (NodeLoad, error) {
+	var nl NodeLoad
 	code, body, err := c.Do(ctx, http.MethodGet, "/healthz", nil)
 	if err != nil {
-		return err
+		return nl, err
 	}
 	if code != http.StatusOK {
-		return &UnavailableError{Node: c.node.ID, Op: "GET /healthz",
+		return nl, &UnavailableError{Node: c.node.ID, Op: "GET /healthz",
 			Err: fmt.Errorf("HTTP %d: %s", code, errorMessage(body))}
 	}
-	return nil
+	_ = json.Unmarshal(body, &nl) // best effort: liveness decided above
+	return nl, nil
+}
+
+// Healthy probes the peer's liveness endpoint.
+func (c *Client) Healthy(ctx context.Context) error {
+	_, err := c.Probe(ctx)
+	return err
 }
 
 // Forward posts a serialized job submission to the peer, retrying once

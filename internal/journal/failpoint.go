@@ -14,6 +14,9 @@ const (
 	// OpSync fires before an fsync — of the active segment after an append,
 	// and of the temporary file inside WriteFileAtomic.
 	OpSync Op = "sync"
+	// OpCreate fires before a new segment file is created — at rotation,
+	// compaction, and open. A full disk typically fails here first.
+	OpCreate Op = "create"
 )
 
 // ErrShortWrite, returned by a failpoint for OpWrite, makes Append write

@@ -101,6 +101,14 @@ type Journal struct {
 	sealedSize int64 // bytes in sealed (non-active) segments
 	nextIdx    uint64
 	closed     bool
+	// committed is the byte offset of the active segment up to which frames
+	// are known fully written and synced; torn latches that a failed append
+	// or sync may have left bytes past it. The pair makes one failed write
+	// (ENOSPC, injected fault) fail only its own Append: the next Append
+	// first rolls the segment back to committed, so the tear can never be
+	// buried under later frames — which replay would then silently drop.
+	committed int64
+	torn      bool
 }
 
 // Open opens (or creates) the journal in dir and replays its contents. The
@@ -222,6 +230,7 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 		j.activeSize = size
 	}
 	j.nextIdx = j.activeIdx + 1
+	j.committed = j.activeSize
 	return j, rec, nil
 }
 
@@ -243,17 +252,23 @@ func (j *Journal) rewriteActiveHeader() error {
 		}
 	}
 	j.activeSize = magicLen
+	j.committed = magicLen
 	return nil
 }
 
 // Append commits the given records: all frames are written to the active
-// segment and fsynced once. On error nothing is guaranteed committed — the
-// next replay recovers the longest valid prefix.
+// segment and fsynced once. On error nothing is guaranteed committed, but
+// the journal stays serviceable: the failed tail is rolled back before the
+// next append, so one ENOSPC or injected fault fails one Append, not the
+// daemon.
 func (j *Journal) Append(recs ...[]byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
+	}
+	if err := j.repairLocked(); err != nil {
+		return err
 	}
 	var buf []byte
 	for _, r := range recs {
@@ -271,6 +286,7 @@ func (j *Journal) Append(recs ...[]byte) error {
 			// Injected torn tail: write only half the frame bytes, then fail.
 			n, _ := j.active.Write(buf[:len(buf)/2])
 			j.activeSize += int64(n)
+			j.torn = j.activeSize > j.committed
 			return fmt.Errorf("journal: write: %w", err)
 		}
 		return fmt.Errorf("journal: write: %w", err)
@@ -278,14 +294,62 @@ func (j *Journal) Append(recs ...[]byte) error {
 	n, err := j.active.Write(buf)
 	j.activeSize += int64(n)
 	if err != nil {
+		// A short or failed write may have left a partial frame on disk.
+		j.torn = j.activeSize > j.committed
 		return fmt.Errorf("journal: write: %w", err)
 	}
 	if err := j.syncActive(); err != nil {
+		// The frame hit the file but its durability is unknown; roll it back
+		// on the next append rather than risk replaying past an unsynced gap.
+		j.torn = true
 		return err
 	}
+	j.committed = j.activeSize
 	if j.activeSize >= j.opts.RotateBytes {
 		return j.rotateLocked()
 	}
+	return nil
+}
+
+// repairLocked restores the append invariant after a failed write: the
+// active segment is truncated back to the last committed frame boundary
+// (and re-created outright after a failed rotation), so appends only ever
+// extend committed data. Errors here mean the disk is still refusing
+// writes; the journal stays torn and the next append retries.
+func (j *Journal) repairLocked() error {
+	if j.active == nil {
+		// A failed rotation or compaction closed the old segment and could
+		// not create the next one; retry the creation.
+		f, size, err := createSegment(j.dir, j.nextIdx, j.opts.NoSync)
+		if err != nil {
+			return err
+		}
+		j.active = f
+		j.activeIdx = j.nextIdx
+		j.activeSize, j.committed = size, size
+		j.nextIdx++
+		j.torn = false
+		return nil
+	}
+	if !j.torn {
+		return nil
+	}
+	if err := j.active.Truncate(j.committed); err != nil {
+		return fmt.Errorf("journal: repair: %w", err)
+	}
+	// Re-position explicitly: segments created by this process are not in
+	// O_APPEND mode, and writing at a post-truncate offset would leave a
+	// zero-filled hole.
+	if _, err := j.active.Seek(j.committed, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: repair: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.active.Sync(); err != nil {
+			return fmt.Errorf("journal: repair: %w", err)
+		}
+	}
+	j.activeSize = j.committed
+	j.torn = false
 	return nil
 }
 
@@ -302,12 +366,17 @@ func (j *Journal) syncActive() error {
 	return nil
 }
 
-// rotateLocked seals the active segment and starts wal-<nextIdx>.
+// rotateLocked seals the active segment and starts wal-<nextIdx>. When the
+// new segment cannot be created (a full disk, typically) the journal is
+// left without an active segment; the next append re-attempts the creation
+// via repairLocked instead of wedging.
 func (j *Journal) rotateLocked() error {
-	if err := j.active.Close(); err != nil {
+	err := j.active.Close()
+	j.sealedSize += j.activeSize
+	j.active = nil
+	if err != nil {
 		return fmt.Errorf("journal: rotate: %w", err)
 	}
-	j.sealedSize += j.activeSize
 	f, size, err := createSegment(j.dir, j.nextIdx, j.opts.NoSync)
 	if err != nil {
 		return err
@@ -315,6 +384,8 @@ func (j *Journal) rotateLocked() error {
 	j.active = f
 	j.activeIdx = j.nextIdx
 	j.activeSize = size
+	j.committed = size
+	j.torn = false
 	j.nextIdx++
 	return nil
 }
@@ -344,17 +415,22 @@ func (j *Journal) Compact(snapshot []byte) error {
 		return err
 	}
 	// The snapshot is durable; everything before it is now redundant.
-	if err := j.active.Close(); err != nil {
-		return fmt.Errorf("journal: compact: %w", err)
+	oldActive := j.activeIdx
+	cerr := j.active.Close()
+	j.active = nil
+	j.nextIdx = k // repairLocked retries from here if the next steps fail
+	if cerr != nil {
+		return fmt.Errorf("journal: compact: %w", cerr)
 	}
 	f, size, err := createSegment(j.dir, k, j.opts.NoSync)
 	if err != nil {
 		return err
 	}
-	oldActive := j.activeIdx
 	j.active = f
 	j.activeIdx = k
 	j.activeSize = size
+	j.committed = size
+	j.torn = false
 	j.sealedSize = 0
 	j.nextIdx = k + 1
 	entries, err := os.ReadDir(j.dir)
@@ -394,6 +470,9 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	if j.active == nil {
+		return nil // a failed rotation already closed the segment
+	}
 	if !j.opts.NoSync {
 		if err := j.active.Sync(); err != nil {
 			j.active.Close()
@@ -470,6 +549,9 @@ func fileSize(path string) (int64, error) {
 // createSegment creates wal-<idx>.log with its magic header, fsyncs it and
 // the directory, and returns it opened for append.
 func createSegment(dir string, idx uint64, noSync bool) (*os.File, int64, error) {
+	if err := firePoint(OpCreate); err != nil {
+		return nil, 0, fmt.Errorf("journal: create segment: %w", err)
+	}
 	f, err := os.OpenFile(segPath(dir, idx), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: %w", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 )
 
@@ -328,6 +329,94 @@ func TestFailpointShortWriteLeavesRecoverableTornTail(t *testing.T) {
 	_, rec2 := openT(t, dir, Options{})
 	if len(rec2.Records) != 2 || !bytes.Equal(rec2.Records[1], record(2)) {
 		t.Fatalf("post-recovery append lost: %q", rec2.Records)
+	}
+}
+
+// TestAppendAfterENOSPCKeepsJournalServiceable is the regression test for
+// the torn-append wedge: a failed append (ENOSPC via failpoint) used to
+// leave a partial frame in the active segment, and the NEXT append would
+// write after the tear — replay then truncated at the tear and silently
+// dropped every later committed record. The journal must instead repair the
+// tail and keep committing.
+func TestAppendAfterENOSPCKeepsJournalServiceable(t *testing.T) {
+	enospc := fmt.Errorf("write wal: %w", syscall.ENOSPC)
+	for _, op := range []Op{OpWrite, OpSync} {
+		t.Run(string(op), func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := openT(t, dir, Options{})
+			if err := j.Append(record(0)); err != nil {
+				t.Fatal(err)
+			}
+			fail := op
+			restore := SetFailpoint(func(o Op) error {
+				if o == fail {
+					if fail == OpWrite {
+						return ErrShortWrite // tear the frame, then fail
+					}
+					return enospc
+				}
+				return nil
+			})
+			if err := j.Append(record(1)); err == nil {
+				restore()
+				t.Fatal("Append succeeded despite injected disk failure")
+			}
+			restore()
+			// The daemon keeps serving: later appends on the SAME handle must
+			// commit durably, not extend a torn tail.
+			for i := 2; i <= 4; i++ {
+				if err := j.Append(record(i)); err != nil {
+					t.Fatalf("Append(%d) after disk failure: %v", i, err)
+				}
+			}
+			j.Close()
+			_, rec := openT(t, dir, Options{})
+			want := [][]byte{record(0), record(2), record(3), record(4)}
+			if len(rec.Records) != len(want) {
+				t.Fatalf("recovered %d records %q, want %d", len(rec.Records), rec.Records, len(want))
+			}
+			for i, r := range want {
+				if !bytes.Equal(rec.Records[i], r) {
+					t.Fatalf("record %d = %q, want %q", i, rec.Records[i], r)
+				}
+			}
+			if rec.Torn {
+				t.Fatal("repaired journal still reports a torn tail on replay")
+			}
+		})
+	}
+}
+
+// TestRotationFailureRecovers: when creating the next segment fails (full
+// disk), the journal must not wedge — the failing append reports the error
+// and a later append re-attempts the rotation.
+func TestRotationFailureRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{RotateBytes: 48})
+	if err := j.Append(record(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Force rotation by exceeding RotateBytes while segment creation fails.
+	restore := SetFailpoint(func(o Op) error {
+		if o == OpCreate {
+			return syscall.ENOSPC
+		}
+		return nil
+	})
+	err := j.Append(record(1))
+	restore()
+	if err == nil {
+		t.Fatal("Append succeeded despite injected rotation failure")
+	}
+	for i := 2; i <= 3; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("Append(%d) after failed rotation: %v", i, err)
+		}
+	}
+	j.Close()
+	_, rec := openT(t, dir, Options{})
+	if len(rec.Records) != 4 {
+		t.Fatalf("recovered %d records %q, want 4", len(rec.Records), rec.Records)
 	}
 }
 

@@ -106,6 +106,10 @@ type ClusterView struct {
 	Role      string               `json:"role"`
 	Nodes     []cluster.Node       `json:"nodes"`
 	Peers     []cluster.PeerStatus `json:"peers,omitempty"`
+	// Governor and Load describe the local node's memory pressure (peers
+	// report theirs in the Peers entries).
+	Governor string  `json:"governor"`
+	Load     float64 `json:"load"`
 }
 
 // ClusterInfo snapshots this node's view of the cluster.
@@ -115,6 +119,8 @@ func (s *Server) ClusterInfo() ClusterView {
 		Advertise: s.cluster.self.Addr,
 		Role:      s.cluster.role(),
 		Nodes:     s.cluster.ring.Nodes(),
+		Governor:  string(s.governorState()),
+		Load:      s.governorLoad(),
 	}
 	if s.cluster.health != nil {
 		v.Peers = s.cluster.health.Snapshot()
@@ -130,7 +136,10 @@ func (s *Server) ClusterInfo() ClusterView {
 // client sent.
 func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, body []byte, key string) bool {
 	sc := s.cluster
-	replicas := sc.ring.Replicas(key, 0)
+	// Saturated peers sink behind non-saturated replicas (and behind the
+	// local node, which is never tracked as saturated here): work drifts
+	// toward nodes with budget left instead of bouncing off a 503.
+	replicas := cluster.PreferUnsaturated(sc.ring.Replicas(key, 0), sc.health)
 	for i, node := range replicas {
 		if node.ID == sc.self.ID {
 			return false // we own it: serve locally
@@ -232,7 +241,7 @@ func (s *Server) runPairOn(ctx context.Context, node cluster.Node, req JobReques
 	if node.ID == s.cluster.self.ID {
 		job, err := s.Submit(req)
 		if err != nil {
-			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrSaturated) || errors.Is(err, ErrShuttingDown) {
 				// Local overload or drain is a placement problem, not a property
 				// of the pair: let the coordinator try a replica.
 				return nil, &cluster.UnavailableError{Node: node.ID, Op: "local submit", Err: err}

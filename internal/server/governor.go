@@ -1,0 +1,165 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/ems"
+)
+
+// GovernorState summarizes the resource governor's view of the node for
+// probes, peers, and the degradation ladder.
+type GovernorState string
+
+const (
+	// GovOK: plenty of budget; jobs run exactly as requested.
+	GovOK GovernorState = "ok"
+	// GovPressured: committed cost crossed the pressure threshold; new jobs
+	// are degraded down the ladder (exact → fast-path → estimate-only)
+	// unless they opted out.
+	GovPressured GovernorState = "pressured"
+	// GovSaturated: the whole budget is committed; jobs that cannot be
+	// degraded (or still don't fit) are shed with 503 + Retry-After.
+	GovSaturated GovernorState = "saturated"
+)
+
+// ErrSaturated is returned by Submit when the memory governor cannot fit
+// the job right now (the budget is committed to queued and running work).
+// Like ErrQueueFull it maps to HTTP 503 with a drain-rate Retry-After: the
+// condition is transient, the client should come back.
+var ErrSaturated = errors.New("server: memory budget saturated")
+
+// errJobTooLarge is the governor's internal verdict for a job whose
+// predicted footprint exceeds the entire budget; submitPrepared converts it
+// into a typed *ems.TooLargeError carrying the estimate.
+var errJobTooLarge = errors.New("server: job exceeds the memory budget outright")
+
+// governor enforces a global memory budget over admitted jobs. Every fresh
+// (non-cache-hit, non-coalesced) job reserves its predicted peak engine
+// bytes at admission and releases them on completion, so the sum of
+// predicted footprints of queued+running jobs never exceeds the budget —
+// admission counts bytes, not queue slots. All methods are lock-free and
+// safe for concurrent use.
+type governor struct {
+	budget   int64 // total byte budget (> 0; a nil *governor means disabled)
+	pressure int64 // committed bytes at which the state turns pressured
+
+	committed atomic.Int64
+}
+
+// newGovernor builds a governor for budget bytes; pressureFrac in (0,1] is
+// the pressured threshold as a fraction of the budget (0 = default 0.75).
+// budget <= 0 disables the governor (returns nil).
+func newGovernor(budget int64, pressureFrac float64) *governor {
+	if budget <= 0 {
+		return nil
+	}
+	if pressureFrac <= 0 || pressureFrac > 1 {
+		pressureFrac = 0.75
+	}
+	return &governor{budget: budget, pressure: int64(float64(budget) * pressureFrac)}
+}
+
+// admit reserves cost bytes, or reports why it cannot: errJobTooLarge when
+// the job can never fit (cost > whole budget), ErrSaturated when it does
+// not fit right now.
+func (g *governor) admit(cost int64) error {
+	if cost > g.budget {
+		return errJobTooLarge
+	}
+	for {
+		cur := g.committed.Load()
+		if cur+cost > g.budget {
+			return ErrSaturated
+		}
+		if g.committed.CompareAndSwap(cur, cur+cost) {
+			return nil
+		}
+	}
+}
+
+// forceCommit reserves cost bytes without an admission check — for jobs
+// recovered from the journal, which were admitted before the restart. The
+// commitment may transiently overshoot the budget; it drains as the
+// recovered jobs finish.
+func (g *governor) forceCommit(cost int64) { g.committed.Add(cost) }
+
+// release returns a reservation.
+func (g *governor) release(cost int64) { g.committed.Add(-cost) }
+
+// state classifies the current commitment.
+func (g *governor) state() GovernorState {
+	c := g.committed.Load()
+	switch {
+	case c >= g.budget:
+		return GovSaturated
+	case c >= g.pressure:
+		return GovPressured
+	default:
+		return GovOK
+	}
+}
+
+// load is the committed fraction of the budget (may exceed 1 after
+// forceCommit).
+func (g *governor) load() float64 {
+	return float64(g.committed.Load()) / float64(g.budget)
+}
+
+// governorState names the node's state for probes: "ok" when no governor
+// is configured (an unbudgeted node never reports pressure).
+func (s *Server) governorState() GovernorState {
+	if s.gov == nil {
+		return GovOK
+	}
+	return s.gov.state()
+}
+
+// governorLoad is the committed budget fraction (0 without a governor).
+func (s *Server) governorLoad() float64 {
+	if s.gov == nil {
+		return 0
+	}
+	return s.gov.load()
+}
+
+// applyLadder is the degradation ladder: under memory pressure a fresh
+// submission is downgraded one or two rungs — exact → fast-path →
+// estimate-only — so it holds its matrices for far fewer rounds, draining
+// the budget sooner instead of queueing behind it. Returns the (possibly
+// rewritten) request and prepared job plus the rung taken; shed reports
+// that the job opted out (NoDegrade) and must be shed instead. Composite
+// jobs never degrade (their greedy merge loop depends on exact values).
+func (s *Server) applyLadder(req JobRequest, pj *preparedJob) (JobRequest, *preparedJob, string, bool) {
+	if s.gov == nil || req.Options.Composite {
+		return req, pj, "", false
+	}
+	st := s.gov.state()
+	if st == GovOK {
+		return req, pj, "", false
+	}
+	if req.Options.NoDegrade {
+		return req, pj, "", true
+	}
+	dreq := req
+	var rung string
+	if st == GovPressured && dreq.Options.Exact {
+		// First rung: give up exact convergence for the certified fast path.
+		dreq.Options.Exact = false
+		rung = ems.DegradedFastPath
+	} else {
+		// Second rung (pressured non-exact jobs, and everything when
+		// saturated): closed-form estimation only, no iteration at all.
+		dreq.Options.Exact = false
+		two := 2
+		dreq.Options.Estimate = &two
+		rung = ems.DegradedEstimateOnly
+	}
+	dpj, err := s.prepare(dreq)
+	if err != nil {
+		// The degraded variant does not validate (unexpected); run the
+		// original rather than fail the job over our own rewrite.
+		return req, pj, "", false
+	}
+	return dreq, dpj, rung, false
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/ems"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 )
@@ -79,6 +80,12 @@ type healthView struct {
 	Role    string `json:"role"`
 	Peers   int    `json:"peers"`
 	PeersUp int    `json:"peers_up"`
+	// Governor is the memory governor's state ("ok", "pressured",
+	// "saturated"); Load is the committed fraction of the budget. A
+	// saturated node still answers 200 — it is alive, just busy — so
+	// schedulers read the field rather than the status code.
+	Governor string  `json:"governor"`
+	Load     float64 `json:"load"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -93,6 +100,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, healthView{
 		Status: status, NodeID: s.cfg.NodeID, Role: s.cluster.role(),
 		Peers: len(s.cluster.clients), PeersUp: s.cluster.peersUp(),
+		Governor: string(s.governorState()), Load: s.governorLoad(),
 	})
 }
 
@@ -193,11 +201,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	job, err := s.submitPrepared(req, tr, pj)
+	var tle *ems.TooLargeError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.View())
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &tle):
+		// The job can never fit the budget: permanent, so 413 not 503 — no
+		// Retry-After, retrying the same job would only be rejected again.
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: tle.Error()})
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrSaturated):
+		// Transient overload: hint when to come back from the queue's actual
+		// drain rate instead of a fixed second.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

@@ -71,6 +71,11 @@ type JobOptions struct {
 	// Repair changes the matched logs and therefore the result, so the
 	// resolved knobs join the cache key.
 	Repair *RepairJobOptions `json:"repair,omitempty"`
+	// NoDegrade opts the job out of the degradation ladder: a pressured
+	// server sheds it (503 + Retry-After) instead of downgrading it to a
+	// cheaper rung. Use for jobs whose callers need the requested fidelity.
+	// Not part of the cache key — it only affects admission, never results.
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 // RepairJobOptions mirrors ems.RepairOptions over JSON. The zero value (with
@@ -263,6 +268,13 @@ type Job struct {
 	// batch is set on batch-coordinator jobs (IDs "batch-NNNNNN") and nil on
 	// ordinary match jobs; immutable once the job is shared.
 	batch *batchRun
+	// cost is the governor reservation held by this job in bytes (0 when the
+	// governor is off or the job never reserved); cleared by completeJob.
+	cost int64
+	// degraded names the ladder rung this job was downgraded to at admission
+	// ("fast-path" or "estimate-only"); empty for jobs run as requested.
+	// Immutable once the job is enqueued.
+	degraded string
 
 	// durability fields, set only on journaled jobs (DataDir configured):
 	// seq is the journal sequence number (0 = not journaled: cache hits and

@@ -27,6 +27,11 @@ type Metrics struct {
 	retried    atomic.Uint64
 	ckpWritten atomic.Uint64
 
+	// Governor counters: jobs downgraded by the degradation ladder and jobs
+	// rejected outright because their prediction exceeds the whole budget.
+	degraded atomic.Uint64
+	tooLarge atomic.Uint64
+
 	// Dirty-log counters: lenient-ingestion skips plus what the repair
 	// pipeline did across all repaired jobs.
 	ingestSkipped     atomic.Uint64
@@ -82,6 +87,16 @@ type Stats struct {
 	RepairReordered   uint64 `json:"repair_events_reordered"`
 	RepairImputed     uint64 `json:"repair_events_imputed"`
 	RepairQuarantined uint64 `json:"repair_traces_quarantined"`
+
+	// Governor state: counters plus the live budget gauges the server fills
+	// in. Governor is always present ("ok" on an unbudgeted node); the byte
+	// gauges are zero without a -mem-budget.
+	Degraded          uint64  `json:"jobs_degraded"`
+	TooLarge          uint64  `json:"jobs_too_large"`
+	Governor          string  `json:"governor"`
+	Load              float64 `json:"load"`
+	MemBudgetBytes    int64   `json:"mem_budget_bytes"`
+	MemCommittedBytes int64   `json:"mem_committed_bytes"`
 }
 
 // Submitted records an accepted job submission.
@@ -120,6 +135,13 @@ func (m *Metrics) Retried() { m.retried.Add(1) }
 
 // CheckpointWritten records one engine checkpoint persisted to disk.
 func (m *Metrics) CheckpointWritten() { m.ckpWritten.Add(1) }
+
+// Degraded records a job downgraded a rung by the degradation ladder.
+func (m *Metrics) Degraded() { m.degraded.Add(1) }
+
+// TooLarge records a job rejected because its predicted footprint exceeds
+// the entire memory budget.
+func (m *Metrics) TooLarge() { m.tooLarge.Add(1) }
 
 // IngestSkipped records n input records discarded by lenient ingestion.
 func (m *Metrics) IngestSkipped(n uint64) { m.ingestSkipped.Add(n) }
@@ -177,6 +199,8 @@ func (m *Metrics) Snapshot() Stats {
 		Resumed:     m.resumed.Load(),
 		Retried:     m.retried.Load(),
 		Checkpoints: m.ckpWritten.Load(),
+		Degraded:    m.degraded.Load(),
+		TooLarge:    m.tooLarge.Load(),
 
 		IngestSkipped:     m.ingestSkipped.Load(),
 		RepairedJobs:      m.repairedJobs.Load(),

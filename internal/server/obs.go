@@ -66,6 +66,8 @@ func newServerObs(s *Server) *serverObs {
 		{"emsd_repair_events_reordered_total", "Events transposed back into the dominant order by the repair pipeline.", m.repairReordered.Load},
 		{"emsd_repair_events_imputed_total", "Missing events re-inserted by the repair pipeline.", m.repairImputed.Load},
 		{"emsd_repair_traces_quarantined_total", "Traces the repair pipeline quarantined as unrepairable.", m.repairQuarantined.Load},
+		{"emsd_jobs_degraded_total", "Jobs downgraded a rung by the degradation ladder under memory pressure.", m.degraded.Load},
+		{"emsd_jobs_too_large_total", "Jobs rejected because their predicted footprint exceeds the whole memory budget.", m.tooLarge.Load},
 	}
 	for _, c := range counters {
 		read := c.read
@@ -84,6 +86,20 @@ func newServerObs(s *Server) *serverObs {
 				return 0
 			}
 			return float64(s.persist.journalBytes())
+		})
+	r.GaugeFunc("emsd_mem_budget_bytes", "Memory budget the resource governor admits jobs against; 0 without -mem-budget.",
+		func() float64 {
+			if s.gov == nil {
+				return 0
+			}
+			return float64(s.gov.budget)
+		})
+	r.GaugeFunc("emsd_mem_committed_bytes", "Predicted bytes currently reserved by admitted jobs.",
+		func() float64 {
+			if s.gov == nil {
+				return 0
+			}
+			return float64(s.gov.committed.Load())
 		})
 
 	o.jobDur = r.Histogram("emsd_job_duration_seconds",

@@ -312,7 +312,7 @@ func TestStatsExposeDurabilityFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var raw map[string]json.Number
+	var raw map[string]any
 	dec := json.NewDecoder(resp.Body)
 	dec.UseNumber()
 	if err := dec.Decode(&raw); err != nil {
@@ -320,16 +320,28 @@ func TestStatsExposeDurabilityFields(t *testing.T) {
 	}
 	for _, key := range []string{
 		"jobs_recovered", "jobs_resumed_from_checkpoint", "jobs_retried",
-		"checkpoints_written", "journal_bytes",
+		"checkpoints_written", "journal_bytes", "governor",
 	} {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("/v1/stats missing %q", key)
 		}
 	}
-	if n, _ := raw["checkpoints_written"].Int64(); n == 0 {
+	num := func(key string) int64 {
+		t.Helper()
+		jn, ok := raw[key].(json.Number)
+		if !ok {
+			t.Fatalf("/v1/stats %q is %T, want a number", key, raw[key])
+		}
+		n, err := jn.Int64()
+		if err != nil {
+			t.Fatalf("/v1/stats %q = %v: %v", key, jn, err)
+		}
+		return n
+	}
+	if n := num("checkpoints_written"); n == 0 {
 		t.Errorf("checkpoints_written = 0 after a checkpointed job")
 	}
-	if n, _ := raw["journal_bytes"].Int64(); n <= 0 {
+	if n := num("journal_bytes"); n <= 0 {
 		t.Errorf("journal_bytes = %d, want > 0", n)
 	}
 }

@@ -115,6 +115,19 @@ type Config struct {
 	// MaxBatchPairs bounds the pair count of one POST /v1/batch (grid
 	// product or explicit list); <= 0 uses the default (4096).
 	MaxBatchPairs int
+	// MemBudget arms the resource governor: every fresh job's peak engine
+	// memory is predicted before allocation (ems.EstimateCost) and admitted
+	// against this global byte budget, so queued+running work is bounded by
+	// predicted bytes, not job count. A job whose prediction alone exceeds
+	// the budget is rejected up front with *ems.TooLargeError (HTTP 413); a
+	// job that merely doesn't fit right now is shed with ErrSaturated
+	// (HTTP 503 + Retry-After). Past PressureFraction of the budget the
+	// degradation ladder kicks in. <= 0 disables the governor.
+	MemBudget int64
+	// PressureFraction is the committed fraction of MemBudget at which the
+	// node reports "pressured" and starts degrading jobs; <= 0 or > 1 uses
+	// the default 0.75.
+	PressureFraction float64
 	// Log receives operational messages as structured records (contained job
 	// panics, persistence failures, slow-job timelines). nil uses
 	// slog.Default.
@@ -144,6 +157,7 @@ type Server struct {
 	persist *persister // nil without DataDir
 	obs     *serverObs
 	cluster *serverCluster
+	gov     *governor // nil without MemBudget
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -218,6 +232,7 @@ func New(cfg Config) (*Server, error) {
 		cache:    newResultCache(cfg.CacheSize),
 		persist:  p,
 		cluster:  sc,
+		gov:      newGovernor(cfg.MemBudget, cfg.PressureFraction),
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
@@ -281,6 +296,7 @@ type preparedJob struct {
 	opts    []ems.Option
 	key     string
 	timeout time.Duration
+	cost    *ems.Cost // predicted peak footprint; nil when the governor is off
 }
 
 // prepare validates a request and resolves it into a preparedJob. Errors are
@@ -312,7 +328,16 @@ func (s *Server) prepare(req JobRequest) (*preparedJob, error) {
 	// worker counts never change results, so jobs submitted under different
 	// budgets still coalesce and share cache entries.
 	opts = append(opts, ems.WithWorkers(s.cfg.EngineWorkers))
-	return &preparedJob{l1: l1, l2: l2, opts: opts, key: CacheKey(l1, l2, optKey), timeout: timeout}, nil
+	pj := &preparedJob{l1: l1, l2: l2, opts: opts, key: CacheKey(l1, l2, optKey), timeout: timeout}
+	if s.gov != nil {
+		// The prediction only needs the dependency graphs (small next to the
+		// matrices it predicts); an estimation failure just means the job is
+		// admitted ungoverned rather than rejected.
+		if c, cerr := ems.EstimateCost(pj.l1, pj.l2, opts...); cerr == nil {
+			pj.cost = c
+		}
+	}
+	return pj, nil
 }
 
 // Submit validates a request and returns its job handle. The job may
@@ -355,6 +380,14 @@ func traceOrNew(ctx context.Context) *obs.Trace {
 // on cluster forwarding between prepare (which computes the placement key)
 // and local admission.
 func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) (*Job, error) {
+	// Degradation ladder: under memory pressure the request is rewritten one
+	// or two rungs down before the cache lookup, so the degraded variant gets
+	// its own cache key and coalesces with other degraded submissions.
+	req, pj, rung, shed := s.applyLadder(req, pj)
+	if shed {
+		s.metrics.Shed()
+		return nil, ErrSaturated
+	}
 	key := pj.key
 
 	s.mu.Lock()
@@ -384,7 +417,29 @@ func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) 
 		s.metrics.CacheHit()
 		return job, nil
 	}
-	// (c) Fresh computation.
+	// (c) Fresh computation: reserve the job's predicted footprint against
+	// the memory budget before it can allocate anything. The reservation is
+	// taken under s.mu together with registration, so a concurrent Cancel
+	// cannot complete the job between admission and the cost being recorded.
+	if s.gov != nil && pj.cost != nil {
+		if aerr := s.gov.admit(pj.cost.Bytes); aerr != nil {
+			s.mu.Unlock()
+			if errors.Is(aerr, errJobTooLarge) {
+				s.metrics.TooLarge()
+				tle := &ems.TooLargeError{Predicted: *pj.cost, BudgetBytes: s.gov.budget}
+				s.completeJob(job, StatusFailed, nil, tle.Error(), 0, false)
+				return nil, tle
+			}
+			s.metrics.Shed()
+			s.completeJob(job, StatusCancelled, nil, ErrSaturated.Error(), 0, false)
+			return nil, ErrSaturated
+		}
+		job.cost = pj.cost.Bytes
+	}
+	if rung != "" {
+		job.degraded = rung
+		s.metrics.Degraded()
+	}
 	job.key = key
 	job.pair = ems.PairInput{Name: job.ID, Log1: pj.l1, Log2: pj.l2}
 	job.opts = pj.opts
@@ -545,6 +600,11 @@ func (s *Server) runJob(j *Job) {
 	}
 	switch {
 	case err == nil:
+		if j.degraded != "" && res != nil {
+			// Stamp the ladder rung before the result is cached, so followers
+			// and later cache hits see how it was computed too.
+			res.Degraded = j.degraded
+		}
 		s.completeJob(j, StatusDone, res, "", wall, true)
 	case errors.Is(err, ems.ErrStopped) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		cause := context.Cause(ctx)
@@ -600,7 +660,14 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 	}
 	followers := j.followers
 	j.followers = nil
+	// The governor reservation is cleared under s.mu so a racing second
+	// completion (client cancel vs. worker finish) releases exactly once.
+	cost := j.cost
+	j.cost = 0
 	s.mu.Unlock()
+	if s.gov != nil && cost > 0 {
+		s.gov.release(cost)
+	}
 
 	j.finish(status, res, errMsg, wall, false)
 	s.metrics.JobDone(status, wall, computed)
@@ -712,7 +779,34 @@ func (s *Server) Stats() Stats {
 	if s.persist != nil {
 		st.JournalBytes = s.persist.journalBytes()
 	}
+	if s.gov != nil {
+		st.MemBudgetBytes = s.gov.budget
+		st.MemCommittedBytes = s.gov.committed.Load()
+	}
+	st.Governor = string(s.governorState())
+	st.Load = s.governorLoad()
 	return st
+}
+
+// retryAfterSeconds derives a Retry-After hint from the queue's drain rate:
+// the current depth times the average job wall time, spread across the
+// workers, clamped to [1s, 30s]. With no completed timed jobs yet the floor
+// applies.
+func (s *Server) retryAfterSeconds() int {
+	depth := s.pool.Depth()
+	avgMS := s.metrics.Snapshot().AvgWallMillis
+	secs := 1
+	if depth > 0 && avgMS > 0 {
+		drain := float64(depth) * avgMS / float64(s.cfg.Workers) / 1000
+		secs = int(drain + 0.999)
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // Shutdown stops intake, cancels queued jobs, and drains running jobs in
@@ -850,6 +944,12 @@ func (s *Server) recoverActiveJob(st jobState) {
 	j.opts = pj.opts
 	j.timeout = pj.timeout
 	j.ctx, j.cancel = context.WithCancelCause(s.ctx)
+	if s.gov != nil && pj.cost != nil {
+		// Recovered jobs were admitted before the restart; their reservation
+		// is re-taken without an admission check (may transiently overshoot).
+		s.gov.forceCommit(pj.cost.Bytes)
+		j.cost = pj.cost.Bytes
+	}
 	s.inflight[pj.key] = j
 	s.mu.Unlock()
 	if st.Status == StatusRunning && !j.composite {
