@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test repair-test chaos-test profile metrics-check
+.PHONY: all build test race vet lint check bench fuzz-smoke bench-core bench-regress crash-test cluster-test repair-test chaos-test trace-test profile metrics-check
 
 all: check
 
@@ -110,6 +110,17 @@ chaos-test:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/chaos
 	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Chaos|Governor|Ladder|Saturat|Degrade|TooLarge|RetryAfter|EstimateCost' \
 		./internal/server ./internal/core
+
+# Distributed-tracing suite under the race detector: the span model, the
+# propagation header, the per-node trace store and flight recorder, then the
+# server-level end-to-end checks — cross-node trace assembly over a 3-node
+# loopback cluster, the forwarded-request-ID pin, and the flight-recorder
+# chaos replay (internal/server/testdata/flightrec_replay.json) whose dumps
+# must be byte-identical run to run.
+trace-test:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -run 'Trace|Span|Flight' ./internal/obs
+	$(GO) test -race -timeout $(RACE_TIMEOUT) \
+		-run 'Trace|FlightRecorder|ForwardedSubmission' ./internal/server
 
 # Short fuzz runs over every fuzz target; CI uses this as a smoke test.
 # Each target needs its own invocation: `go test -fuzz` accepts exactly one.

@@ -9,6 +9,7 @@
 //	     [-data-dir DIR] [-checkpoint-every N] [-job-retries N]
 //	     [-mem-budget SIZE] [-mem-pressure F]
 //	     [-log-format text|json] [-slow-job D] [-debug-addr ADDR]
+//	     [-trace-sample F] [-trace-retain N]
 //	     [-node-id ID] [-advertise URL] [-peers id=url,id=url,...]
 //
 // Clustering: give every node a unique -node-id and list the other members
@@ -29,7 +30,9 @@
 //
 // Observability: GET /metrics serves the Prometheus exposition,
 // GET /v1/jobs/{id}/progress streams a running job's per-round convergence,
-// and -debug-addr opens a separate admin listener with net/http/pprof and
+// GET /v1/traces/{trace_id} assembles a request's cluster-wide span tree
+// (see "Tracing emsd" in the README), and -debug-addr opens a separate
+// admin listener with net/http/pprof and
 // expvar (keep it off public interfaces). Logs are structured (slog);
 // -log-format json emits one JSON object per line.
 //
@@ -84,6 +87,8 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated id=url list of the other cluster members (empty = standalone)")
 		memBudget  = flag.String("mem-budget", "", "memory budget for admitted jobs, e.g. 512MiB or 4GiB (also sets the Go runtime soft memory limit; empty = ungoverned)")
 		pressure   = flag.Float64("mem-pressure", 0, "committed fraction of -mem-budget at which jobs start degrading (0 = default 0.75)")
+		traceSmpl  = flag.Float64("trace-sample", 1, "fraction of traces stored for GET /v1/traces (deterministic by trace ID, so all nodes keep the same traces; 0 disables the store)")
+		traceKeep  = flag.Int("trace-retain", 0, "per-node trace store capacity in traces (0 = default 512)")
 	)
 	flag.Parse()
 	if *checkURL != "" {
@@ -159,7 +164,14 @@ func main() {
 		SlowJobThreshold: *slowJob,
 		MemBudget:        budget,
 		PressureFraction: *pressure,
+		TraceSample:      *traceSmpl,
+		TraceRetain:      *traceKeep,
 		Log:              logger,
+	}
+	if *traceSmpl <= 0 {
+		// Config.TraceSample uses 0 for "store everything" so the zero-valued
+		// Config keeps traces; the CLI reads more naturally with 0 = off.
+		cfg.TraceSample = -1
 	}
 	if err := serve(ctx, ln, cfg, *drain, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "emsd:", err)

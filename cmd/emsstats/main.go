@@ -4,23 +4,32 @@
 // candidates — everything the matcher derives from a log before comparing
 // it to another. It can also export the dependency graph as Graphviz DOT.
 //
+// The flightrec subcommand reconstructs an emsd anomaly post-hoc from the
+// flight-recorder dumps the daemon wrote under -data-dir/flightrec/: it
+// lists a dump directory's incidents, or replays one dump's event ring as a
+// timeline relative to the moment of the anomaly.
+//
 // Usage:
 //
 //	emsstats [flags] LOG
 //	emsstats -dot graph.dot -artificial orders.csv
+//	emsstats flightrec DIR|DUMP.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/ems"
 	"repro/internal/composite"
 	"repro/internal/depgraph"
 	"repro/internal/eventlog"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,6 +42,17 @@ func main() {
 		confidence = flag.Float64("confidence", 0.9, "candidate link confidence")
 	)
 	flag.Parse()
+	if flag.Arg(0) == "flightrec" {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: emsstats flightrec DIR|DUMP.json")
+			os.Exit(2)
+		}
+		if err := runFlightrec(os.Stdout, flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "emsstats: flightrec:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: emsstats [flags] LOG")
 		flag.PrintDefaults()
@@ -143,6 +163,69 @@ func run(w *os.File, path, format string, artificial bool, minFreq float64,
 		fmt.Fprintf(w, "wrote DOT graph to %s\n", dotPath)
 	}
 	return nil
+}
+
+// runFlightrec reconstructs emsd anomalies post-hoc: given a directory it
+// lists every incident dump in order; given one dump file it prints the
+// recorded event ring as a timeline relative to the moment of the anomaly.
+func runFlightrec(w *os.File, path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.IsDir() {
+		names, err := obs.ListFlightDumps(path)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(w, "no flight-recorder dumps")
+			return nil
+		}
+		for _, name := range names {
+			d, err := obs.ReadFlightDump(filepath.Join(path, name))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s  %-16s node=%s at=%s events=%d%s\n",
+				name, d.Reason, d.Node,
+				time.Unix(0, d.AtNS).UTC().Format(time.RFC3339), len(d.Events),
+				attrString(d.Attrs))
+		}
+		return nil
+	}
+	d, err := obs.ReadFlightDump(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "anomaly %q on node %s at %s%s\n", d.Reason, d.Node,
+		time.Unix(0, d.AtNS).UTC().Format(time.RFC3339Nano), attrString(d.Attrs))
+	fmt.Fprintf(w, "%d events leading up to it:\n", len(d.Events))
+	for _, ev := range d.Events {
+		rel := float64(ev.AtNS-d.AtNS) / 1e9
+		fmt.Fprintf(w, "  %+9.3fs  #%-5d %-14s%s\n", rel, ev.Seq, ev.Kind, attrString(ev.Attrs))
+	}
+	return nil
+}
+
+// attrString renders an attrs map as sorted " k=v" pairs.
+func attrString(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(" ")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(attrs[k])
+	}
+	return b.String()
 }
 
 func displayName(g *depgraph.Graph, i int) string {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/ems"
+	"repro/internal/obs"
 )
 
 // ForwardedHeader marks a request that already crossed one node boundary.
@@ -110,8 +111,17 @@ func (c *Client) Node() Node { return c.node }
 // and full response body. Transport failures and 5xx responses come back as
 // *UnavailableError; any other status is returned for the caller to
 // interpret. The forwarded marker is always set: everything a Client sends
-// has already crossed a node boundary.
+// has already crossed a node boundary. When ctx carries an obs.Trace, the
+// exchange is recorded as a "peer:<node>" hop span and the trace ID plus
+// that span's ID travel in the X-Emsd-Trace header, so spans the peer
+// records parent under this hop.
 func (c *Client) Do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var hop *obs.Span
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		hop = tr.StartSpan("peer:" + c.node.ID)
+		hop.SetAttr("op", method+" "+path)
+		defer hop.End()
+	}
 	if pf := firePeerPoint(c.node.ID, method, path); pf != nil {
 		if code, b, err, injected := c.applyFault(ctx, method, path, pf); injected {
 			return code, b, err
@@ -126,6 +136,13 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte) (int,
 		return 0, nil, fmt.Errorf("cluster: build request: %w", err)
 	}
 	req.Header.Set(ForwardedHeader, "1")
+	if hop != nil {
+		tr := hop.Trace()
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(tr.ID(), hop.ID()))
+		// Also carry the bare trace ID as the request ID so the peer's log
+		// lines correlate even through layers that only know X-Request-ID.
+		req.Header.Set(obs.RequestIDHeader, tr.ID())
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

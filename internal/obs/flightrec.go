@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the daemon's black box: a fixed-size ring of recent
+// structured events (admissions, governor transitions, queue depths,
+// journal writes) that is cheap enough to feed on every job. When an
+// anomaly fires — slow job, panic, deadline, degradation, shed,
+// persistence failure — Dump snapshots the ring to a JSON file under the
+// configured directory, so `emsstats flightrec` can reconstruct the
+// seconds before the incident after the process is gone.
+type FlightRecorder struct {
+	node string
+	dir  string // empty disables dumping (events still ring-buffer)
+
+	// Now supplies timestamps; tests inject a deterministic clock so dumps
+	// replay byte-identically under a committed chaos seed.
+	Now func() time.Time
+	// MaxDumps bounds the dump files kept on disk; oldest pruned first.
+	MaxDumps int
+
+	mu    sync.Mutex
+	seq   uint64
+	dumps uint64
+	buf   []FlightEvent // ring, len == cap once full
+	next  int           // ring write position
+}
+
+// FlightEvent is one entry in the flight-recorder ring.
+type FlightEvent struct {
+	Seq  uint64 `json:"seq"`
+	AtNS int64  `json:"at_ns"`
+	Kind string `json:"kind"`
+	// Attrs hold small bounded values (job ID, queue depth, rung). Keys
+	// render sorted (Go's JSON map ordering), keeping dumps deterministic.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightDump is the on-disk snapshot format.
+type FlightDump struct {
+	Reason string            `json:"reason"`
+	Seq    uint64            `json:"seq"` // dump ordinal on this node
+	Node   string            `json:"node,omitempty"`
+	AtNS   int64             `json:"at_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Events []FlightEvent     `json:"events"`
+}
+
+// NewFlightRecorder builds a recorder ringing the last size events for
+// node, dumping into dir on anomalies. An empty dir records events but
+// never writes files.
+func NewFlightRecorder(size int, dir, node string) *FlightRecorder {
+	if size <= 0 {
+		size = 256
+	}
+	return &FlightRecorder{
+		node:     node,
+		dir:      dir,
+		Now:      time.Now,
+		MaxDumps: 32,
+		buf:      make([]FlightEvent, 0, size),
+	}
+}
+
+// Note appends one event to the ring. attrs are alternating key/value
+// pairs; a trailing odd key is dropped.
+func (f *FlightRecorder) Note(kind string, attrs ...string) {
+	if f == nil {
+		return
+	}
+	var m map[string]string
+	if len(attrs) >= 2 {
+		m = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	now := f.Now().UnixNano()
+	f.mu.Lock()
+	f.seq++
+	ev := FlightEvent{Seq: f.seq, AtNS: now, Kind: kind, Attrs: m}
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.next] = ev
+		f.next = (f.next + 1) % cap(f.buf)
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the ring contents in sequence order.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+func (f *FlightRecorder) eventsLocked() []FlightEvent {
+	out := make([]FlightEvent, 0, len(f.buf))
+	if len(f.buf) == cap(f.buf) {
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+	} else {
+		out = append(out, f.buf...)
+	}
+	return out
+}
+
+// Dump snapshots the ring to a new file named dump-<ordinal>-<reason>.json
+// (written via temp+rename so readers never see a torn file) and returns
+// its path. A recorder with no directory returns "" without writing.
+func (f *FlightRecorder) Dump(reason string, attrs ...string) string {
+	if f == nil {
+		return ""
+	}
+	var m map[string]string
+	if len(attrs) >= 2 {
+		m = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	now := f.Now().UnixNano()
+	f.mu.Lock()
+	f.dumps++
+	d := FlightDump{
+		Reason: reason,
+		Seq:    f.dumps,
+		Node:   f.node,
+		AtNS:   now,
+		Attrs:  m,
+		Events: f.eventsLocked(),
+	}
+	dir := f.dir
+	maxDumps := f.MaxDumps
+	f.mu.Unlock()
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return ""
+	}
+	data = append(data, '\n')
+	name := fmt.Sprintf("dump-%06d-%s.json", d.Seq, sanitizeReason(reason))
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return ""
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return ""
+	}
+	pruneDumps(dir, maxDumps)
+	return path
+}
+
+// sanitizeReason keeps dump filenames shell-safe.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "anomaly"
+	}
+	return b.String()
+}
+
+// pruneDumps deletes the oldest dump files beyond the cap. Ordinal-named
+// files sort lexically in creation order.
+func pruneDumps(dir string, keep int) {
+	if keep <= 0 {
+		return
+	}
+	names, err := ListFlightDumps(dir)
+	if err != nil || len(names) <= keep {
+		return
+	}
+	for _, name := range names[:len(names)-keep] {
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// ListFlightDumps returns the dump filenames in dir, oldest first.
+func ListFlightDumps(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasPrefix(n, "dump-") && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFlightDump loads one dump file (emsstats flightrec).
+func ReadFlightDump(path string) (*FlightDump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}

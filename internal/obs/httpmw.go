@@ -73,18 +73,56 @@ func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
 // the job's trace; responses echo it back.
 const RequestIDHeader = "X-Request-ID"
 
+// TraceConfig customizes TraceMiddlewareWith.
+type TraceConfig struct {
+	// Node is stamped onto every trace (and thus every span snapshot) as
+	// the recording node's ID.
+	Node string
+	// OnSpanEnd is installed on every trace as its span-end hook (see
+	// Trace.OnSpanEnd); nil installs none.
+	OnSpanEnd func(*Span)
+	// OnRequestEnd is called after the handler returns, with the request's
+	// trace, its root span already ended. The server publishes kept traces
+	// to the trace store from here. nil disables.
+	OnRequestEnd func(*Trace)
+}
+
 // TraceMiddleware attaches a Trace to every request's context: the ID is
-// taken from the X-Request-ID header when present (truncated to 128 bytes)
-// or generated, and echoed back on the response so clients learn generated
+// taken from the X-Emsd-Trace propagation header when present (joining the
+// sender's trace and parenting under its hop span), else from the
+// X-Request-ID header (truncated to 128 bytes), else generated. The
+// resolved ID is echoed back via X-Request-ID so clients learn generated
 // IDs.
 func TraceMiddleware(next http.Handler) http.Handler {
+	return TraceMiddlewareWith(next, TraceConfig{})
+}
+
+// TraceMiddlewareWith is TraceMiddleware with node stamping and hooks. Each
+// request's trace gets a root span named "request" (method and path as
+// attributes) that later spans — including engine phases of a job the
+// request submits — parent under.
+func TraceMiddlewareWith(next http.Handler, cfg TraceConfig) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get(RequestIDHeader)
-		if len(id) > 128 {
-			id = id[:128]
+		var tr *Trace
+		if tid, parent, ok := ParseTraceHeader(r.Header.Get(TraceHeader)); ok {
+			tr = NewTraceWithParent(tid, parent)
+		} else {
+			id := r.Header.Get(RequestIDHeader)
+			if len(id) > 128 {
+				id = id[:128]
+			}
+			tr = NewTrace(id)
 		}
-		tr := NewTrace(id)
+		tr.SetNode(cfg.Node)
+		tr.OnSpanEnd(cfg.OnSpanEnd)
+		root := tr.StartRoot("request")
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
 		w.Header().Set(RequestIDHeader, tr.ID())
 		next.ServeHTTP(w, r.WithContext(ContextWithTrace(r.Context(), tr)))
+		root.End()
+		if cfg.OnRequestEnd != nil {
+			cfg.OnRequestEnd(tr)
+		}
 	})
 }

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// TraceStore is a bounded per-node ring of finished traces, indexed by trace
+// ID. Each node stores the spans *it* recorded; the /v1/traces handler fans
+// a query across peers and merges the per-node span sets into one tree.
+//
+// Records for the same trace ID merge by span ID (a trace can be recorded
+// more than once: when a forwarded submission's request ends, and again when
+// its job completes), with the latest snapshot of each span winning. The
+// ring evicts the least recently *updated* trace beyond the retain cap.
+type TraceStore struct {
+	mu     sync.Mutex
+	retain int
+	// sample is the precomputed FNV-64 threshold: a trace is stored when
+	// hash(id) < sample. ^uint64(0) stores everything, 0 nothing.
+	sample uint64
+
+	byID  map[string]*storedTrace
+	order []*storedTrace // least recently updated first
+}
+
+type storedTrace struct {
+	id    string
+	spans []SpanView     // start order of first sighting
+	index map[string]int // span ID -> position in spans
+	pos   int            // position in order (maintained on every move)
+}
+
+// TraceSummary is one row of the recent-traces listing.
+type TraceSummary struct {
+	TraceID string `json:"trace_id"`
+	// Root is the name of the trace's locally-rooted span when this node
+	// recorded one (e.g. "request"), else the first span's name.
+	Root       string  `json:"root"`
+	Spans      int     `json:"spans"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// NewTraceStore builds a store retaining up to retain traces and sampling
+// the given fraction of trace IDs (clamped to [0,1]). Sampling hashes the
+// trace ID, so every node in a cluster keeps or drops the *same* traces —
+// a sampled-out trace is absent everywhere rather than partially assembled.
+func NewTraceStore(retain int, sample float64) *TraceStore {
+	if retain <= 0 {
+		retain = 512
+	}
+	var threshold uint64
+	switch {
+	case sample >= 1:
+		threshold = ^uint64(0)
+	case sample <= 0:
+		threshold = 0
+	default:
+		// 32-bit granularity avoids float->uint64 overflow at the top of
+		// the range; plenty for a sampling knob.
+		threshold = uint64(sample*float64(1<<32)) << 32
+	}
+	return &TraceStore{
+		retain: retain,
+		sample: threshold,
+		byID:   make(map[string]*storedTrace),
+	}
+}
+
+// Sampled reports whether a trace ID falls inside the store's sample.
+func (st *TraceStore) Sampled(id string) bool {
+	if st.sample == ^uint64(0) {
+		return true
+	}
+	if st.sample == 0 {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64() < st.sample
+}
+
+// Record stores the trace's current span snapshot, merging with any spans
+// already stored under its ID. Unsampled traces are dropped silently.
+func (st *TraceStore) Record(tr *Trace) {
+	if tr == nil || !st.Sampled(tr.ID()) {
+		return
+	}
+	st.RecordViews(tr.ID(), tr.Snapshot())
+}
+
+// RecordViews is Record for an already-snapshotted span set (the recovery
+// path stores replayed traces this way). Unsampled IDs are dropped.
+func (st *TraceStore) RecordViews(id string, spans []SpanView) {
+	if id == "" || len(spans) == 0 || !st.Sampled(id) {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t := st.byID[id]
+	if t == nil {
+		t = &storedTrace{id: id, index: make(map[string]int, len(spans))}
+		st.byID[id] = t
+		t.pos = len(st.order)
+		st.order = append(st.order, t)
+	} else {
+		st.moveToBack(t)
+	}
+	for _, v := range spans {
+		if i, ok := t.index[v.ID]; ok {
+			t.spans[i] = v
+			continue
+		}
+		t.index[v.ID] = len(t.spans)
+		t.spans = append(t.spans, v)
+	}
+	for len(st.order) > st.retain {
+		old := st.order[0]
+		st.order = st.order[1:]
+		for i, e := range st.order {
+			e.pos = i
+		}
+		delete(st.byID, old.id)
+	}
+}
+
+// moveToBack marks t most recently updated. Caller holds st.mu.
+func (st *TraceStore) moveToBack(t *storedTrace) {
+	last := len(st.order) - 1
+	if st.order[last] == t {
+		return
+	}
+	copy(st.order[t.pos:], st.order[t.pos+1:])
+	st.order[last] = t
+	for i := t.pos; i <= last; i++ {
+		st.order[i].pos = i
+	}
+}
+
+// Spans returns the stored span set for a trace ID, nil when absent.
+func (st *TraceStore) Spans(id string) []SpanView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t := st.byID[id]
+	if t == nil {
+		return nil
+	}
+	return append([]SpanView(nil), t.spans...)
+}
+
+// Recent lists up to limit stored traces, most recently updated first.
+func (st *TraceStore) Recent(limit int) []TraceSummary {
+	if limit <= 0 {
+		limit = 20
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TraceSummary, 0, min(limit, len(st.order)))
+	for i := len(st.order) - 1; i >= 0 && len(out) < limit; i-- {
+		t := st.order[i]
+		s := TraceSummary{TraceID: t.id, Spans: len(t.spans)}
+		for _, v := range t.spans {
+			if v.Parent == "" && s.Root == "" {
+				s.Root = v.Name
+				s.DurationMS = v.DurationMS
+			}
+		}
+		if s.Root == "" {
+			s.Root = t.spans[0].Name
+			s.DurationMS = t.spans[0].DurationMS
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Len returns the number of stored traces.
+func (st *TraceStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}

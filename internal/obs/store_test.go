@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceStoreRecordAndMerge(t *testing.T) {
+	st := NewTraceStore(8, 1)
+	tr := NewTrace("t1")
+	tr.SetNode("node-a")
+	root := tr.StartRoot("request")
+	st.Record(tr) // forward-time snapshot: root still open
+
+	sp := tr.StartSpan("compute")
+	sp.SetAttr("rounds", "3")
+	sp.End()
+	root.End()
+	st.Record(tr) // finish-time snapshot: merged by span ID
+
+	spans := st.Spans("t1")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (merged, not duplicated)", len(spans))
+	}
+	if spans[0].Open {
+		t.Errorf("root span still open after merge: %+v", spans[0])
+	}
+	if spans[1].Attrs["rounds"] != "3" {
+		t.Errorf("compute span = %+v", spans[1])
+	}
+	if st.Spans("missing") != nil {
+		t.Error("missing trace returned spans")
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	st := NewTraceStore(3, 1)
+	for i := 0; i < 5; i++ {
+		st.RecordViews(fmt.Sprintf("t%d", i), []SpanView{{ID: "s", Name: "request"}})
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if st.Spans("t0") != nil || st.Spans("t1") != nil {
+		t.Error("oldest traces not evicted")
+	}
+	// Updating an old trace moves it to the back of the eviction order.
+	st.RecordViews("t2", []SpanView{{ID: "s2", Name: "compute"}})
+	st.RecordViews("t5", []SpanView{{ID: "s", Name: "request"}})
+	if st.Spans("t2") == nil {
+		t.Error("recently updated trace evicted")
+	}
+	if st.Spans("t3") != nil {
+		t.Error("least recently updated trace survived")
+	}
+}
+
+func TestTraceStoreRecent(t *testing.T) {
+	st := NewTraceStore(8, 1)
+	st.RecordViews("a", []SpanView{{ID: "1", Name: "request", DurationMS: 5}})
+	st.RecordViews("b", []SpanView{
+		{ID: "1", Parent: "x", Name: "compute"},
+		{ID: "2", Name: "request", DurationMS: 9},
+	})
+	recent := st.Recent(10)
+	if len(recent) != 2 {
+		t.Fatalf("Recent = %d rows, want 2", len(recent))
+	}
+	if recent[0].TraceID != "b" || recent[0].Root != "request" || recent[0].DurationMS != 9 {
+		t.Errorf("recent[0] = %+v", recent[0])
+	}
+	if recent[1].TraceID != "a" || recent[1].Spans != 1 {
+		t.Errorf("recent[1] = %+v", recent[1])
+	}
+	if got := st.Recent(1); len(got) != 1 || got[0].TraceID != "b" {
+		t.Errorf("Recent(1) = %+v", got)
+	}
+}
+
+func TestTraceStoreSampling(t *testing.T) {
+	all := NewTraceStore(8, 1)
+	none := NewTraceStore(8, 0)
+	half := NewTraceStore(8, 0.5)
+	kept := 0
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("trace-%d", i)
+		if !all.Sampled(id) {
+			t.Fatalf("sample=1 dropped %s", id)
+		}
+		if none.Sampled(id) {
+			t.Fatalf("sample=0 kept %s", id)
+		}
+		if half.Sampled(id) {
+			kept++
+		}
+	}
+	if kept < 400 || kept > 600 {
+		t.Errorf("sample=0.5 kept %d of 1000", kept)
+	}
+	// Sampling is a pure function of the ID: two stores with the same rate
+	// agree on every trace, so cluster nodes keep the same set.
+	other := NewTraceStore(8, 0.5)
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("trace-%d", i)
+		if half.Sampled(id) != other.Sampled(id) {
+			t.Fatalf("stores disagree on %s", id)
+		}
+	}
+	none.RecordViews("x", []SpanView{{ID: "1", Name: "request"}})
+	if none.Len() != 0 {
+		t.Error("sample=0 stored a trace")
+	}
+}
+
+// TestTraceStoreConcurrent hammers the store from many goroutines; -race is
+// the real assertion.
+func TestTraceStoreConcurrent(t *testing.T) {
+	st := NewTraceStore(16, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("t%d", i%20)
+				st.RecordViews(id, []SpanView{{ID: fmt.Sprintf("s%d", w), Name: "request"}})
+				st.Spans(id)
+				st.Recent(5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.Len() > 16 {
+		t.Errorf("Len = %d exceeds retain", st.Len())
+	}
+}

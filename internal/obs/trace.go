@@ -10,39 +10,57 @@ import (
 	"time"
 )
 
-// Trace is one request's in-process trace: an ID (client-supplied via
-// X-Request-ID or generated) plus the spans recorded while the request's
-// job moved through the pipeline — parse, graph build, iteration,
-// selection. Spans are wall-clock only and kept in memory; the point is a
-// per-job time breakdown in the job metadata and the slow-job log, not
-// distributed tracing. All methods are safe for concurrent use: the match
-// engine starts spans from its direction goroutines.
+// Trace is one request's trace: an ID (client-supplied via X-Request-ID,
+// propagated from a peer via X-Emsd-Trace, or generated) plus the spans
+// recorded while the request's job moved through the pipeline — parse,
+// graph build, iteration, selection, peer hops. Each span carries its own
+// ID, its parent span ID, the recording node's ID, and free-form key/value
+// attributes, so spans recorded on different cluster nodes under the same
+// trace ID assemble into one parent-linked tree (GET /v1/traces/{id}).
+// All methods are safe for concurrent use: the match engine starts spans
+// from its direction goroutines.
 type Trace struct {
-	id    string
-	start time.Time
+	id     string
+	start  time.Time
+	node   string // set once via SetNode before the trace is shared
+	parent string // remote parent span ID carried in from X-Emsd-Trace
 
 	mu    sync.Mutex
 	spans []*Span
+	root  *Span // request root; parent of subsequently started spans
+	attrs map[string]string
+	kept  bool
+	onEnd func(*Span) // span-end hook (phase histograms); set before sharing
 }
 
 // Span is one named, timed phase of a trace. End it exactly once; End is
 // idempotent.
 type Span struct {
-	tr    *Trace
-	name  string
-	start time.Time
+	tr     *Trace
+	id     string
+	parent string
+	name   string
+	start  time.Time
 
 	mu    sync.Mutex
 	dur   time.Duration
 	ended bool
+	attrs map[string]string
 }
 
 // NewTrace starts a trace. An empty id generates a fresh one.
 func NewTrace(id string) *Trace {
+	return NewTraceWithParent(id, "")
+}
+
+// NewTraceWithParent starts a trace whose top-level spans parent under a
+// span recorded on another node — the propagation half of distributed
+// tracing. An empty id generates a fresh one; an empty parent is NewTrace.
+func NewTraceWithParent(id, parentSpanID string) *Trace {
 	if id == "" {
 		id = NewTraceID()
 	}
-	return &Trace{id: id, start: time.Now()}
+	return &Trace{id: id, parent: parentSpanID, start: time.Now()}
 }
 
 // NewTraceID returns a 16-byte random hex ID.
@@ -56,17 +74,117 @@ func NewTraceID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// NewSpanID returns an 8-byte random hex ID.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // ID returns the trace ID.
 func (t *Trace) ID() string { return t.id }
 
-// StartSpan opens a span; call End on the returned span when the phase
-// finishes.
-func (t *Trace) StartSpan(name string) *Span {
-	s := &Span{tr: t, name: name, start: time.Now()}
+// ParentSpan returns the remote parent span ID the trace was created with
+// (empty for origin traces).
+func (t *Trace) ParentSpan() string { return t.parent }
+
+// SetNode stamps the recording node's ID onto the trace; every span
+// snapshot carries it. Call before the trace is shared.
+func (t *Trace) SetNode(node string) {
 	t.mu.Lock()
+	t.node = node
+	t.mu.Unlock()
+}
+
+// Node returns the recording node's ID.
+func (t *Trace) Node() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node
+}
+
+// OnSpanEnd installs a hook called exactly once per span as it ends (the
+// metrics layer feeds per-phase histograms from it). Call before the trace
+// is shared; a nil fn clears the hook.
+func (t *Trace) OnSpanEnd(fn func(*Span)) {
+	t.mu.Lock()
+	t.onEnd = fn
+	t.mu.Unlock()
+}
+
+// SetAttr sets a trace-level attribute (e.g. the degradation rung), visible
+// to span-end hooks via Span.Trace().Attr.
+func (t *Trace) SetAttr(key, value string) {
+	t.mu.Lock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string, 4)
+	}
+	t.attrs[key] = value
+	t.mu.Unlock()
+}
+
+// Attr reads a trace-level attribute; empty when unset.
+func (t *Trace) Attr(key string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attrs[key]
+}
+
+// Keep marks the trace as worth publishing to the trace store when its
+// request finishes. Submission and relay paths set it; pure read traffic
+// (polls, metrics scrapes) stays unmarked and is never stored.
+func (t *Trace) Keep() {
+	t.mu.Lock()
+	t.kept = true
+	t.mu.Unlock()
+}
+
+// Kept reports whether Keep was called.
+func (t *Trace) Kept() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kept
+}
+
+// StartSpan opens a span; call End on the returned span when the phase
+// finishes. The span parents under the trace's root span when one was
+// started (StartRoot), else under the trace's remote parent.
+func (t *Trace) StartSpan(name string) *Span {
+	s := &Span{tr: t, id: NewSpanID(), name: name, start: time.Now()}
+	t.mu.Lock()
+	if t.root != nil {
+		s.parent = t.root.id
+	} else {
+		s.parent = t.parent
+	}
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 	return s
+}
+
+// StartRoot opens the trace's root span — the one later spans parent under.
+// The first StartRoot wins; later calls open ordinary spans. The HTTP
+// middleware starts one per request, named "request".
+func (t *Trace) StartRoot(name string) *Span {
+	s := &Span{tr: t, id: NewSpanID(), name: name, start: time.Now(), parent: t.parent}
+	t.mu.Lock()
+	if t.root == nil {
+		t.root = s
+	} else {
+		s.parent = t.root.id
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Root returns the root span, nil before StartRoot.
+func (t *Trace) Root() *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
 }
 
 // Span opens a span and returns its End function — the shape the core
@@ -76,46 +194,112 @@ func (t *Trace) Span(name string) func() {
 	return t.StartSpan(name).End
 }
 
+// ID returns the span's ID (8-byte hex, unique within the cluster for all
+// practical purposes).
+func (s *Span) ID() string { return s.id }
+
+// Name returns the span's phase name.
+func (s *Span) Name() string { return s.name }
+
+// Parent returns the parent span ID; empty for a root span of an origin
+// trace.
+func (s *Span) Parent() string { return s.parent }
+
+// Trace returns the trace the span belongs to.
+func (s *Span) Trace() *Trace { return s.tr }
+
+// Duration returns the span's final length once ended, the elapsed time so
+// far while still open.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// SetAttr attaches a key/value attribute to the span (rounds, evals,
+// degradation mode, cache hit/miss, ...). Safe to call concurrently with
+// snapshots; last write per key wins.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
 // End closes the span; safe to call more than once (later calls are
 // ignored) and from a different goroutine than StartSpan.
 func (s *Span) End() {
 	s.mu.Lock()
-	if !s.ended {
-		s.ended = true
-		s.dur = time.Since(s.start)
+	if s.ended {
+		s.mu.Unlock()
+		return
 	}
+	s.ended = true
+	s.dur = time.Since(s.start)
 	s.mu.Unlock()
+	s.tr.mu.Lock()
+	hook := s.tr.onEnd
+	s.tr.mu.Unlock()
+	if hook != nil {
+		hook(s)
+	}
 }
 
 // SpanView is the JSON-friendly snapshot of one span, offsets relative to
-// the trace start.
+// the trace start. It is also the wire form /v1/traces exchanges between
+// nodes, so StartUnixNS carries the absolute start for cross-node ordering.
 type SpanView struct {
-	Name    string  `json:"name"`
-	StartMS float64 `json:"start_ms"`
+	ID     string `json:"id,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Name   string `json:"name"`
+	// StartMS is the offset from the recording trace's start; StartUnixNS
+	// is the absolute wall-clock start used to order spans across nodes.
+	StartMS     float64 `json:"start_ms"`
+	StartUnixNS int64   `json:"start_unix_ns,omitempty"`
 	// DurationMS is the span length; for a still-open span it is the time
 	// elapsed so far and Open is true.
-	DurationMS float64 `json:"duration_ms"`
-	Open       bool    `json:"open,omitempty"`
+	DurationMS float64           `json:"duration_ms"`
+	Open       bool              `json:"open,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
 }
 
 // Snapshot returns the spans recorded so far in start order.
 func (t *Trace) Snapshot() []SpanView {
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
+	node := t.node
 	t.mu.Unlock()
 	out := make([]SpanView, 0, len(spans))
 	for _, s := range spans {
 		s.mu.Lock()
 		d, ended := s.dur, s.ended
+		var attrs map[string]string
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				attrs[k] = v
+			}
+		}
 		s.mu.Unlock()
 		if !ended {
 			d = time.Since(s.start)
 		}
 		out = append(out, SpanView{
-			Name:       s.name,
-			StartMS:    durMS(s.start.Sub(t.start)),
-			DurationMS: durMS(d),
-			Open:       !ended,
+			ID:          s.id,
+			Parent:      s.parent,
+			Node:        node,
+			Name:        s.name,
+			StartMS:     durMS(s.start.Sub(t.start)),
+			StartUnixNS: s.start.UnixNano(),
+			DurationMS:  durMS(d),
+			Open:        !ended,
+			Attrs:       attrs,
 		})
 	}
 	return out
@@ -142,11 +326,41 @@ func (t *Trace) Timeline() string {
 
 func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
+// TraceHeader is the W3C-traceparent-style propagation header peers carry
+// on every forwarded, proxied, or fanned-out exchange: the trace ID plus
+// the span ID of the calling side's hop span, so spans recorded on the
+// receiving node parent under the sender's span.
+const TraceHeader = "X-Emsd-Trace"
+
+// traceHeaderSep joins trace ID and parent span ID in TraceHeader. The span
+// ID is always plain hex, so splitting at the last separator is unambiguous
+// even for client-supplied trace IDs that contain the separator themselves.
+const traceHeaderSep = ";"
+
+// FormatTraceHeader renders the TraceHeader value.
+func FormatTraceHeader(traceID, parentSpanID string) string {
+	return traceID + traceHeaderSep + parentSpanID
+}
+
+// ParseTraceHeader splits a TraceHeader value; ok is false for malformed or
+// oversized values (the caller should fall back to a fresh trace).
+func ParseTraceHeader(v string) (traceID, parentSpanID string, ok bool) {
+	if v == "" || len(v) > 256 {
+		return "", "", false
+	}
+	i := strings.LastIndex(v, traceHeaderSep)
+	if i <= 0 { // no separator, or empty trace ID
+		return "", "", false
+	}
+	return v[:i], v[i+1:], true
+}
+
 // traceKey carries a *Trace through a context.
 type traceKey struct{}
 
 // ContextWithTrace attaches the trace to the context; the ems facade picks
-// it up and arms the engine's span hook from it.
+// it up and arms the engine's span hook from it, and cluster.Client
+// propagates its ID to peers.
 func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
 	return context.WithValue(ctx, traceKey{}, t)
 }

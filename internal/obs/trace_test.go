@@ -123,6 +123,158 @@ func TestTraceMiddleware(t *testing.T) {
 	}
 }
 
+func TestTraceSpanParentage(t *testing.T) {
+	tr := NewTraceWithParent("tid", "remote-span")
+	if tr.ParentSpan() != "remote-span" {
+		t.Fatalf("ParentSpan = %q", tr.ParentSpan())
+	}
+	// Before a root exists, spans parent under the remote parent.
+	pre := tr.StartSpan("early")
+	if pre.Parent() != "remote-span" {
+		t.Errorf("pre-root span parent = %q, want remote-span", pre.Parent())
+	}
+	root := tr.StartRoot("request")
+	if root.Parent() != "remote-span" {
+		t.Errorf("root parent = %q, want remote-span", root.Parent())
+	}
+	child := tr.StartSpan("compute")
+	if child.Parent() != root.ID() {
+		t.Errorf("child parent = %q, want root %q", child.Parent(), root.ID())
+	}
+	// A second StartRoot does not displace the first.
+	second := tr.StartRoot("request")
+	if tr.Root() != root || second.Parent() != root.ID() {
+		t.Errorf("second root displaced first: root=%v second.parent=%q", tr.Root().Name(), second.Parent())
+	}
+	if len(root.ID()) != 16 || root.ID() == child.ID() {
+		t.Errorf("span IDs root=%q child=%q", root.ID(), child.ID())
+	}
+	views := tr.Snapshot()
+	if len(views) != 4 || views[1].ID != root.ID() || views[2].Parent != root.ID() {
+		t.Errorf("snapshot parentage wrong: %+v", views)
+	}
+}
+
+func TestTraceAttrsAndKeep(t *testing.T) {
+	tr := NewTrace("t")
+	tr.SetNode("node-a")
+	if tr.Node() != "node-a" {
+		t.Errorf("Node = %q", tr.Node())
+	}
+	if tr.Kept() {
+		t.Error("new trace marked kept")
+	}
+	tr.Keep()
+	if !tr.Kept() {
+		t.Error("Keep did not stick")
+	}
+	tr.SetAttr("degraded", "fast-path")
+	if tr.Attr("degraded") != "fast-path" {
+		t.Errorf("trace attr = %q", tr.Attr("degraded"))
+	}
+	sp := tr.StartSpan("compute")
+	sp.SetAttr("rounds", "7")
+	sp.End()
+	v := tr.Snapshot()[0]
+	if v.Node != "node-a" || v.Attrs["rounds"] != "7" {
+		t.Errorf("span view = %+v", v)
+	}
+}
+
+func TestTraceOnSpanEnd(t *testing.T) {
+	tr := NewTrace("t")
+	var ended []string
+	tr.OnSpanEnd(func(s *Span) { ended = append(ended, s.Name()) })
+	sp := tr.StartSpan("parse")
+	sp.End()
+	sp.End() // hook must fire once
+	tr.Span("iterate")()
+	if len(ended) != 2 || ended[0] != "parse" || ended[1] != "iterate" {
+		t.Errorf("span-end hook calls = %v", ended)
+	}
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	v := FormatTraceHeader("trace-1", "span-9")
+	tid, parent, ok := ParseTraceHeader(v)
+	if !ok || tid != "trace-1" || parent != "span-9" {
+		t.Fatalf("ParseTraceHeader(%q) = %q %q %v", v, tid, parent, ok)
+	}
+	// Client trace IDs may contain the separator; last-separator split wins.
+	tid, parent, ok = ParseTraceHeader("a;b;span")
+	if !ok || tid != "a;b" || parent != "span" {
+		t.Errorf("nested sep parse = %q %q %v", tid, parent, ok)
+	}
+	for _, bad := range []string{"", "nosep", ";leadingsep", strings.Repeat("x", 300)} {
+		if _, _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTraceMiddlewarePropagation covers the distributed half: an incoming
+// X-Emsd-Trace header joins the sender's trace and parents the request
+// root under the sender's hop span, and the middleware stamps node IDs and
+// fires the request-end hook.
+func TestTraceMiddlewarePropagation(t *testing.T) {
+	var seen *Trace
+	var finished *Trace
+	h := TraceMiddlewareWith(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceFrom(r.Context())
+		seen.Keep()
+		seen.Span("compute")()
+	}), TraceConfig{
+		Node:         "node-b",
+		OnRequestEnd: func(tr *Trace) { finished = tr },
+	})
+
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	req.Header.Set(TraceHeader, FormatTraceHeader("trace-77", "span-42"))
+	req.Header.Set(RequestIDHeader, "ignored-when-trace-header-present")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if seen == nil || seen.ID() != "trace-77" {
+		t.Fatalf("trace = %v", seen)
+	}
+	if rec.Header().Get(RequestIDHeader) != "trace-77" {
+		t.Errorf("echoed ID = %q", rec.Header().Get(RequestIDHeader))
+	}
+	if finished != seen || !finished.Kept() {
+		t.Errorf("OnRequestEnd trace = %v kept=%v", finished, finished.Kept())
+	}
+	views := seen.Snapshot()
+	if len(views) != 2 {
+		t.Fatalf("got %d spans, want request+compute", len(views))
+	}
+	root := views[0]
+	if root.Name != "request" || root.Parent != "span-42" || root.Open {
+		t.Errorf("root span = %+v", root)
+	}
+	if root.Attrs["method"] != "POST" || root.Attrs["path"] != "/v1/jobs" {
+		t.Errorf("root attrs = %v", root.Attrs)
+	}
+	if views[1].Parent != root.ID || views[1].Node != "node-b" {
+		t.Errorf("child span = %+v", views[1])
+	}
+}
+
+// BenchmarkSpanEndHook measures the span-end path feeding the per-phase
+// histogram — the hot addition this PR makes to every engine phase.
+func BenchmarkSpanEndHook(b *testing.B) {
+	r := NewRegistry()
+	hv := r.HistogramVec("bench_phase_seconds", "bench", DefBuckets(), "phase", "degraded")
+	tr := NewTrace("bench")
+	tr.OnSpanEnd(func(s *Span) {
+		hv.With(s.Name(), "false").Observe(s.Duration().Seconds())
+	})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.StartSpan("iterate").End()
+		}
+	})
+}
+
 func TestHTTPMetricsWrap(t *testing.T) {
 	r := NewRegistry()
 	m := NewHTTPMetrics(r, "t")

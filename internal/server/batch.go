@@ -11,6 +11,7 @@ import (
 	"repro/ems"
 	"repro/internal/cluster"
 	"repro/internal/jobkey"
+	"repro/internal/obs"
 )
 
 // BatchPairInput names one explicit pair of a batch.
@@ -402,7 +403,8 @@ func (s *Server) SubmitBatch(ctx context.Context, req BatchRequest) (*Job, error
 	s.nextID++
 	job := newJob(fmt.Sprintf("batch-%06d", s.nextID))
 	job.batch = pb.run
-	job.trace = traceOrNew(ctx)
+	job.trace = s.traceOrNew(ctx)
+	job.trace.Keep()
 	job.ctx, job.cancel = context.WithCancelCause(s.ctx)
 	s.registerLocked(job)
 	s.mu.Unlock()
@@ -452,7 +454,10 @@ func (s *Server) runBatch(job *Job, pb *preparedBatch) {
 		}
 		return s.runPairOn(ctx, node, pb.reqs[i], pb.bodies[i], func(jobID string) { run.noteJob(i, jobID) })
 	}
-	results := coord.Execute(job.ctx, pb.pairs)
+	// The batch trace rides the coordinator context: locally-placed pairs
+	// join it directly, remote pairs via the propagation header on every
+	// peer exchange.
+	results := coord.Execute(obs.ContextWithTrace(job.ctx, job.trace), pb.pairs)
 	run.finalize(results)
 	wall := time.Since(start)
 	failed := 0
@@ -472,6 +477,7 @@ func (s *Server) runBatch(job *Job, pb *preparedBatch) {
 	if job.cancel != nil {
 		job.cancel(nil)
 	}
+	s.recordTrace(job.trace)
 	s.jobLog(job).Info("batch finished", "phase", "batch",
 		"pairs", len(results), "failed", failed, "failovers", run.progress().Failovers,
 		"wall_ms", float64(wall.Microseconds())/1000)

@@ -10,6 +10,7 @@ import (
 
 	"repro/ems"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // ClusterConfig makes this server a member of an emsd cluster. Every member
@@ -136,6 +137,12 @@ func (s *Server) ClusterInfo() ClusterView {
 // client sent.
 func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, body []byte, key string) bool {
 	sc := s.cluster
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		// The forwarding node keeps its half of the trace (the request root
+		// and the peer hop span); the owner's spans parent under the hop via
+		// the X-Emsd-Trace header cluster.Client.Do sets.
+		tr.Keep()
+	}
 	// Saturated peers sink behind non-saturated replicas (and behind the
 	// local node, which is never tracked as saturated here): work drifts
 	// toward nodes with budget left instead of bouncing off a 503.
@@ -239,7 +246,10 @@ func relayJSON(w http.ResponseWriter, code int, body []byte) {
 // coordinator fans out with.
 func (s *Server) runPairOn(ctx context.Context, node cluster.Node, req JobRequest, body []byte, noteJob func(jobID string)) (*ems.Result, error) {
 	if node.ID == s.cluster.self.ID {
-		job, err := s.Submit(req)
+		// SubmitContext, not Submit: ctx carries the batch's trace, so
+		// locally-placed pairs span onto the batch timeline like remote ones
+		// do via the propagation header.
+		job, err := s.SubmitContext(ctx, req)
 		if err != nil {
 			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrSaturated) || errors.Is(err, ErrShuttingDown) {
 				// Local overload or drain is a placement problem, not a property

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// loadFlightrecSchedule loads the committed schedule driving the
+// flight-recorder replay suite: one torn WAL write (the persist-failure
+// anomaly) plus seeded engine-round delays (making the second job a genuine
+// slow-job anomaly). Committed as testdata so the fault sequence is a
+// reviewed diff, exactly like chaos_replay.json.
+func loadFlightrecSchedule(t *testing.T) *chaos.Schedule {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "flightrec_replay.json"))
+	if err != nil {
+		t.Fatalf("read committed schedule: %v", err)
+	}
+	sched, err := chaos.ParseSchedule(data)
+	if err != nil {
+		t.Fatalf("parse committed schedule: %v", err)
+	}
+	return sched
+}
+
+// flightClock is a deterministic time source: a fixed epoch advancing one
+// millisecond per reading. Injected into the recorder so dump timestamps —
+// the only wall-clock values that reach dump files — replay identically.
+func flightClock() func() time.Time {
+	var mu sync.Mutex
+	var n int64
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return time.Unix(1700000000, 0).Add(time.Duration(n) * time.Millisecond).UTC()
+	}
+}
+
+// runFlightrecSequence replays the committed schedule against a fresh
+// durable daemon: submission #1 hits the torn WAL write and must dump
+// exactly one persist-failure incident; submission #2 runs under the
+// scheduled engine delays, trips the slow-job threshold, and must dump
+// exactly one slow-job incident. Returns the raw dump files by name.
+func runFlightrecSequence(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	sched := loadFlightrecSchedule(t)
+	restore, err := sched.Activate()
+	if err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	defer restore()
+
+	cfg := durableConfig(t, dir)
+	cfg.SlowJobThreshold = time.Millisecond
+	s := mustNew(t, cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = s.Shutdown(ctx)
+		cancel()
+	}()
+	s.flight.Now = flightClock()
+
+	// Anomaly 1: the torn frame fails the first submission's WAL append.
+	if _, err := s.Submit(paperRequest(t)); err == nil {
+		t.Fatal("submit under the injected torn write succeeded, want persistence error")
+	}
+
+	// Anomaly 2: the next job computes under the scheduled round delays and
+	// crosses the 1ms slow-job threshold; the daemon itself stays healthy.
+	j, err := s.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatalf("submit after torn-tail repair: %v", err)
+	}
+	waitDone(t, j)
+	if j.Status() != StatusDone {
+		t.Fatalf("slow job ended %s: %s", j.Status(), j.View().Error)
+	}
+
+	frdir := filepath.Join(dir, "flightrec")
+	names, err := obs.ListFlightDumps(frdir)
+	if err != nil {
+		t.Fatalf("list dumps: %v", err)
+	}
+	want := []string{"dump-000001-persist-failure.json", "dump-000002-slow-job.json"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("dumps = %v, want exactly %v", names, want)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(frdir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// TestFlightRecorderChaosDumps drives the committed chaos schedule and
+// checks the dumps' content: each anomaly produced exactly one dump, the
+// persist-failure dump shows the journal error that caused it, and the
+// slow-job dump carries the full admission-to-anomaly event ring.
+func TestFlightRecorderChaosDumps(t *testing.T) {
+	dumps := runFlightrecSequence(t, t.TempDir())
+
+	pf, err := obs.ReadFlightDump(writeTemp(t, dumps["dump-000001-persist-failure.json"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Reason != "persist-failure" || pf.Attrs["job"] != "job-000001" {
+		t.Fatalf("persist-failure dump header = %q %v", pf.Reason, pf.Attrs)
+	}
+	kinds := map[string]int{}
+	for _, ev := range pf.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["admit"] != 1 || kinds["journal.error"] != 1 {
+		t.Fatalf("persist-failure ring kinds = %v, want one admit and one journal.error", kinds)
+	}
+
+	sj, err := obs.ReadFlightDump(writeTemp(t, dumps["dump-000002-slow-job.json"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Reason != "slow-job" || sj.Attrs["job"] != "job-000002" {
+		t.Fatalf("slow-job dump header = %q %v", sj.Reason, sj.Attrs)
+	}
+	var sawAdmit, sawStart, sawSlow bool
+	for _, ev := range sj.Events {
+		switch {
+		case ev.Kind == "admit" && ev.Attrs["job"] == "job-000002":
+			sawAdmit = true
+		case ev.Kind == "journal.write" && ev.Attrs["job"] == "job-000002" && ev.Attrs["record"] == "start":
+			sawStart = true
+		case ev.Kind == "slow-job" && ev.Attrs["job"] == "job-000002":
+			sawSlow = true
+		}
+	}
+	if !sawAdmit || !sawStart || !sawSlow {
+		t.Fatalf("slow-job ring misses the admission-to-anomaly sequence (admit=%v start=%v slow=%v):\n%v",
+			sawAdmit, sawStart, sawSlow, sj.Events)
+	}
+	// The anomaly's ring still holds the earlier incident: that is the
+	// black-box property — context survives across anomalies.
+	if !containsKind(sj.Events, "journal.error") {
+		t.Fatal("slow-job ring lost the earlier torn-write context")
+	}
+}
+
+// TestFlightRecorderReplayByteIdentical runs the committed schedule twice in
+// fresh directories: with the deterministic clock injected, both runs must
+// write byte-identical dump files — the property that makes a flight dump a
+// trustworthy reconstruction rather than a lossy log.
+func TestFlightRecorderReplayByteIdentical(t *testing.T) {
+	a := runFlightrecSequence(t, t.TempDir())
+	b := runFlightrecSequence(t, t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("run A wrote %d dumps, run B %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if !bytes.Equal(data, b[name]) {
+			t.Fatalf("dump %s differs between replays:\n--- A ---\n%s\n--- B ---\n%s", name, data, b[name])
+		}
+	}
+}
+
+func containsKind(evs []obs.FlightEvent, kind string) bool {
+	for _, ev := range evs {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// writeTemp round-trips dump bytes through a file so ReadFlightDump's real
+// loader (the emsstats path) is what parses them.
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

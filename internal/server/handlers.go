@@ -24,6 +24,8 @@ import (
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	POST   /v1/batch              submit a grid of pairs fanned across the cluster
 //	GET    /v1/batch/{id}         per-pair results and consensus of a batch
+//	GET    /v1/traces             recent stored traces on this node (?limit=)
+//	GET    /v1/traces/{id}        cluster-assembled span tree of one trace
 //	GET    /v1/cluster            ring membership and peer health
 //	GET    /v1/stats              service metrics (JSON)
 //	GET    /v1/version            build identity of the binary
@@ -56,7 +58,13 @@ func (s *Server) Handler() http.Handler {
 	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", http.HandlerFunc(s.handleCancel))
 	handle("POST /v1/batch", "/v1/batch", http.HandlerFunc(s.handleBatchSubmit))
 	handle("GET /v1/batch/{id}", "/v1/batch/{id}", http.HandlerFunc(s.handleBatch))
-	return obs.TraceMiddleware(mux)
+	handle("GET /v1/traces", "/v1/traces", http.HandlerFunc(s.handleTraces))
+	handle("GET /v1/traces/{id}", "/v1/traces/{id}", http.HandlerFunc(s.handleTrace))
+	return obs.TraceMiddlewareWith(mux, obs.TraceConfig{
+		Node:         s.cfg.NodeID,
+		OnSpanEnd:    s.observeSpanEnd,
+		OnRequestEnd: s.recordTrace,
+	})
 }
 
 type errorBody struct {
@@ -182,7 +190,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
 		return
 	}
-	tr := traceOrNew(r.Context())
+	tr := s.traceOrNew(r.Context())
 	endParse := tr.Span("parse")
 	pj, err := s.prepare(req)
 	endParse()

@@ -10,9 +10,10 @@ import (
 // through read-on-scrape functions, so the /v1/stats JSON and the
 // exposition always agree on the same underlying counters.
 type serverObs struct {
-	reg    *obs.Registry
-	http   *obs.HTTPMetrics
-	jobDur *obs.Histogram
+	reg      *obs.Registry
+	http     *obs.HTTPMetrics
+	jobDur   *obs.Histogram
+	phaseDur *obs.HistogramVec // span durations, fed by the span-end hook
 
 	// cluster instruments, labelled by peer node ID and pre-seeded at boot
 	// so every configured peer shows a zero series from the first scrape.
@@ -105,6 +106,9 @@ func newServerObs(s *Server) *serverObs {
 	o.jobDur = r.Histogram("emsd_job_duration_seconds",
 		"Wall time of computed jobs (cache hits and coalesced jobs excluded).",
 		jobDurationBuckets())
+	o.phaseDur = r.HistogramVec("emsd_phase_seconds",
+		"Trace span durations by pipeline phase (parse, compute, engine phases, peer hops); degraded marks spans of ladder-degraded jobs.",
+		obs.DefBuckets(), "phase", "degraded")
 
 	o.forwards = r.CounterVec("emsd_peer_forwards_total",
 		"Submissions and batch pairs placed on a peer node.", "peer")

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -112,6 +113,29 @@ func (p *progress) observe(ob ems.RoundObservation) {
 	}
 	p.updated = time.Now()
 	p.mu.Unlock()
+}
+
+// stampSpan copies the engine's final counters onto the job's compute span
+// as attributes (rounds, total evals, estimation cutover).
+func (p *progress) stampSpan(sp *obs.Span) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.round == 0 {
+		return
+	}
+	sp.SetAttr("rounds", strconv.Itoa(p.round))
+	evals := 0
+	estimated := false
+	for _, d := range p.dirs {
+		evals += d.Evals
+		if d.Estimated {
+			estimated = true
+		}
+	}
+	sp.SetAttr("evals", strconv.Itoa(evals))
+	if estimated {
+		sp.SetAttr("estimated", "true")
+	}
 }
 
 // fill copies the accumulated state into a view.

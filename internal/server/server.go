@@ -26,8 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sync"
@@ -103,6 +106,14 @@ type Config struct {
 	// reaches the threshold gets its span timeline dumped at WARN level so
 	// the slow phase is identifiable after the fact. 0 disables the dump.
 	SlowJobThreshold time.Duration
+	// TraceSample is the fraction of traces published to the queryable trace
+	// store (GET /v1/traces). Sampling hashes the trace ID, so every cluster
+	// node keeps the same traces. 0 means store everything; negative stores
+	// nothing.
+	TraceSample float64
+	// TraceRetain bounds the trace store (traces per node); <= 0 uses the
+	// default (512).
+	TraceRetain int
 	// NodeID names this node in a cluster. It feeds the consistent-hash ring
 	// (placement hashes IDs, not addresses), qualifies forwarded job IDs,
 	// and appears in /healthz, /v1/version and /v1/cluster. Empty defaults
@@ -158,6 +169,12 @@ type Server struct {
 	obs     *serverObs
 	cluster *serverCluster
 	gov     *governor // nil without MemBudget
+	traces  *obs.TraceStore
+	flight  *obs.FlightRecorder
+
+	// govLast is the governor state the flight recorder last saw; transition
+	// events are emitted on change.
+	govLast atomic.Value // GovernorState
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -225,6 +242,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	sample := cfg.TraceSample
+	switch {
+	case sample == 0:
+		sample = 1 // store everything by default
+	case sample < 0:
+		sample = 0
+	}
+	flightDir := ""
+	if cfg.DataDir != "" {
+		flightDir = filepath.Join(cfg.DataDir, "flightrec")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -233,11 +261,14 @@ func New(cfg Config) (*Server, error) {
 		persist:  p,
 		cluster:  sc,
 		gov:      newGovernor(cfg.MemBudget, cfg.PressureFraction),
+		traces:   obs.NewTraceStore(cfg.TraceRetain, sample),
+		flight:   obs.NewFlightRecorder(256, flightDir, cfg.NodeID),
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	s.govLast.Store(s.governorState())
 	if p != nil {
 		s.cache.onEvict = p.deleteResult
 	}
@@ -355,7 +386,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 // stays with DELETE /v1/jobs/{id} and server shutdown, so a client
 // disconnecting after the 202 does not kill its job.
 func (s *Server) SubmitContext(ctx context.Context, req JobRequest) (*Job, error) {
-	tr := traceOrNew(ctx)
+	tr := s.traceOrNew(ctx)
 	endParse := tr.Span("parse")
 	pj, err := s.prepare(req)
 	endParse()
@@ -366,13 +397,50 @@ func (s *Server) SubmitContext(ctx context.Context, req JobRequest) (*Job, error
 	return s.submitPrepared(req, tr, pj)
 }
 
-// traceOrNew extracts the request trace from ctx, generating one for
-// untraced callers.
-func traceOrNew(ctx context.Context) *obs.Trace {
+// traceOrNew extracts the request trace from ctx, generating a node-stamped
+// one (span-end histogram hook armed) for untraced callers.
+func (s *Server) traceOrNew(ctx context.Context) *obs.Trace {
 	if tr := obs.TraceFrom(ctx); tr != nil {
 		return tr
 	}
-	return obs.NewTrace("")
+	return s.newTrace("")
+}
+
+// newTrace builds a trace owned by this node: node ID stamped and the
+// span-end hook armed, matching what the HTTP middleware installs.
+func (s *Server) newTrace(id string) *obs.Trace {
+	tr := obs.NewTrace(id)
+	tr.SetNode(s.cfg.NodeID)
+	tr.OnSpanEnd(s.observeSpanEnd)
+	return tr
+}
+
+// observeSpanEnd feeds the per-phase duration histogram from every ended
+// span. Span names are bounded (fixed pipeline/engine phase names plus
+// "peer:<node>"), so the phase label cardinality is bounded too.
+func (s *Server) observeSpanEnd(sp *obs.Span) {
+	degraded := strconv.FormatBool(sp.Trace().Attr("degraded") != "")
+	s.obs.phaseDur.With(sp.Name(), degraded).Observe(sp.Duration().Seconds())
+}
+
+// recordTrace publishes a kept trace's current span snapshot to the trace
+// store (unkept traces — polls, scrapes, trace queries — are never stored).
+func (s *Server) recordTrace(tr *obs.Trace) {
+	if tr != nil && tr.Kept() {
+		s.traces.Record(tr)
+	}
+}
+
+// noteGovernor emits a flight-recorder event when the governor's state
+// changed since the last call.
+func (s *Server) noteGovernor() {
+	if s.gov == nil {
+		return
+	}
+	cur := s.governorState()
+	if prev := s.govLast.Swap(cur).(GovernorState); prev != cur {
+		s.flight.Note("governor", "from", string(prev), "to", string(cur))
+	}
 }
 
 // submitPrepared is the admission half of SubmitContext: cache lookup,
@@ -380,13 +448,24 @@ func traceOrNew(ctx context.Context) *obs.Trace {
 // on cluster forwarding between prepare (which computes the placement key)
 // and local admission.
 func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) (*Job, error) {
+	// Submissions are the traces worth keeping; the middleware publishes
+	// kept traces to the store when the request ends, and completeJob
+	// re-publishes once the engine spans exist.
+	tr.Keep()
 	// Degradation ladder: under memory pressure the request is rewritten one
 	// or two rungs down before the cache lookup, so the degraded variant gets
 	// its own cache key and coalesces with other degraded submissions.
 	req, pj, rung, shed := s.applyLadder(req, pj)
 	if shed {
 		s.metrics.Shed()
+		s.flight.Note("shed", "reason", "no-degrade-under-pressure")
+		s.flight.Dump("shed", "reason", "no-degrade-under-pressure")
 		return nil, ErrSaturated
+	}
+	if rung != "" {
+		// Trace-level so the span-end hook labels every later span of this
+		// job as degraded.
+		tr.SetAttr("degraded", rung)
 	}
 	key := pj.key
 
@@ -406,8 +485,10 @@ func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) 
 	if res, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
 		s.metrics.CacheHit()
+		tr.StartSpan("cache-hit").End()
 		job.finish(StatusDone, res, "", 0, true)
 		s.metrics.JobDone(StatusDone, 0, false)
+		s.recordTrace(tr)
 		return job, nil
 	}
 	// (b) Identical job already queued or running: coalesce.
@@ -426,19 +507,25 @@ func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) 
 			s.mu.Unlock()
 			if errors.Is(aerr, errJobTooLarge) {
 				s.metrics.TooLarge()
+				s.flight.Note("reject", "job", job.ID, "reason", "too-large")
 				tle := &ems.TooLargeError{Predicted: *pj.cost, BudgetBytes: s.gov.budget}
 				s.completeJob(job, StatusFailed, nil, tle.Error(), 0, false)
 				return nil, tle
 			}
 			s.metrics.Shed()
+			s.flight.Note("shed", "job", job.ID, "reason", "saturated")
 			s.completeJob(job, StatusCancelled, nil, ErrSaturated.Error(), 0, false)
+			s.flight.Dump("shed", "job", job.ID, "reason", "saturated")
 			return nil, ErrSaturated
 		}
 		job.cost = pj.cost.Bytes
+		s.noteGovernor()
 	}
 	if rung != "" {
 		job.degraded = rung
 		s.metrics.Degraded()
+		s.flight.Note("degrade", "job", job.ID, "rung", rung)
+		s.flight.Dump("degraded", "job", job.ID, "rung", rung)
 	}
 	job.key = key
 	job.pair = ems.PairInput{Name: job.ID, Log1: pj.l1, Log2: pj.l2}
@@ -453,6 +540,9 @@ func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) 
 	s.inflight[key] = job
 	s.mu.Unlock()
 	s.metrics.CacheMiss()
+	// Queue depth is read before the enqueue so the flight event records the
+	// depth this job saw at admission (reading after would race the pool).
+	s.flight.Note("admit", "job", job.ID, "queue_depth", strconv.Itoa(s.pool.Depth()))
 	if s.persist != nil {
 		// Request file before submit record before enqueue: a job is only
 		// ever journaled once its request body can outlive the process, and
@@ -466,14 +556,21 @@ func (s *Server) submitPrepared(req JobRequest, tr *obs.Trace, pj *preparedJob) 
 		}
 		if perr != nil {
 			s.jobLog(job).Error("job persistence failed", "error", perr)
+			// The attrs stay path-free (the error text may embed the data
+			// dir), so dumps replay byte-identically under a chaos seed.
+			s.flight.Note("journal.error", "job", job.ID, "record", "submit")
 			s.completeJob(job, StatusFailed, nil, "persistence failure: "+perr.Error(), 0, false)
+			s.flight.Dump("persist-failure", "job", job.ID)
 			return nil, fmt.Errorf("server: persist job: %w", perr)
 		}
+		s.flight.Note("journal.write", "job", job.ID, "record", "submit")
 	}
 	if err := s.pool.Enqueue(job); err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.Shed()
+			s.flight.Note("shed", "job", job.ID, "reason", "queue-full")
 			s.completeJob(job, StatusCancelled, nil, "job queue is full", 0, false)
+			s.flight.Dump("shed", "job", job.ID, "reason", "queue-full")
 			return nil, ErrQueueFull
 		}
 		s.completeJob(job, StatusCancelled, nil, "server shutting down", 0, false)
@@ -526,17 +623,23 @@ func (s *Server) runJob(j *Job) {
 	if s.persist != nil && j.seq != 0 {
 		if err := s.persist.recordStart(j.ID, j.attempt); err != nil {
 			s.jobLog(j).Warn("journaling job start failed", "phase", "start", "error", err)
+			s.flight.Note("journal.error", "job", j.ID, "record", "start")
+		} else {
+			s.flight.Note("journal.write", "job", j.ID, "record", "start")
 		}
 	}
 	ctx := j.ctx
 	if ctx == nil {
 		ctx = s.ctx
 	}
+	var computeSpan *obs.Span
 	if j.trace != nil {
 		// Carry the trace into the engine: the ems facade arms its span hook
 		// from the context, so graph-build/iterate/select phases land on the
-		// job's timeline.
+		// job's timeline — nested under this job's compute span via the root.
 		ctx = obs.ContextWithTrace(ctx, j.trace)
+		computeSpan = j.trace.StartSpan("compute")
+		computeSpan.SetAttr("job", j.ID)
 	}
 	if j.timeout > 0 {
 		var cancel context.CancelFunc
@@ -546,6 +649,10 @@ func (s *Server) runJob(j *Job) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
+			if computeSpan != nil {
+				computeSpan.SetAttr("panic", "true")
+				computeSpan.End()
+			}
 			s.metrics.Panicked()
 			val, stack := r, debug.Stack()
 			if ep, ok := r.(*core.EnginePanic); ok {
@@ -553,6 +660,8 @@ func (s *Server) runJob(j *Job) {
 			}
 			s.jobLog(j).Error("job panicked (contained)", "phase", "compute",
 				"panic", fmt.Sprint(val), "stack", string(stack))
+			s.flight.Note("panic", "job", j.ID, "attempt", strconv.Itoa(j.attempt))
+			s.flight.Dump("panic", "job", j.ID)
 			// A panic is not a property of the input (those fail with an
 			// error), so it is worth a bounded retry when configured — from
 			// the last persisted checkpoint, not from scratch.
@@ -592,11 +701,24 @@ func (s *Server) runJob(j *Job) {
 		res, err = ems.Match(j.pair.Log1, j.pair.Log2, opts...)
 	}
 	wall := time.Since(start)
+	if computeSpan != nil {
+		if j.prog != nil {
+			j.prog.stampSpan(computeSpan)
+		}
+		if j.degraded != "" {
+			computeSpan.SetAttr("degraded", j.degraded)
+		}
+		computeSpan.End()
+	}
 	if thr := s.cfg.SlowJobThreshold; thr > 0 && wall >= thr && j.trace != nil {
 		s.jobLog(j).Warn("slow job", "phase", "compute",
 			"wall_ms", float64(wall.Microseconds())/1000,
 			"threshold_ms", float64(thr.Microseconds())/1000,
 			"timeline", "\n"+j.trace.Timeline())
+		// The dump's attrs carry no wall-clock measurements so chaos-seeded
+		// replays stay byte-identical.
+		s.flight.Note("slow-job", "job", j.ID)
+		s.flight.Dump("slow-job", "job", j.ID)
 	}
 	switch {
 	case err == nil:
@@ -613,8 +735,10 @@ func (s *Server) runJob(j *Job) {
 			s.completeJob(j, StatusCancelled, nil, "cancelled by client", wall, false)
 		case errors.Is(cause, context.DeadlineExceeded):
 			s.metrics.TimedOut()
+			s.flight.Note("deadline", "job", j.ID)
 			s.completeJob(j, StatusFailed, nil,
 				fmt.Sprintf("deadline exceeded: job ran longer than its %v budget", j.timeout), wall, false)
+			s.flight.Dump("deadline", "job", j.ID)
 		default:
 			s.completeJob(j, StatusCancelled, nil, "server shutting down", wall, false)
 		}
@@ -652,6 +776,9 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 		}
 		if err := s.persist.recordDone(j.ID, status, errMsg); err != nil {
 			s.jobLog(j).Warn("journaling completion failed", "phase", "complete", "error", err)
+			s.flight.Note("journal.error", "job", j.ID, "record", "done")
+		} else {
+			s.flight.Note("journal.write", "job", j.ID, "record", "done")
 		}
 	}
 	s.mu.Lock()
@@ -667,6 +794,7 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 	s.mu.Unlock()
 	if s.gov != nil && cost > 0 {
 		s.gov.release(cost)
+		s.noteGovernor()
 	}
 
 	j.finish(status, res, errMsg, wall, false)
@@ -674,6 +802,10 @@ func (s *Server) completeJob(j *Job, status Status, res *ems.Result, errMsg stri
 	if computed {
 		s.obs.jobDur.Observe(wall.Seconds())
 	}
+	// Publish the job's spans — the request-time snapshot the middleware
+	// stored lacks the compute-phase spans that only exist now. Failed, shed
+	// and degraded jobs publish too; their traces are the interesting ones.
+	s.recordTrace(j.trace)
 	for _, f := range followers {
 		// Followers coalesced at recovery are journaled jobs of their own and
 		// need their terminal record too (seq != 0 only for those).
@@ -900,7 +1032,8 @@ func (s *Server) recoverActiveJob(st jobState) {
 	j.seq, j.attempt, j.key, j.composite = st.Seq, st.Attempt, st.Key, st.Composite
 	// The original trace died with the previous process; a recovered job gets
 	// a fresh one so its re-run is observable too.
-	j.trace = obs.NewTrace("")
+	j.trace = s.newTrace("")
+	j.trace.Keep()
 	if !j.composite {
 		j.prog = &progress{}
 	}

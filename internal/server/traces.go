@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// TraceSpanNode is one span of an assembled trace tree.
+type TraceSpanNode struct {
+	obs.SpanView
+	Children []*TraceSpanNode `json:"children,omitempty"`
+}
+
+// TraceView is the body of GET /v1/traces/{id}: every span the cluster
+// recorded under the trace ID, both flat (the wire form peers exchange) and
+// as a parent-linked tree with per-node attribution.
+type TraceView struct {
+	TraceID   string           `json:"trace_id"`
+	Nodes     []string         `json:"nodes"`
+	SpanCount int              `json:"span_count"`
+	Spans     []obs.SpanView   `json:"spans"`
+	Tree      []*TraceSpanNode `json:"tree"`
+	// Partial lists peers that could not be queried; their spans may be
+	// missing from the tree.
+	Partial []string `json:"partial,omitempty"`
+}
+
+// handleTraces lists this node's recently stored traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 20
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "limit must be a positive integer, got " + strconv.Quote(v)})
+			return
+		}
+		limit = min(n, 200)
+	}
+	rows := s.traces.Recent(limit)
+	writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceSummary `json:"traces"`
+		Count  int                `json:"count"`
+	}{Traces: rows, Count: len(rows)})
+}
+
+// handleTrace assembles one trace cluster-wide: local spans plus — unless
+// the query itself was relayed by a peer (the forwarded marker suppresses
+// fan-out loops exactly like it suppresses re-forwarded submissions) — the
+// spans every reachable peer stored under the same ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.traces.Spans(id)
+	var partial []string
+	if r.Header.Get(cluster.ForwardedHeader) == "" && s.cluster.clustered() {
+		remote, down := s.gatherPeerSpans(r, id)
+		spans = append(spans, remote...)
+		partial = down
+	}
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown trace"})
+		return
+	}
+	writeJSON(w, http.StatusOK, assembleTrace(id, spans, partial))
+}
+
+// gatherPeerSpans fans the trace query out to every peer concurrently and
+// returns the spans they stored plus the IDs of peers that did not answer.
+// A peer that answers 404 simply recorded nothing for the trace; only
+// transport-level failures make the result partial.
+func (s *Server) gatherPeerSpans(r *http.Request, id string) (spans []obs.SpanView, down []string) {
+	sc := s.cluster
+	type reply struct {
+		node  string
+		spans []obs.SpanView
+		err   error
+	}
+	ch := make(chan reply, len(sc.clients))
+	for nodeID, cl := range sc.clients {
+		go func(nodeID string, cl *cluster.Client) {
+			rep := reply{node: nodeID}
+			code, body, err := cl.Do(r.Context(), http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil)
+			switch {
+			case err != nil:
+				rep.err = err
+			case code == http.StatusOK:
+				var tv TraceView
+				if jerr := json.Unmarshal(body, &tv); jerr == nil {
+					rep.spans = tv.Spans
+				}
+			}
+			ch <- rep
+		}(nodeID, cl)
+	}
+	for range sc.clients {
+		rep := <-ch
+		if rep.err != nil {
+			if sc.health != nil {
+				sc.health.ReportFailure(rep.node, rep.err)
+			}
+			down = append(down, rep.node)
+			continue
+		}
+		if sc.health != nil {
+			sc.health.ReportSuccess(rep.node)
+		}
+		spans = append(spans, rep.spans...)
+	}
+	sort.Strings(down)
+	return spans, down
+}
+
+// assembleTrace merges per-node span sets into one view: spans dedupe by ID
+// (preferring closed snapshots over open ones), order by absolute start
+// time, and link into a tree — a span whose parent is absent from the
+// merged set (an origin root, or a parent recorded on an unreachable node)
+// becomes a top-level tree root.
+func assembleTrace(id string, spans []obs.SpanView, partial []string) TraceView {
+	byID := make(map[string]obs.SpanView, len(spans))
+	order := make([]string, 0, len(spans))
+	nodeSet := map[string]bool{}
+	for _, v := range spans {
+		if v.Node != "" {
+			nodeSet[v.Node] = true
+		}
+		if old, ok := byID[v.ID]; ok {
+			// The same span can be stored twice (request-time snapshot, then
+			// completion-time): keep the finished one.
+			if old.Open && !v.Open {
+				byID[v.ID] = v
+			}
+			continue
+		}
+		byID[v.ID] = v
+		order = append(order, v.ID)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byID[order[i]], byID[order[j]]
+		if a.StartUnixNS != b.StartUnixNS {
+			return a.StartUnixNS < b.StartUnixNS
+		}
+		return a.ID < b.ID
+	})
+
+	v := TraceView{TraceID: id, SpanCount: len(order), Partial: partial}
+	v.Nodes = make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		v.Nodes = append(v.Nodes, n)
+	}
+	sort.Strings(v.Nodes)
+
+	nodes := make(map[string]*TraceSpanNode, len(order))
+	v.Spans = make([]obs.SpanView, 0, len(order))
+	for _, sid := range order {
+		sv := byID[sid]
+		v.Spans = append(v.Spans, sv)
+		nodes[sid] = &TraceSpanNode{SpanView: sv}
+	}
+	for _, sid := range order {
+		n := nodes[sid]
+		if p, ok := nodes[n.Parent]; ok && n.Parent != sid {
+			p.Children = append(p.Children, n)
+		} else {
+			v.Tree = append(v.Tree, n)
+		}
+	}
+	return v
+}
